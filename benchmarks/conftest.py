@@ -1,0 +1,51 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark runs at a reduced *CI scale* by default so the whole
+suite finishes in a few minutes of pure Python; set
+``REPRO_BENCH_SCALE=paper`` to run the paper's actual dimensions
+(RAM64/RAM256, all faults -- budget roughly an hour of CPU).  Measured
+results for both scales are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: (rows, cols, n_faults or None=all) per figure at each scale.
+SCALES = {
+    "ci": {
+        "fig1": (4, 4, None),
+        "fig2": (4, 4, None),
+        "scaling_small": (2, 2, None),
+        "scaling_large": (4, 4, None),
+        "fig3_circuit": (4, 4),
+        "fig3_counts": (25, 75, 125, 200),
+        # Shape-assertion margins.  The paper's effects (tail advantage,
+        # serial blow-up) strengthen with circuit size; at CI scale they
+        # are present but small, so the thresholds are conservative.
+        "fig3_min_slope_ratio": 1.2,
+        "scaling_serial_margin": 1.15,
+    },
+    "paper": {
+        "fig1": (8, 8, 428),
+        "fig2": (8, 8, 428),
+        "scaling_small": (8, 8, 428),
+        "scaling_large": (16, 16, None),
+        "fig3_circuit": (16, 16),
+        "fig3_counts": (100, 400, 800, 1382),
+        "fig3_min_slope_ratio": 3.0,
+        "scaling_serial_margin": 1.8,
+    },
+}
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> dict:
+    name = os.environ.get("REPRO_BENCH_SCALE", "ci")
+    if name not in SCALES:
+        raise RuntimeError(
+            f"REPRO_BENCH_SCALE={name!r}; expected one of {sorted(SCALES)}"
+        )
+    return SCALES[name]

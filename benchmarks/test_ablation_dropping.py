@@ -1,0 +1,62 @@
+"""Ablation: fault dropping on vs off.
+
+"Any time the simulation of a faulty circuit produces a result on the
+output data pin different than the good circuit simulation, the fault is
+considered detected, and the simulation of that circuit is dropped."
+
+Dropping is what produces the cheap Figure-1 tail: once the severe
+faults are gone, the survivors cost little.  With dropping disabled,
+every detected circuit keeps diverging (often wildly) and must be
+re-simulated for the rest of the run.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.ram import build_ram
+from repro.core.concurrent import ConcurrentFaultSimulator
+from repro.core.faults import ram_fault_universe, sample_faults
+from repro.patterns.sequences import sequence1
+
+
+def run(ram, patterns, faults, drop):
+    simulator = ConcurrentFaultSimulator(
+        ram.net, faults, observed=[ram.dout], drop_on_detect=drop
+    )
+    return simulator.run(patterns)
+
+
+def test_dropping_pays_off(benchmark, bench_scale):
+    rows, cols, n_faults = bench_scale["fig1"]
+    ram = build_ram(rows, cols)
+    patterns = sequence1(ram).patterns
+    universe = ram_fault_universe(ram)
+    if n_faults is not None and n_faults < len(universe):
+        faults = sample_faults(universe, n_faults, seed=1985)
+    else:
+        faults = universe
+
+    no_drop_report = run(ram, patterns, faults, drop=False)
+
+    drop_report = benchmark.pedantic(
+        lambda: run(ram, patterns, faults, drop=True),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        f"dropping on:  {drop_report.total_seconds:.2f}s; "
+        f"off: {no_drop_report.total_seconds:.2f}s "
+        f"({no_drop_report.total_seconds / drop_report.total_seconds:.1f}x)"
+    )
+    # Same faults are detected either way (first detections coincide)...
+    assert (
+        drop_report.log.detected_circuits()
+        == no_drop_report.log.detected_circuits()
+    )
+    for cid in drop_report.log.detected_circuits():
+        assert (
+            drop_report.log.detection_pattern(cid)
+            == no_drop_report.log.detection_pattern(cid)
+        )
+    # ...but dropping is substantially cheaper.
+    assert drop_report.total_seconds < 0.8 * no_drop_report.total_seconds

@@ -1,0 +1,53 @@
+"""FIG1: fault simulation of the RAM under Test Sequence 1.
+
+Paper (RAM64, 428 faults, 407 patterns): concurrent 21.9 min vs good
+circuit alone 2.7 min vs estimated serial 404 min -- a concurrent/serial
+ratio of 18, with 71% of the time in the first 87 patterns (the "head")
+and a cheap "tail" running only ~3x slower than the good circuit.
+
+Shape criteria checked here (absolute times are machine-dependent):
+
+* the concurrent run beats the serial estimate;
+* the per-pattern cost *falls* from head to tail (severe faults are
+  detected early and dropped);
+* most faults are detected, and dropping empties the live set.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.harness.experiments import run_fig1
+
+
+def test_fig1_sequence1_shape(benchmark, bench_scale):
+    rows, cols, n_faults = bench_scale["fig1"]
+
+    result = benchmark.pedantic(
+        lambda: run_fig1(rows, cols, n_faults=n_faults),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+
+    # Concurrent simulation wins against serial.
+    assert result.concurrent_seconds < result.serial_estimate_seconds
+
+    # Falling seconds-per-pattern curve: the head average must exceed
+    # the tail average by a clear margin.
+    head = result.seconds_per_pattern[: result.head_patterns]
+    tail = result.seconds_per_pattern[result.head_patterns:]
+    assert statistics.mean(head) > 1.5 * statistics.mean(tail)
+
+    # The very first patterns (uninitialized circuit, severe faults
+    # alive) are the most expensive part of the run.
+    first = statistics.mean(result.seconds_per_pattern[:5])
+    last = statistics.mean(result.seconds_per_pattern[-20:])
+    assert first > 2 * last
+
+    # Detection: high coverage, monotone cumulative curve.
+    assert result.coverage > 0.75
+    curve = result.cumulative_detections
+    assert all(b >= a for a, b in zip(curve, curve[1:]))
+    assert result.live_after_pattern[-1] == result.n_faults - result.detected

@@ -1,0 +1,62 @@
+"""FIG2: the same faults under Test Sequence 2 (row/col marches omitted).
+
+Paper: the shorter sequence took *longer* (49 min vs 21.9 min) and the
+concurrent/serial ratio dropped from 18 to 9, because the severe
+decoder/control faults stay alive deep into the array march.
+
+Shape criteria: per-pattern cost under Sequence 2 exceeds Sequence 1's
+(severe faults survive longer), and its per-pattern curve decays more
+slowly (a weaker head effect).
+
+This experiment runs under the *hard* detection policy: Figure 2's whole
+premise is that severe faults survive when the row/column marches are
+omitted, and that requires not dropping them on the X-vs-definite output
+differences they produce almost immediately on our RAM (see the policy
+discussion in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.harness.experiments import run_fig1, run_fig2
+
+
+def test_fig2_sequence2_shape(benchmark, bench_scale):
+    rows, cols, n_faults = bench_scale["fig2"]
+
+    result2 = benchmark.pedantic(
+        lambda: run_fig2(
+            rows, cols, n_faults=n_faults, detection_policy="hard"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    result1 = run_fig1(rows, cols, n_faults=n_faults, detection_policy="hard")
+    print()
+    print(result2.render())
+
+    # Sequence 2 is shorter...
+    assert result2.n_patterns < result1.n_patterns
+    # ...but costs more per pattern: severe faults stay alive longer.
+    avg1 = result1.concurrent_seconds / result1.n_patterns
+    avg2 = result2.concurrent_seconds / result2.n_patterns
+    assert avg2 > avg1
+
+    # And its concurrent/serial advantage is smaller than Sequence 1's.
+    assert (
+        result2.concurrent_vs_serial_ratio
+        < result1.concurrent_vs_serial_ratio
+    )
+
+    # Both sequences eventually reach comparable coverage.
+    assert result2.detected >= 0.9 * result1.detected
+
+    # Weaker head effect: the early-pattern cost advantage over the tail
+    # is smaller for sequence 2 than for sequence 1.
+    def head_tail_contrast(result):
+        head = statistics.mean(result.seconds_per_pattern[:7])
+        tail = statistics.mean(result.seconds_per_pattern[-20:])
+        return head / tail
+
+    assert head_tail_contrast(result2) < head_tail_contrast(result1)

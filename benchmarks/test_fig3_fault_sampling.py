@@ -1,0 +1,70 @@
+"""FIG3: average seconds/pattern vs number of randomly sampled faults.
+
+Paper (RAM256): both concurrent and serial grow linearly in the sample
+size, serial about 85x steeper -- linear concurrent growth means the
+state-list machinery adds no superlinear overhead, while the gap is the
+concurrent win itself.
+
+Shape criteria: both series increase monotonically, the concurrent
+series is close to linear (good fit), and the serial slope is a large
+multiple of the concurrent slope.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import run_fig3
+
+
+def _linear_fit_r2(xs, ys):
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0:
+        return 0.0, 0.0
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum(
+        (y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys)
+    )
+    ss_tot = sum((y - mean_y) ** 2 for y in ys) or 1e-12
+    return slope, 1.0 - ss_res / ss_tot
+
+
+def test_fig3_linear_in_fault_count(benchmark, bench_scale):
+    rows, cols = bench_scale["fig3_circuit"]
+    counts = bench_scale["fig3_counts"]
+
+    result = benchmark.pedantic(
+        lambda: run_fig3(rows, cols, fault_counts=counts),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+
+    xs = [p.n_faults for p in result.points]
+    concurrent = [p.concurrent_avg for p in result.points]
+    serial = [p.serial_estimate_avg for p in result.points]
+
+    # Monotone growth in the sample size.
+    assert all(b > a for a, b in zip(concurrent, concurrent[1:]))
+    assert all(b > a for a, b in zip(serial, serial[1:]))
+
+    # Near-linear concurrent growth (the paper's "no penalty for the
+    # state-list overhead" observation).
+    slope_c, r2_c = _linear_fit_r2(xs, concurrent)
+    slope_s, r2_s = _linear_fit_r2(xs, serial)
+    assert slope_c > 0
+    assert r2_c > 0.9
+    assert r2_s > 0.9
+
+    # Serial is steeper (paper: ~85x on RAM256; smaller circuits and
+    # short sequences shrink the gap, so the margin is scale-dependent).
+    assert slope_s > bench_scale["fig3_min_slope_ratio"] * slope_c
+    print(
+        f"slopes: concurrent {slope_c * 1e6:.2f} us/pattern/fault, "
+        f"serial {slope_s * 1e6:.2f} us/pattern/fault "
+        f"(ratio {slope_s / slope_c:.1f})"
+    )

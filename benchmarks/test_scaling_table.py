@@ -1,0 +1,43 @@
+"""TAB1: the in-text scaling comparison (paper section 5).
+
+Paper, RAM64 -> RAM256 (3x transistors, 3.6x patterns, 3.2x faults):
+good-circuit time x9, concurrent time x9, estimated serial time x37 --
+i.e. concurrent fault simulation scales like (circuit size x patterns),
+serial like (circuit size x patterns x faults).
+
+Shape criteria: the serial estimate's scale factor clearly exceeds the
+good-circuit and concurrent factors, and the concurrent factor stays
+within a modest multiple of the good-circuit factor.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import run_scaling
+
+
+def test_scaling_with_circuit_size(benchmark, bench_scale):
+    small = bench_scale["scaling_small"]
+    large = bench_scale["scaling_large"]
+
+    result = benchmark.pedantic(
+        lambda: run_scaling(small=small[:2], large=large[:2]),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+
+    good_factor = result.factor("good_seconds")
+    concurrent_factor = result.factor("concurrent_seconds")
+    serial_factor = result.factor("serial_estimate_seconds")
+
+    # Work grows with circuit size in every mode.
+    assert good_factor > 1
+    assert concurrent_factor > 1
+    # Serial pays the extra fault-count factor; concurrent does not.
+    margin = bench_scale["scaling_serial_margin"]
+    assert serial_factor > margin * concurrent_factor
+    assert serial_factor > margin * good_factor
+    # Concurrent tracks the good circuit's growth within a small
+    # multiple (the paper measured identical x9 factors).
+    assert concurrent_factor < 6 * good_factor

@@ -1,0 +1,20 @@
+"""Post-run analysis: coverage breakdowns and fault dictionaries."""
+
+from .coverage import (
+    ClassCoverage,
+    CoverageReport,
+    classify_by_kind,
+    coverage_report,
+    ram_region_classifier,
+)
+from .dictionary import FaultDictionary, build_dictionary
+
+__all__ = [
+    "CoverageReport",
+    "ClassCoverage",
+    "coverage_report",
+    "classify_by_kind",
+    "ram_region_classifier",
+    "FaultDictionary",
+    "build_dictionary",
+]

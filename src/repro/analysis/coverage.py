@@ -1,0 +1,151 @@
+"""Coverage analysis: per-class breakdowns and undetected-fault reports.
+
+The paper's conclusion describes FMOSSIM's real use: "It quickly directs
+the designer to those areas of the circuit that require further tests."
+This module turns a run report into that guidance -- coverage grouped by
+fault class and by circuit region, plus the undetected-fault list.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.detection import DetectionLog
+from ..core.faults import Fault
+from ..core.report import RunReport
+from ..harness.figures import render_table
+
+
+@dataclass(frozen=True)
+class ClassCoverage:
+    """Coverage of one group of faults."""
+
+    name: str
+    total: int
+    detected: int
+    first_pattern: int | None
+    last_pattern: int | None
+
+    @property
+    def coverage(self) -> float:
+        return self.detected / self.total if self.total else 0.0
+
+
+@dataclass
+class CoverageReport:
+    """Structured coverage breakdown of one fault-simulation run."""
+
+    total: int
+    detected: int
+    classes: list[ClassCoverage] = field(default_factory=list)
+    undetected: list[tuple[int, Fault]] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        return self.detected / self.total if self.total else 0.0
+
+    def render(self) -> str:
+        rows = [
+            (
+                entry.name,
+                entry.total,
+                entry.detected,
+                f"{entry.coverage:.1%}",
+                "-" if entry.first_pattern is None else entry.first_pattern,
+                "-" if entry.last_pattern is None else entry.last_pattern,
+            )
+            for entry in self.classes
+        ]
+        rows.append(
+            ("TOTAL", self.total, self.detected, f"{self.coverage:.1%}",
+             "", "")
+        )
+        table = render_table(
+            ("class", "faults", "detected", "coverage",
+             "first det.", "last det."),
+            rows,
+        )
+        if not self.undetected:
+            return table
+        lines = [table, "undetected:"]
+        for circuit_id, fault in self.undetected:
+            lines.append(f"  #{circuit_id}: {fault.describe()}")
+        return "\n".join(lines) + "\n"
+
+
+def classify_by_kind(fault: Fault) -> str:
+    """Default grouping: the fault's kind tag."""
+    return fault.kind
+
+
+def ram_region_classifier(fault: Fault) -> str:
+    """Group RAM faults by circuit region, from node/transistor names."""
+    name = getattr(fault, "node", None) or getattr(
+        fault, "transistor", None
+    ) or getattr(fault, "node_a", "")
+    if name.startswith("c") and ("." in name) and name[1].isdigit():
+        return "memory cell"
+    if name.startswith(("rbl", "wbl", "rbus", "dbus")):
+        return "bit line / bus"
+    if name.startswith(("row", "col", "ra", "ca")):
+        return "address decode"
+    if name.startswith(("rwl", "wwl")):
+        return "word line"
+    if name.startswith(("wsel", "wbk", "ref")):
+        return "write-back logic"
+    if name.startswith(("sense", "dout", "doutb")):
+        return "output path"
+    return "other"
+
+
+def coverage_report(
+    faults: Sequence[Fault],
+    log: DetectionLog | RunReport,
+    *,
+    classifier: Callable[[Fault], str] = classify_by_kind,
+) -> CoverageReport:
+    """Build a coverage breakdown from a run's detection log.
+
+    ``classifier`` maps each fault to a group name;
+    :func:`classify_by_kind` groups by fault type and
+    :func:`ram_region_classifier` by RAM circuit region.
+    """
+    if isinstance(log, RunReport):
+        log = log.log
+    groups: dict[str, list[tuple[int, Fault]]] = defaultdict(list)
+    for circuit_id, fault in enumerate(faults, start=1):
+        groups[classifier(fault)].append((circuit_id, fault))
+
+    classes: list[ClassCoverage] = []
+    undetected: list[tuple[int, Fault]] = []
+    total_detected = 0
+    for name in sorted(groups):
+        members = groups[name]
+        patterns = []
+        detected = 0
+        for circuit_id, fault in members:
+            pattern = log.detection_pattern(circuit_id)
+            if pattern is None:
+                undetected.append((circuit_id, fault))
+            else:
+                detected += 1
+                patterns.append(pattern)
+        total_detected += detected
+        classes.append(
+            ClassCoverage(
+                name=name,
+                total=len(members),
+                detected=detected,
+                first_pattern=min(patterns) if patterns else None,
+                last_pattern=max(patterns) if patterns else None,
+            )
+        )
+    undetected.sort()
+    return CoverageReport(
+        total=len(faults),
+        detected=total_detected,
+        classes=classes,
+        undetected=undetected,
+    )

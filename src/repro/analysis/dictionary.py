@@ -1,0 +1,83 @@
+"""Fault dictionaries: mapping observed failures back to fault candidates.
+
+A fault dictionary inverts the detection log: for each (pattern, phase,
+observed value) signature it lists the faults producing that signature,
+so a tester observing a failing device can shortlist the physical defect
+-- the classic downstream use of fault-simulation output.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.detection import DetectionLog
+from ..core.faults import Fault
+from ..core.report import RunReport
+from ..switchlevel.logic import STATE_CHARS
+
+#: A failure signature: (pattern index, phase index, node, observed state).
+Signature = tuple[int, int, str, int]
+
+
+@dataclass
+class FaultDictionary:
+    """First-failure signatures -> candidate faults."""
+
+    entries: dict[Signature, list[tuple[int, Fault]]] = field(
+        default_factory=dict
+    )
+
+    def lookup(
+        self,
+        pattern_index: int,
+        phase_index: int,
+        node: str,
+        observed_state: int,
+    ) -> list[Fault]:
+        """Faults whose first failure matches the observation."""
+        key = (pattern_index, phase_index, node, observed_state)
+        return [fault for _cid, fault in self.entries.get(key, [])]
+
+    def ambiguity(self) -> float:
+        """Average number of candidate faults per signature (1.0 = full
+        diagnosis resolution)."""
+        if not self.entries:
+            return 0.0
+        return sum(len(v) for v in self.entries.values()) / len(self.entries)
+
+    def render(self, limit: int = 20) -> str:
+        lines = []
+        for key in sorted(self.entries)[:limit]:
+            pattern, phase, node, state = key
+            names = ", ".join(
+                fault.describe() for _cid, fault in self.entries[key]
+            )
+            lines.append(
+                f"p{pattern}.{phase} {node}={STATE_CHARS[state]}: {names}"
+            )
+        if len(self.entries) > limit:
+            lines.append(f"... {len(self.entries) - limit} more signatures")
+        return "\n".join(lines) + "\n"
+
+
+def build_dictionary(
+    faults: Sequence[Fault], log: DetectionLog | RunReport
+) -> FaultDictionary:
+    """Build a first-failure fault dictionary from a detection log."""
+    if isinstance(log, RunReport):
+        log = log.log
+    entries: dict[Signature, list[tuple[int, Fault]]] = defaultdict(list)
+    for circuit_id, fault in enumerate(faults, start=1):
+        detection = log.first_detection(circuit_id)
+        if detection is None:
+            continue
+        key = (
+            detection.pattern_index,
+            detection.phase_index,
+            detection.node,
+            detection.faulty_state,
+        )
+        entries[key].append((circuit_id, fault))
+    return FaultDictionary(entries=dict(entries))

@@ -1,0 +1,5 @@
+"""Cell library: nMOS / CMOS gates and dynamic memory structures."""
+
+from . import cmos, decode, memory, nmos
+
+__all__ = ["nmos", "cmos", "memory", "decode"]

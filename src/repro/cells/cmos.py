@@ -1,0 +1,101 @@
+"""CMOS cell library: complementary static gates and transmission gates.
+
+The paper's network model covers CMOS as well as nMOS (p-type switches,
+single transistor strength).  These cells are used by the CMOS example
+circuits and by tests that exercise p-type switch semantics; the RAM
+reproduction circuits themselves are nMOS, like the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..netlist.builder import NetworkBuilder
+
+#: CMOS does not use ratioed logic; one (strong) strength everywhere.
+CMOS_STRENGTH = "strong"
+
+
+def inverter(
+    b: NetworkBuilder,
+    a: str,
+    out: str | None = None,
+    *,
+    strength: str | int = CMOS_STRENGTH,
+) -> str:
+    """Static CMOS inverter.
+
+    ``strength`` weakens both devices; SRAM cells use weak internal
+    inverters so external write drivers can overpower the feedback.
+    """
+    out = b.ensure_node(out if out is not None else b.gensym("cinv"))
+    b.ptrans(gate=a, source=b.vdd, drain=out, strength=strength)
+    b.ntrans(gate=a, source=out, drain=b.gnd, strength=strength)
+    return out
+
+
+def nand(b: NetworkBuilder, inputs: Sequence[str], out: str | None = None) -> str:
+    """Static CMOS NAND: parallel p pull-ups, series n pull-downs."""
+    if not inputs:
+        raise ValueError("nand needs at least one input")
+    out = b.ensure_node(out if out is not None else b.gensym("cnand"))
+    for name in inputs:
+        b.ptrans(gate=name, source=b.vdd, drain=out, strength=CMOS_STRENGTH)
+    lower = b.gnd
+    for name in inputs[:-1]:
+        mid = b.node(b.gensym("cnx"))
+        b.ntrans(gate=name, source=mid, drain=lower, strength=CMOS_STRENGTH)
+        lower = mid
+    b.ntrans(gate=inputs[-1], source=out, drain=lower, strength=CMOS_STRENGTH)
+    return out
+
+
+def nor(b: NetworkBuilder, inputs: Sequence[str], out: str | None = None) -> str:
+    """Static CMOS NOR: series p pull-ups, parallel n pull-downs."""
+    if not inputs:
+        raise ValueError("nor needs at least one input")
+    out = b.ensure_node(out if out is not None else b.gensym("cnor"))
+    upper = b.vdd
+    for name in inputs[:-1]:
+        mid = b.node(b.gensym("cpx"))
+        b.ptrans(gate=name, source=mid, drain=upper, strength=CMOS_STRENGTH)
+        upper = mid
+    b.ptrans(gate=inputs[-1], source=out, drain=upper, strength=CMOS_STRENGTH)
+    for name in inputs:
+        b.ntrans(gate=name, source=out, drain=b.gnd, strength=CMOS_STRENGTH)
+    return out
+
+
+def and_gate(
+    b: NetworkBuilder, inputs: Sequence[str], out: str | None = None
+) -> str:
+    """CMOS AND (NAND + inverter)."""
+    return inverter(b, nand(b, inputs), out)
+
+
+def or_gate(
+    b: NetworkBuilder, inputs: Sequence[str], out: str | None = None
+) -> str:
+    """CMOS OR (NOR + inverter)."""
+    return inverter(b, nor(b, inputs), out)
+
+
+def transmission_gate(
+    b: NetworkBuilder, ctrl: str, ctrl_bar: str, a: str, c: str
+) -> tuple[str, str]:
+    """Complementary pass gate between ``a`` and ``c``.
+
+    ``ctrl_bar`` must carry the complement of ``ctrl`` (build it with
+    :func:`inverter` if needed).  Returns the two transistor names.
+    """
+    t_n = b.ntrans(gate=ctrl, source=a, drain=c, strength=CMOS_STRENGTH)
+    t_p = b.ptrans(gate=ctrl_bar, source=a, drain=c, strength=CMOS_STRENGTH)
+    return t_n, t_p
+
+
+def xor_gate(b: NetworkBuilder, a: str, c: str, out: str | None = None) -> str:
+    """CMOS XOR from NAND gates (classic 4-NAND structure)."""
+    ab = nand(b, [a, c])
+    left = nand(b, [a, ab])
+    right = nand(b, [c, ab])
+    return nand(b, [left, right], out)

@@ -1,0 +1,68 @@
+"""Address decoding structures: complement drivers, NOR decoders, enables.
+
+The RAM's row and column selection follows the standard nMOS pattern:
+
+* each address input feeds an inverter producing its complement;
+* select line ``i`` is a NOR whose inputs are, for each address bit, the
+  true line if bit ``k`` of ``i`` is 0 and the complement line otherwise
+  -- so the NOR output is high exactly when the address equals ``i``;
+* select lines are combined with enable clocks by AND gates to form
+  word lines.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..netlist.builder import NetworkBuilder
+from .nmos import and_gate, inverter, nor
+
+
+def complement_drivers(
+    b: NetworkBuilder, lines: Sequence[str], prefix: str
+) -> list[str]:
+    """Inverters producing the complement of each line, in order."""
+    return [
+        inverter(b, line, f"{prefix}.b{len(lines) - 1 - k}")
+        for k, line in enumerate(lines)
+    ]
+
+
+def nor_decoder(
+    b: NetworkBuilder,
+    true_lines: Sequence[str],
+    comp_lines: Sequence[str],
+    prefix: str,
+) -> list[str]:
+    """Full NOR decoder over an address bus; returns 2**n select lines.
+
+    ``true_lines``/``comp_lines`` are MSB-first, as produced by
+    :func:`repro.netlist.builder.declare_bus` and
+    :func:`complement_drivers`.  Select line ``i`` is high iff the bus
+    value equals ``i``.
+    """
+    if len(true_lines) != len(comp_lines):
+        raise ValueError("true and complement buses differ in width")
+    width = len(true_lines)
+    selects = []
+    for i in range(1 << width):
+        # NOR inputs: lines that must be low for address == i.
+        inputs = []
+        for k in range(width):
+            bit = (i >> (width - 1 - k)) & 1
+            inputs.append(true_lines[k] if bit == 0 else comp_lines[k])
+        selects.append(nor(b, inputs, f"{prefix}.sel{i}"))
+    return selects
+
+
+def enabled_lines(
+    b: NetworkBuilder,
+    selects: Sequence[str],
+    enable: str,
+    prefix: str,
+) -> list[str]:
+    """AND each select line with an enable signal (word-line drivers)."""
+    return [
+        and_gate(b, [select, enable], f"{prefix}{i}")
+        for i, select in enumerate(selects)
+    ]

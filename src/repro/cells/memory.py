@@ -1,0 +1,129 @@
+"""Dynamic MOS memory structures: 3T cells, latches, precharged busses.
+
+These are the structures the paper's RAM circuits are built from
+("bidirectional pass transistors, dynamic latches, precharged busses, and
+three-transistor dynamic memory elements").  All rely on switch-level
+charge storage: an isolated storage node retains its state, a larger node
+wins charge sharing against a smaller one, and any drive overpowers any
+stored charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netlist.builder import NetworkBuilder
+from .nmos import PULLDOWN_STRENGTH, inverter
+
+#: Size name used for bit lines and shared busses (charge-sharing winners).
+BUS_SIZE = "large"
+
+
+@dataclass(frozen=True)
+class Dram3TCell:
+    """Node names of one three-transistor dynamic RAM cell."""
+
+    store: str
+    read_mid: str
+
+
+def dram_cell_3t(
+    b: NetworkBuilder,
+    write_bitline: str,
+    read_bitline: str,
+    write_wordline: str,
+    read_wordline: str,
+    prefix: str,
+) -> Dram3TCell:
+    """Classic 3T dynamic RAM cell.
+
+    * write access transistor: ``write_bitline`` -> ``store`` gated by
+      ``write_wordline``;
+    * storage transistor: pulls toward ``gnd``, gated by ``store``;
+    * read access transistor: connects the storage transistor to
+      ``read_bitline``, gated by ``read_wordline``.
+
+    Reading is destructive of the *bit line* only: with the read bit line
+    precharged high, selecting the cell discharges it iff the stored bit
+    is 1 (so the raw read-out is the complement of the stored value).
+    """
+    store = b.node(f"{prefix}.s")
+    read_mid = b.node(f"{prefix}.m")
+    b.ntrans(
+        gate=write_wordline,
+        source=write_bitline,
+        drain=store,
+        strength=PULLDOWN_STRENGTH,
+        name=f"{prefix}.w",
+    )
+    b.ntrans(
+        gate=store,
+        source=read_mid,
+        drain=b.gnd,
+        strength=PULLDOWN_STRENGTH,
+        name=f"{prefix}.g",
+    )
+    b.ntrans(
+        gate=read_wordline,
+        source=read_bitline,
+        drain=read_mid,
+        strength=PULLDOWN_STRENGTH,
+        name=f"{prefix}.r",
+    )
+    return Dram3TCell(store=store, read_mid=read_mid)
+
+
+def dynamic_latch(
+    b: NetworkBuilder, data: str, clock: str, out: str | None = None
+) -> tuple[str, str]:
+    """Pass-transistor dynamic latch: sample ``data`` while ``clock`` is 1.
+
+    Returns ``(storage_node, out)`` where ``out`` is the restored,
+    *inverted* stored value (add another inverter for the true value).
+    The storage node holds its charge while the clock is low.
+    """
+    stored = b.node(b.gensym("lat"))
+    b.ntrans(gate=clock, source=data, drain=stored, strength=PULLDOWN_STRENGTH)
+    out = inverter(b, stored, out)
+    return stored, out
+
+
+def precharged_bus(
+    b: NetworkBuilder,
+    name: str,
+    precharge_clock: str,
+    *,
+    size: str | int = BUS_SIZE,
+) -> str:
+    """A large storage node precharged high while ``precharge_clock`` is 1.
+
+    The precharge device is an n-type switch to ``vdd`` (switch-level
+    models ignore threshold drops, as the paper's model does).
+    """
+    bus = b.node(name, size=size)
+    b.ntrans(
+        gate=precharge_clock,
+        source=b.vdd,
+        drain=bus,
+        strength=PULLDOWN_STRENGTH,
+        name=f"{name}.pre",
+    )
+    return bus
+
+
+def shift_stage(
+    b: NetworkBuilder, data: str, clock_a: str, clock_b: str, prefix: str
+) -> str:
+    """One two-phase dynamic shift-register stage; returns its output.
+
+    Data is sampled into the first latch on ``clock_a`` and transferred,
+    re-inverted, to the output on ``clock_b`` (master/slave), so a full
+    clock_a/clock_b cycle moves one bit by one stage, non-inverting.
+    """
+    _stage1_store, stage1_out = dynamic_latch(
+        b, data, clock_a, f"{prefix}.a"
+    )
+    _stage2_store, stage2_out = dynamic_latch(
+        b, stage1_out, clock_b, f"{prefix}.b"
+    )
+    return stage2_out

@@ -1,0 +1,126 @@
+"""nMOS cell library: ratioed logic built from depletion loads.
+
+Every gate follows the classic nMOS discipline the paper's RAM circuits
+use: a *weak* d-type depletion pull-up from ``vdd`` to the output (gate
+tied to the output, i.e. a source follower -- the gate connection is
+irrelevant to a d-type switch but kept for structural fidelity), and a
+*strong* n-type pull-down network to ``gnd``.  With the default strength
+system this gives correct ratioed behavior: an on pull-down overpowers
+the pull-up.
+
+Each cell function takes the builder, input node names, and an optional
+output name (generated when omitted); it creates any internal nodes it
+needs and returns the output node's name.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..netlist.builder import NetworkBuilder
+
+#: Strength names used by the default strength system.
+PULLUP_STRENGTH = "weak"
+PULLDOWN_STRENGTH = "strong"
+
+
+def pullup(b: NetworkBuilder, out: str) -> str:
+    """Attach a depletion pull-up load to ``out``; returns ``out``."""
+    b.ensure_node(out)
+    b.dtrans(gate=out, source=b.vdd, drain=out, strength=PULLUP_STRENGTH)
+    return out
+
+
+def inverter(b: NetworkBuilder, a: str, out: str | None = None) -> str:
+    """``out = not a``."""
+    out = b.ensure_node(out if out is not None else b.gensym("inv"))
+    pullup(b, out)
+    b.ntrans(gate=a, source=out, drain=b.gnd, strength=PULLDOWN_STRENGTH)
+    return out
+
+
+def nor(b: NetworkBuilder, inputs: Sequence[str], out: str | None = None) -> str:
+    """``out = not (i0 or i1 or ...)``: parallel pull-downs."""
+    if not inputs:
+        raise ValueError("nor needs at least one input")
+    out = b.ensure_node(out if out is not None else b.gensym("nor"))
+    pullup(b, out)
+    for name in inputs:
+        b.ntrans(gate=name, source=out, drain=b.gnd, strength=PULLDOWN_STRENGTH)
+    return out
+
+
+def nand(b: NetworkBuilder, inputs: Sequence[str], out: str | None = None) -> str:
+    """``out = not (i0 and i1 and ...)``: series pull-down chain."""
+    if not inputs:
+        raise ValueError("nand needs at least one input")
+    out = b.ensure_node(out if out is not None else b.gensym("nand"))
+    pullup(b, out)
+    lower = b.gnd
+    # Build the chain bottom-up so the last transistor lands on the output.
+    for name in inputs[:-1]:
+        mid = b.node(b.gensym("nx"))
+        b.ntrans(gate=name, source=mid, drain=lower, strength=PULLDOWN_STRENGTH)
+        lower = mid
+    b.ntrans(
+        gate=inputs[-1], source=out, drain=lower, strength=PULLDOWN_STRENGTH
+    )
+    return out
+
+
+def and_gate(
+    b: NetworkBuilder, inputs: Sequence[str], out: str | None = None
+) -> str:
+    """``out = i0 and i1 and ...`` (NAND followed by an inverter)."""
+    return inverter(b, nand(b, inputs), out)
+
+
+def or_gate(
+    b: NetworkBuilder, inputs: Sequence[str], out: str | None = None
+) -> str:
+    """``out = i0 or i1 or ...`` (NOR followed by an inverter)."""
+    return inverter(b, nor(b, inputs), out)
+
+
+def buffer(b: NetworkBuilder, a: str, out: str | None = None) -> str:
+    """``out = a`` restored through two inverters."""
+    return inverter(b, inverter(b, a), out)
+
+
+def xor_gate(b: NetworkBuilder, a: str, c: str, out: str | None = None) -> str:
+    """``out = a xor c`` from NOR/NAND primitives (4 gates)."""
+    both = and_gate(b, [a, c])
+    neither = nor(b, [a, c])
+    return nor(b, [both, neither], out)
+
+
+def pass_transistor(
+    b: NetworkBuilder,
+    ctrl: str,
+    a: str,
+    c: str,
+    *,
+    strength: str | int = PULLDOWN_STRENGTH,
+) -> str:
+    """A bidirectional n-type pass transistor between ``a`` and ``c``.
+
+    Returns the transistor's name.  Both terminals must already exist;
+    pass-transistor networks are where switch-level bidirectionality
+    matters most, so no implicit node creation happens here.
+    """
+    return b.ntrans(gate=ctrl, source=a, drain=c, strength=strength)
+
+
+def mux2_pass(
+    b: NetworkBuilder,
+    select_a: str,
+    select_b: str,
+    a: str,
+    c: str,
+    out: str | None = None,
+) -> str:
+    """Two-way pass-transistor mux with explicit (decoded) selects."""
+    out = b.ensure_node(out if out is not None else b.gensym("mux"))
+    pass_transistor(b, select_a, a, out)
+    pass_transistor(b, select_b, c, out)
+    return out

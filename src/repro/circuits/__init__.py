@@ -1,0 +1,27 @@
+"""Generated demonstration circuits: RAMs, registers, a small ALU."""
+
+from .alu import Alu, build_alu
+from .ram import Ram, build_ram, ram16, ram64, ram256
+from .registers import (
+    RegisterFile,
+    ShiftRegister,
+    build_register_file,
+    build_shift_register,
+)
+from .sram import Sram, build_sram
+
+__all__ = [
+    "Ram",
+    "build_ram",
+    "ram16",
+    "ram64",
+    "ram256",
+    "Sram",
+    "build_sram",
+    "Alu",
+    "build_alu",
+    "ShiftRegister",
+    "build_shift_register",
+    "RegisterFile",
+    "build_register_file",
+]

@@ -1,0 +1,96 @@
+"""A small nMOS ripple-carry ALU (the conclusion's other use case).
+
+Operations (two select lines)::
+
+    op1 op0   function
+    0   0     AND
+    0   1     OR
+    1   0     XOR
+    1   1     ADD (ripple carry, carry-out exposed)
+
+Built entirely from the nMOS cell library so every internal node is a
+realistic ratioed-logic node; used by the ALU test-development example
+and by integration tests of transistor-level faults in datapath logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cells import nmos
+from ..errors import NetworkError
+from ..netlist.builder import NetworkBuilder, declare_bus
+from ..switchlevel.network import Network
+
+
+@dataclass(frozen=True)
+class Alu:
+    """Port map of a generated ALU."""
+
+    net: Network
+    width: int
+    a: list[str] = field(default_factory=list)  # MSB first
+    b: list[str] = field(default_factory=list)  # MSB first
+    op: list[str] = field(default_factory=list)  # [op1, op0]
+    result: list[str] = field(default_factory=list)  # MSB first
+    carry_out: str = ""
+
+    def op_assignment(self, operation: str) -> dict[str, int]:
+        """Input settings selecting an operation by name."""
+        table = {"and": (0, 0), "or": (0, 1), "xor": (1, 0), "add": (1, 1)}
+        try:
+            op1, op0 = table[operation]
+        except KeyError:
+            raise NetworkError(f"unknown ALU operation {operation!r}") from None
+        return {self.op[0]: op1, self.op[1]: op0}
+
+
+def build_alu(width: int) -> Alu:
+    """Generate a ``width``-bit ALU; returns its port map."""
+    if width < 1:
+        raise NetworkError("ALU width must be at least 1")
+    builder = NetworkBuilder()
+    bus_a = declare_bus(builder, "a", width, as_input=True)
+    bus_b = declare_bus(builder, "b", width, as_input=True)
+    op1 = builder.input("op1")
+    op0 = builder.input("op0")
+    op1_bar = nmos.inverter(builder, op1, "op1b")
+    op0_bar = nmos.inverter(builder, op0, "op0b")
+
+    # Decoded one-hot operation lines.
+    sel_and = nmos.and_gate(builder, [op1_bar, op0_bar], "sel_and")
+    sel_or = nmos.and_gate(builder, [op1_bar, op0], "sel_or")
+    sel_xor = nmos.and_gate(builder, [op1, op0_bar], "sel_xor")
+    sel_add = nmos.and_gate(builder, [op1, op0], "sel_add")
+
+    results: list[str] = []
+    carry = builder.gnd  # carry-in = 0
+    # Build from the LSB so the ripple carry chains upward.
+    for k in range(width - 1, -1, -1):
+        bit = width - 1 - k
+        a_k, b_k = bus_a[k], bus_b[k]
+        and_k = nmos.and_gate(builder, [a_k, b_k], f"and{bit}")
+        or_k = nmos.or_gate(builder, [a_k, b_k], f"or{bit}")
+        xor_k = nmos.xor_gate(builder, a_k, b_k, f"xor{bit}")
+        sum_k = nmos.xor_gate(builder, xor_k, carry, f"sum{bit}")
+        # carry_out = (a AND b) OR (carry AND (a XOR b))
+        carry_term = nmos.and_gate(builder, [carry, xor_k], f"cand{bit}")
+        carry = nmos.or_gate(builder, [and_k, carry_term], f"cout{bit}")
+        # Output mux: one pass transistor per decoded op line.
+        out_k = builder.node(f"res{bit}")
+        nmos.pass_transistor(builder, sel_and, and_k, out_k)
+        nmos.pass_transistor(builder, sel_or, or_k, out_k)
+        nmos.pass_transistor(builder, sel_xor, xor_k, out_k)
+        nmos.pass_transistor(builder, sel_add, sum_k, out_k)
+        results.append(out_k)
+
+    results.reverse()  # back to MSB-first
+    return Alu(
+        net=builder.build(),
+        width=width,
+        a=bus_a,
+        b=bus_b,
+        op=[op1, op0],
+        result=results,
+        carry_out=carry,
+    )

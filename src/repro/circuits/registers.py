@@ -1,0 +1,138 @@
+"""Shift registers and a register file, built from the cell library.
+
+The paper's conclusion motivates fault simulation "even when developing
+a test for a small section of an integrated circuit (such as an ALU or a
+register array)"; these generators provide exactly those DUTs for the
+examples and the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cells import decode, memory, nmos
+from ..errors import NetworkError
+from ..netlist.builder import NetworkBuilder, declare_bus
+from ..switchlevel.network import Network
+
+
+@dataclass(frozen=True)
+class ShiftRegister:
+    """A two-phase dynamic shift register."""
+
+    net: Network
+    stages: int
+    data_in: str
+    clock_a: str
+    clock_b: str
+    taps: list[str] = field(default_factory=list)
+
+    @property
+    def data_out(self) -> str:
+        return self.taps[-1]
+
+
+def build_shift_register(stages: int) -> ShiftRegister:
+    """An n-stage two-phase dynamic shift register (non-inverting)."""
+    if stages < 1:
+        raise NetworkError("a shift register needs at least one stage")
+    b = NetworkBuilder()
+    data_in = b.input("din")
+    clock_a = b.input("phi_a")
+    clock_b = b.input("phi_b")
+    taps: list[str] = []
+    previous = data_in
+    for index in range(stages):
+        previous = memory.shift_stage(
+            b, previous, clock_a, clock_b, f"st{index}"
+        )
+        taps.append(previous)
+    return ShiftRegister(
+        net=b.build(),
+        stages=stages,
+        data_in=data_in,
+        clock_a=clock_a,
+        clock_b=clock_b,
+        taps=taps,
+    )
+
+
+@dataclass(frozen=True)
+class RegisterFile:
+    """A word-organized dynamic register file with one read port."""
+
+    net: Network
+    words: int
+    width: int
+    addr_bits: int
+    write_enable: str
+    clock: str
+    data_in: list[str] = field(default_factory=list)  # MSB first
+    data_out: list[str] = field(default_factory=list)  # MSB first
+    addr: list[str] = field(default_factory=list)  # MSB first
+    cells: list[list[str]] = field(default_factory=list)  # [word][bit]
+
+
+def build_register_file(words: int, width: int) -> RegisterFile:
+    """A ``words x width`` register file from dynamic latches.
+
+    Each word is a row of pass-transistor latches written when its
+    select line and the write clock are high; the read port is a
+    pass-transistor mux onto per-bit output busses with restoring
+    inverters.  Word count must be a power of two.
+    """
+    if words < 2 or words & (words - 1):
+        raise NetworkError("word count must be a power of two >= 2")
+    addr_bits = words.bit_length() - 1
+    b = NetworkBuilder()
+    write_enable = b.input("we")
+    clock = b.input("phi")
+    data_in = declare_bus(b, "d", width, as_input=True)
+    addr = declare_bus(b, "adr", width=addr_bits, as_input=True)
+
+    comp = decode.complement_drivers(b, addr, "adr")
+    selects = decode.nor_decoder(b, addr, comp, "word")
+    write_clock = nmos.and_gate(b, [write_enable, clock], "wclk")
+    write_lines = [
+        nmos.and_gate(b, [selects[w], write_clock], f"wl{w}")
+        for w in range(words)
+    ]
+
+    read_bus = [b.node(f"rb{k}", size="large") for k in range(width)]
+    cells: list[list[str]] = []
+    for w in range(words):
+        row: list[str] = []
+        for k in range(width):
+            cell = b.node(f"r{w}_{k}")
+            b.ntrans(
+                write_lines[w], data_in[k], cell, strength="strong",
+                name=f"w{w}_{k}",
+            )
+            # Static read port: the cell drives the bus through an
+            # inverter so reading never disturbs the stored charge (a
+            # bare pass transistor would charge-share the large bus into
+            # the small cell).
+            read_driver = nmos.inverter(b, cell, f"r{w}_{k}.rd")
+            b.ntrans(
+                selects[w], read_driver, read_bus[k], strength="strong",
+                name=f"r{w}_{k}.read",
+            )
+            row.append(cell)
+        cells.append(row)
+
+    data_out = [
+        nmos.inverter(b, read_bus[k], f"q{width - 1 - k}")
+        for k in range(width)
+    ]
+    return RegisterFile(
+        net=b.build(),
+        words=words,
+        width=width,
+        addr_bits=addr_bits,
+        write_enable=write_enable,
+        clock=clock,
+        data_in=data_in,
+        data_out=data_out,
+        addr=addr,
+        cells=cells,
+    )

@@ -1,0 +1,202 @@
+"""A CMOS static RAM (6T cells) -- the model's CMOS side at system scale.
+
+The paper's network model covers CMOS as well as nMOS ("both nMOS and
+CMOS circuits can be modeled"); the evaluation circuits are nMOS DRAMs,
+so this SRAM is the reproduction's demonstration that the same
+simulator, fault models and pattern machinery work unchanged on a CMOS
+design with ratioed *write* behavior:
+
+* each cell is a pair of cross-coupled **weak** CMOS inverters plus two
+  strong n-type access transistors;
+* both bit lines are precharged high; a read lets the cell pull one
+  side low (the weak internal driver beats the bit line's charge);
+* a write drives the bit lines differentially at full strength, which
+  overpowers the weak feedback through the access transistors.
+
+Access protocol (four input settings per pattern -- SRAM needs no
+separate write-back phase):
+
+1. ``phi_p=1`` precharge both bit lines of every column;
+2. ``phi_p=0`` plus address / ``we`` / ``din``;
+3. ``phi_a=1`` word line on: cell reads onto (or is written from) the
+   bit lines; output latched;
+4. ``phi_a=0`` end of access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cells import cmos, decode, memory, nmos
+from ..errors import NetworkError
+from ..netlist.builder import NetworkBuilder, bus_assignment, declare_bus
+from ..patterns.clocking import Phase, RamOp, TestPattern, READ, WRITE
+from ..switchlevel.network import Network
+
+#: Strength of the cell's internal feedback inverters.
+CELL_STRENGTH = "weak"
+
+
+@dataclass(frozen=True)
+class Sram:
+    """A generated CMOS SRAM with its port and structure map."""
+
+    net: Network
+    rows: int
+    cols: int
+    row_bits: int
+    col_bits: int
+    phi_p: str
+    phi_a: str
+    we: str
+    din: str
+    dout: str
+    row_addr: list[str] = field(default_factory=list)
+    col_addr: list[str] = field(default_factory=list)
+    store: list[list[str]] = field(default_factory=list)  # true side
+    store_bar: list[list[str]] = field(default_factory=list)
+    bitlines: list[str] = field(default_factory=list)
+    bitlines_bar: list[str] = field(default_factory=list)
+
+    @property
+    def words(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def name(self) -> str:
+        return f"SRAM{self.words}"
+
+    def address_assignment(self, row: int, col: int) -> dict[str, int]:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise NetworkError(
+                f"cell ({row}, {col}) outside {self.rows}x{self.cols} array"
+            )
+        assignment = bus_assignment("ra", row, self.row_bits)
+        assignment.update(bus_assignment("ca", col, self.col_bits))
+        return assignment
+
+    def expand_op(self, op: RamOp) -> TestPattern:
+        """Four-phase clock cycle for one access."""
+        address = self.address_assignment(op.row, op.col)
+        setup: dict[str, int] = {
+            self.phi_p: 0,
+            self.we: 1 if op.op == WRITE else 0,
+            self.din: op.value if op.op == WRITE else 0,
+        }
+        setup.update(address)
+        return TestPattern(
+            label=op.label,
+            phases=(
+                Phase({self.phi_p: 1, self.phi_a: 0}),
+                Phase(setup),
+                Phase({self.phi_a: 1}),
+                Phase({self.phi_a: 0}),
+            ),
+        )
+
+    def expand_ops(self, ops) -> list[TestPattern]:
+        return [self.expand_op(op) for op in ops]
+
+
+def build_sram(rows: int, cols: int) -> Sram:
+    """Generate a ``rows x cols`` 1-bit-wide CMOS SRAM."""
+    row_bits = _log2_exact(rows, "rows")
+    col_bits = _log2_exact(cols, "cols")
+    b = NetworkBuilder()
+
+    phi_p = b.input("phi_p")
+    phi_a = b.input("phi_a")
+    we = b.input("we")
+    din = b.input("din")
+    row_addr = declare_bus(b, "ra", row_bits, as_input=True)
+    col_addr = declare_bus(b, "ca", col_bits, as_input=True)
+
+    # CMOS address decode (NOR decoders built from CMOS gates).
+    row_comp = [cmos.inverter(b, line, f"ra.b{k}")
+                for k, line in enumerate(row_addr)]
+    col_comp = [cmos.inverter(b, line, f"ca.b{k}")
+                for k, line in enumerate(col_addr)]
+    row_sel = _cmos_decoder(b, row_addr, row_comp, "row")
+    col_sel = _cmos_decoder(b, col_addr, col_comp, "col")
+    wordlines = [
+        cmos.and_gate(b, [row_sel[i], phi_a], f"wl{i}")
+        for i in range(rows)
+    ]
+
+    din_bar = cmos.inverter(b, din, "din.b")
+    read_bus = memory.precharged_bus(b, "rbus", phi_p)
+
+    bitlines: list[str] = []
+    bitlines_bar: list[str] = []
+    for j in range(cols):
+        bl = memory.precharged_bus(b, f"bl{j}", phi_p)
+        blb = memory.precharged_bus(b, f"blb{j}", phi_p)
+        bitlines.append(bl)
+        bitlines_bar.append(blb)
+        # Write drivers: differential, gated by (column, we, phi_a).
+        write_select = cmos.and_gate(b, [col_sel[j], we, phi_a], f"wsel{j}")
+        nmos.pass_transistor(b, write_select, din, bl)
+        nmos.pass_transistor(b, write_select, din_bar, blb)
+        # Read mux: the true bit line onto the shared read bus.
+        nmos.pass_transistor(b, col_sel[j], bl, read_bus)
+
+    store: list[list[str]] = []
+    store_bar: list[list[str]] = []
+    for i in range(rows):
+        row_nodes: list[str] = []
+        row_bar_nodes: list[str] = []
+        for j in range(cols):
+            true_node = b.node(f"s{i}_{j}.t")
+            bar_node = b.node(f"s{i}_{j}.b")
+            # Cross-coupled weak inverters.
+            cmos.inverter(b, true_node, bar_node, strength=CELL_STRENGTH)
+            cmos.inverter(b, bar_node, true_node, strength=CELL_STRENGTH)
+            # Strong access transistors to both bit lines.
+            b.ntrans(wordlines[i], bitlines[j], true_node,
+                     strength="strong", name=f"s{i}_{j}.at")
+            b.ntrans(wordlines[i], bitlines_bar[j], bar_node,
+                     strength="strong", name=f"s{i}_{j}.ab")
+            row_nodes.append(true_node)
+            row_bar_nodes.append(bar_node)
+        store.append(row_nodes)
+        store_bar.append(row_bar_nodes)
+
+    sensed = cmos.inverter(b, read_bus, "sense")
+    dout = cmos.inverter(b, sensed, "dout")
+
+    return Sram(
+        net=b.build(),
+        rows=rows,
+        cols=cols,
+        row_bits=row_bits,
+        col_bits=col_bits,
+        phi_p=phi_p,
+        phi_a=phi_a,
+        we=we,
+        din=din,
+        dout=dout,
+        row_addr=row_addr,
+        col_addr=col_addr,
+        store=store,
+        store_bar=store_bar,
+        bitlines=bitlines,
+        bitlines_bar=bitlines_bar,
+    )
+
+
+def _cmos_decoder(b, true_lines, comp_lines, prefix):
+    width = len(true_lines)
+    selects = []
+    for i in range(1 << width):
+        inputs = []
+        for k in range(width):
+            bit = (i >> (width - 1 - k)) & 1
+            inputs.append(true_lines[k] if bit == 0 else comp_lines[k])
+        selects.append(cmos.nor(b, inputs, f"{prefix}.sel{i}"))
+    return selects
+
+
+def _log2_exact(value: int, what: str) -> int:
+    if value < 2 or value & (value - 1):
+        raise NetworkError(f"{what} must be a power of two >= 2, got {value}")
+    return value.bit_length() - 1

@@ -1,0 +1,245 @@
+"""Command-line interface: ``fmossim``.
+
+Subcommands::
+
+    fmossim simulate NETLIST --set a=1 --set clk=0 [--show out ...]
+        Logic-simulate a netlist for a sequence of input settings.
+
+    fmossim faultsim NETLIST --observe OUT [--faults stuck|all] [--limit N]
+        Concurrent fault simulation with randomly ordered input settings
+        or a pattern file (one "name=value name=value ..." line per
+        setting, blank line between patterns).
+
+    fmossim validate NETLIST
+        Run the netlist lints.
+
+    fmossim experiment {fig1,fig2,fig3,scaling} [--rows R --cols C ...]
+        Reproduce one of the paper's experiments and print the figure.
+
+Netlists use the text format of :mod:`repro.netlist.sim_format`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .core.concurrent import ConcurrentFaultSimulator
+from .core.faults import (
+    node_stuck_universe,
+    sample_faults,
+    transistor_stuck_universe,
+)
+from .errors import ReproError
+from .harness import experiments
+from .netlist import sim_format, validate
+from .patterns.clocking import Phase, TestPattern
+from .switchlevel.simulator import Simulator
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fmossim",
+        description=(
+            "Concurrent switch-level fault simulator "
+            "(FMOSSIM reproduction)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"fmossim {__version__}"
+    )
+    commands = parser.add_subparsers(required=True)
+
+    simulate = commands.add_parser(
+        "simulate", help="logic-simulate a netlist"
+    )
+    simulate.add_argument("netlist")
+    simulate.add_argument(
+        "--set",
+        dest="settings",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="input setting; repeat for a sequence (applied in order)",
+    )
+    simulate.add_argument(
+        "--show",
+        action="append",
+        default=[],
+        metavar="NODE",
+        help="nodes to print after each setting (default: all)",
+    )
+    simulate.set_defaults(handler=cmd_simulate)
+
+    faultsim = commands.add_parser(
+        "faultsim", help="concurrent fault simulation of a netlist"
+    )
+    faultsim.add_argument("netlist")
+    faultsim.add_argument(
+        "--observe", action="append", required=True, metavar="NODE"
+    )
+    faultsim.add_argument(
+        "--patterns",
+        help="pattern file: one 'a=1 b=0' line per input setting, "
+        "blank lines separate patterns",
+    )
+    faultsim.add_argument(
+        "--faults",
+        choices=["stuck", "transistor", "all"],
+        default="stuck",
+        help="fault universe (default: node stuck-at faults)",
+    )
+    faultsim.add_argument(
+        "--limit", type=int, default=None,
+        help="randomly sample at most this many faults",
+    )
+    faultsim.add_argument("--seed", type=int, default=0)
+    faultsim.set_defaults(handler=cmd_faultsim)
+
+    validate_cmd = commands.add_parser(
+        "validate", help="run netlist lints"
+    )
+    validate_cmd.add_argument("netlist")
+    validate_cmd.set_defaults(handler=cmd_validate)
+
+    experiment = commands.add_parser(
+        "experiment", help="reproduce a paper experiment"
+    )
+    experiment.add_argument(
+        "which", choices=["fig1", "fig2", "fig3", "scaling"]
+    )
+    experiment.add_argument("--rows", type=int, default=4)
+    experiment.add_argument("--cols", type=int, default=4)
+    experiment.add_argument("--faults", type=int, default=None)
+    experiment.add_argument("--seed", type=int, default=experiments.DEFAULT_SEED)
+    experiment.set_defaults(handler=cmd_experiment)
+    return parser
+
+
+def _parse_assignment(text: str) -> tuple[str, int]:
+    name, _, value = text.partition("=")
+    if not name or value not in ("0", "1", "x", "X"):
+        raise ReproError(
+            f"bad assignment {text!r}; expected NAME=0|1|X"
+        )
+    return name, {"0": 0, "1": 1, "x": 2, "X": 2}[value]
+
+
+def cmd_simulate(args) -> int:
+    net = sim_format.load_path(args.netlist)
+    sim = Simulator(net)
+    show = args.show or sorted(
+        name for name in net.node_index if name not in ("vdd", "gnd")
+    )
+    if not args.settings:
+        print("no --set given; initial (settled) state:")
+    for text in args.settings:
+        name, value = _parse_assignment(text)
+        sim.apply({name: value})
+        values = " ".join(f"{node}={sim.get(node)}" for node in show)
+        print(f"after {text}: {values}")
+    if not args.settings:
+        values = " ".join(f"{node}={sim.get(node)}" for node in show)
+        print(values)
+    return 0
+
+
+def _load_patterns(path: str) -> list[TestPattern]:
+    patterns: list[TestPattern] = []
+    phases: list[Phase] = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for raw in stream:
+            line = raw.strip()
+            if not line:
+                if phases:
+                    patterns.append(
+                        TestPattern(f"p{len(patterns)}", tuple(phases))
+                    )
+                    phases = []
+                continue
+            setting = dict(
+                _parse_assignment(token) for token in line.split()
+            )
+            phases.append(Phase(setting))
+    if phases:
+        patterns.append(TestPattern(f"p{len(patterns)}", tuple(phases)))
+    return patterns
+
+
+def cmd_faultsim(args) -> int:
+    net = sim_format.load_path(args.netlist)
+    if args.faults == "stuck":
+        faults = node_stuck_universe(net)
+    elif args.faults == "transistor":
+        faults = transistor_stuck_universe(net)
+    else:
+        faults = node_stuck_universe(net) + transistor_stuck_universe(net)
+    if args.limit is not None and args.limit < len(faults):
+        faults = sample_faults(faults, args.limit, seed=args.seed)
+    if args.patterns:
+        patterns = _load_patterns(args.patterns)
+    else:
+        from .patterns.random_patterns import random_patterns
+
+        patterns = random_patterns(net, 20, seed=args.seed)
+    simulator = ConcurrentFaultSimulator(net, faults, args.observe)
+    report = simulator.run(patterns)
+    print(
+        f"{report.detected}/{report.n_faults} faults detected "
+        f"({report.coverage:.1%}) over {report.n_patterns} patterns "
+        f"in {report.total_seconds:.2f}s CPU"
+    )
+    for detection in report.log.detections:
+        print(f"  {detection}")
+    undetected = set(range(1, len(faults) + 1)) - report.log.detected_circuits()
+    for cid in sorted(undetected):
+        print(f"  undetected: {faults[cid - 1].describe()}")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    net = sim_format.load_path(args.netlist)
+    findings = validate.validate(net)
+    for lint in findings:
+        print(lint)
+    errors = [lint for lint in findings if lint.severity == validate.ERROR]
+    if not findings:
+        print("clean: no findings")
+    return 1 if errors else 0
+
+
+def cmd_experiment(args) -> int:
+    if args.which == "fig1":
+        result = experiments.run_fig1(
+            args.rows, args.cols, n_faults=args.faults, seed=args.seed
+        )
+    elif args.which == "fig2":
+        result = experiments.run_fig2(
+            args.rows, args.cols, n_faults=args.faults, seed=args.seed
+        )
+    elif args.which == "fig3":
+        result = experiments.run_fig3(args.rows, args.cols, seed=args.seed)
+    else:
+        result = experiments.run_scaling(
+            small=(args.rows // 2 or 2, args.cols),
+            large=(args.rows, args.cols),
+            n_faults=args.faults,
+            seed=args.seed,
+        )
+    print(result.render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

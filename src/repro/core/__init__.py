@@ -1,0 +1,46 @@
+"""The paper's contribution: concurrent switch-level fault simulation."""
+
+from .concurrent import ConcurrentFaultSimulator
+from .detection import POLICY_ANY, POLICY_HARD, Detection, DetectionLog
+from .faults import (
+    Fault,
+    NodeStuckFault,
+    OpenFault,
+    ShortFault,
+    TransistorStuckFault,
+    node_stuck_universe,
+    ram_fault_universe,
+    sample_faults,
+    transistor_stuck_universe,
+)
+from .inject import Instrumented, PreparedFault, prepare
+from .report import FaultRecord, PatternRecord, RunReport, SerialRunReport
+from .serial import SerialFaultSimulator, estimate_serial_seconds
+from .statelist import StateList
+
+__all__ = [
+    "ConcurrentFaultSimulator",
+    "SerialFaultSimulator",
+    "estimate_serial_seconds",
+    "Fault",
+    "NodeStuckFault",
+    "TransistorStuckFault",
+    "ShortFault",
+    "OpenFault",
+    "node_stuck_universe",
+    "transistor_stuck_universe",
+    "ram_fault_universe",
+    "sample_faults",
+    "prepare",
+    "Instrumented",
+    "PreparedFault",
+    "StateList",
+    "Detection",
+    "DetectionLog",
+    "POLICY_HARD",
+    "POLICY_ANY",
+    "RunReport",
+    "SerialRunReport",
+    "PatternRecord",
+    "FaultRecord",
+]

@@ -1,0 +1,715 @@
+"""The concurrent switch-level fault simulator (the paper's algorithm).
+
+One network is shared by the good circuit (id 0) and every faulty
+circuit (ids 1..F).  The good circuit is simulated in full; a faulty
+circuit is represented *only* by its divergences:
+
+* per-node :class:`~repro.core.statelist.StateList` records <i, s_i>
+  where circuit i's node state differs from the good circuit's (plus a
+  per-circuit dict index of the same records, for O(1) state lookup);
+* per-circuit overlays for the fault itself: forced nodes (node faults
+  act as pseudo-inputs) and forced transistors (stuck devices, inserted
+  short/open fault transistors).
+
+Events are (node, circuit) pairs.  Each input setting is simulated by
+first running the good circuit to quiescence and then each pending
+faulty circuit in ascending circuit-id order (the paper's discipline).
+While the good circuit settles, every solved vicinity is scanned to
+*trigger* events for exactly those circuits whose behavior there can
+differ:
+
+* circuits with divergence records on the vicinity's nodes or on the
+  gates controlling transistors that touch it;
+* circuits with a node fault inside the vicinity (the pseudo-input's
+  omega drive can change outcomes even when its value matches the good
+  circuit's);
+* circuits with a forced transistor touching the vicinity whose forced
+  state differs from the good circuit's current state for that
+  transistor.
+
+Everything else tracks the good circuit implicitly, which is where the
+concurrent speedup comes from.  Good-circuit node changes also maintain
+the records: a record equal to the new good state is deleted
+(reconvergence), and forced-node records are refreshed.
+
+Detection compares observed output nodes after any phase marked
+``observe``; by default a detected circuit is *dropped*: its records and
+pending events are purged and it costs nothing from then on (the paper's
+fault dropping, responsible for the cheap Figure-1 "tail").
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import FaultError, SimulationError
+from ..switchlevel.logic import STATES, X
+from ..switchlevel.network import GND_NAME, TRANS_TABLE, VDD_NAME, Network
+from ..switchlevel.steady_state import solve_vicinity
+from ..switchlevel.vicinity import compute_vicinity, expand_seed, explore
+from ..patterns.clocking import TestPattern
+from .detection import (
+    POLICY_HARD,
+    POLICIES,
+    Detection,
+    DetectionLog,
+    differs,
+)
+from .faults import Fault
+from .inject import Instrumented, PreparedFault, prepare
+from .report import PatternRecord, RunReport
+from .statelist import StateList
+
+#: Round limit per input setting before the oscillation fallback.
+DEFAULT_MAX_ROUNDS = 200
+
+
+class _OverlayStates:
+    """Node-state view of one faulty circuit: records over good states."""
+
+    __slots__ = ("good", "records")
+
+    def __init__(self, good: list[int], records: dict[int, int]):
+        self.good = good
+        self.records = records
+
+    def __getitem__(self, node: int) -> int:
+        state = self.records.get(node)
+        if state is None:
+            return self.good[node]
+        return state
+
+
+class _OverlayTransistors:
+    """Transistor-state view of one faulty circuit.
+
+    Forced transistors (the circuit's own plus the good-circuit forcing
+    for inserted fault devices) take their forced state; all others
+    derive from the circuit's view of their gate node.
+    """
+
+    __slots__ = ("kinds", "gates", "states", "forced")
+
+    def __init__(
+        self,
+        net: Network,
+        states: _OverlayStates,
+        forced: Mapping[int, int],
+    ):
+        self.kinds = net.t_kind
+        self.gates = net.t_gate
+        self.states = states
+        self.forced = forced
+
+    def __getitem__(self, t: int) -> int:
+        state = self.forced.get(t)
+        if state is None:
+            return TRANS_TABLE[self.kinds[t]][self.states[self.gates[t]]]
+        return state
+
+
+class ConcurrentFaultSimulator:
+    """Concurrent fault simulation of one network under a fault list.
+
+    Parameters
+    ----------
+    net:
+        The circuit (finalized).  Short/open faults re-instrument it; use
+        :attr:`network` for the network actually simulated.
+    faults:
+        Fault descriptions (see ``repro.core.faults``).  May be empty, in
+        which case :meth:`run` measures the good circuit alone.
+    observed:
+        Names of the output nodes compared for detection.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        faults: Sequence[Fault],
+        observed: Sequence[str],
+        *,
+        detection_policy: str = POLICY_HARD,
+        drop_on_detect: bool = True,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+    ):
+        if detection_policy not in POLICIES:
+            raise SimulationError(
+                f"unknown detection policy {detection_policy!r}"
+            )
+        instrumented: Instrumented = prepare(net, list(faults))
+        self.network = instrumented.net
+        self.good_forced_transistors = instrumented.good_forced_transistors
+        self.detection_policy = detection_policy
+        self.drop_on_detect = drop_on_detect
+        self.max_rounds = max_rounds
+        self.oscillation_events = 0
+
+        if not observed:
+            raise SimulationError("at least one observed node is required")
+        self.observed = [self.network.node(name) for name in observed]
+
+        # --- good circuit state ---
+        net_ = self.network
+        self.states: list[int] = net_.initial_node_states()
+        self.tstates: list[int] = net_.compute_transistor_states(self.states)
+        for t, state in self.good_forced_transistors.items():
+            self.tstates[t] = state
+        self._good_pending: set[int] = set()
+
+        # --- faulty circuit state ---
+        self.prepared: dict[int, PreparedFault] = {
+            pf.circuit_id: pf for pf in instrumented.prepared
+        }
+        self.live: set[int] = set(self.prepared)
+        self.circuit_records: dict[int, dict[int, int]] = {
+            cid: {} for cid in self.prepared
+        }
+        self.node_records: list[StateList | None] = [None] * net_.n_nodes
+        self._merged_forced_t: dict[int, Mapping[int, int]] = {}
+        for cid, pf in self.prepared.items():
+            if pf.forced_transistors:
+                merged = dict(self.good_forced_transistors)
+                merged.update(pf.forced_transistors)
+                self._merged_forced_t[cid] = merged
+            else:
+                self._merged_forced_t[cid] = self.good_forced_transistors
+        # Fault-site indexes for trigger scanning.
+        self._node_fault_sites: dict[int, list[tuple[int, int]]] = {}
+        self._trans_fault_sites: dict[int, list[tuple[int, int, int]]] = {}
+        for cid, pf in self.prepared.items():
+            for node, value in pf.forced_nodes.items():
+                self._node_fault_sites.setdefault(node, []).append(
+                    (cid, value)
+                )
+            for t, state in pf.forced_transistors.items():
+                for node in (net_.t_source[t], net_.t_drain[t]):
+                    self._trans_fault_sites.setdefault(node, []).append(
+                        (cid, t, state)
+                    )
+        self._fault_pending: dict[int, set[int]] = {}
+
+        # Static topology tables used by the trigger scan: the gate nodes
+        # controlling transistors whose channel touches a node, and the
+        # storage channel terminals of the transistors a node gates.
+        self._channel_gate_nodes: list[tuple[int, ...]] = [
+            tuple({net_.t_gate[t] for t, _m in net_.node_channels[n]})
+            for n in range(net_.n_nodes)
+        ]
+        gate_terminals: list[tuple[int, ...]] = []
+        for g in range(net_.n_nodes):
+            terminals: set[int] = set()
+            for t in net_.node_gates[g]:
+                for terminal in (net_.t_source[t], net_.t_drain[t]):
+                    if not net_.node_is_input[terminal]:
+                        terminals.add(terminal)
+            gate_terminals.append(tuple(terminals))
+        self._gate_channel_terminals = gate_terminals
+
+        self.log = DetectionLog()
+        self._pattern_index = 0
+        self._phase_index = 0
+
+        self._drive_rails()
+        self._activate_faults()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        patterns: Iterable[TestPattern],
+        *,
+        clock: str = "process",
+    ) -> RunReport:
+        """Simulate a pattern sequence; returns the measurement report.
+
+        ``clock`` selects ``process`` (CPU seconds, as the paper
+        measured) or ``perf`` (wall clock) for per-pattern timing.
+        """
+        timer = time.process_time if clock == "process" else time.perf_counter
+        report = RunReport(n_faults=len(self.prepared))
+        start_total = timer()
+        for pattern in patterns:
+            detected_before = len(self.log.detected_circuits())
+            start = timer()
+            self.apply_pattern(pattern)
+            elapsed = timer() - start
+            report.patterns.append(
+                PatternRecord(
+                    index=self._pattern_index - 1,
+                    label=pattern.label,
+                    seconds=elapsed,
+                    detections=(
+                        len(self.log.detected_circuits()) - detected_before
+                    ),
+                    live_after=len(self.live),
+                )
+            )
+        report.total_seconds = timer() - start_total
+        report.log = self.log
+        report.oscillation_events = self.oscillation_events
+        return report
+
+    def apply_pattern(self, pattern: TestPattern) -> None:
+        """Simulate one pattern (all its phases, with observations)."""
+        for phase_index, phase in enumerate(pattern.phases):
+            self._phase_index = phase_index
+            self.apply_phase(phase.settings)
+            if phase.observe:
+                self._observe()
+        self._pattern_index += 1
+
+    def apply_phase(self, settings: Mapping[str, int]) -> None:
+        """Apply one input setting and settle every circuit."""
+        net = self.network
+        for name, state in settings.items():
+            node = net.node(name)
+            if state not in STATES:
+                raise SimulationError(f"invalid state {state!r} for {name!r}")
+            if not net.node_is_input[node]:
+                raise SimulationError(f"node {name!r} is not an input")
+            if self.states[node] == state:
+                continue
+            self.states[node] = state
+            self._good_node_changed(node)
+            self._good_pending.update(
+                expand_seed(net, self.tstates, node)
+            )
+            # An input node belongs to no vicinity, so the good-circuit
+            # trigger scan never sees it; circuits in which a transistor
+            # on this input's channel conducts differently (fault-forced,
+            # or switched by a divergent gate) must be scheduled here or
+            # the input change would pass them by entirely.
+            for cid, t, forced_state in self._trans_fault_sites.get(node, ()):
+                if cid in self.live and forced_state != self.tstates[t]:
+                    self._schedule(
+                        cid, (net.t_source[t], net.t_drain[t])
+                    )
+            for t, _partner in net.node_channels[node]:
+                gate = net.t_gate[t]
+                state_list = self.node_records[gate]
+                if not state_list:
+                    continue
+                table = TRANS_TABLE[net.t_kind[t]]
+                good_tstate = self.tstates[t]
+                terminals = (net.t_source[t], net.t_drain[t])
+                for cid, gate_state in state_list.items():
+                    if (
+                        cid in self.live
+                        and t not in self._merged_forced_t[cid]
+                        and table[gate_state] != good_tstate
+                    ):
+                        self._schedule(cid, terminals)
+        self._settle_all()
+
+    def good_state_of(self, name: str) -> int:
+        """Good-circuit state of a node, by name."""
+        return self.states[self.network.node(name)]
+
+    def circuit_state_of(self, circuit_id: int, name: str) -> int:
+        """A faulty circuit's state of a node, by name."""
+        node = self.network.node(name)
+        records = self.circuit_records.get(circuit_id)
+        if records is None:
+            raise FaultError(f"no circuit {circuit_id} (dropped or unknown)")
+        return records.get(node, self.states[node])
+
+    @property
+    def live_circuits(self) -> set[int]:
+        """Ids of faulty circuits still being simulated."""
+        return set(self.live)
+
+    def total_divergence_records(self) -> int:
+        """Total records across all state lists (memory footprint proxy)."""
+        return sum(len(records) for records in self.circuit_records.values())
+
+    # ------------------------------------------------------------------
+    # initialization
+    # ------------------------------------------------------------------
+    def _drive_rails(self) -> None:
+        net = self.network
+        for name, state in ((VDD_NAME, 1), (GND_NAME, 0)):
+            if name in net.node_index:
+                node = net.node_index[name]
+                if net.node_is_input[node]:
+                    self.apply_phase({name: state})
+
+    def _activate_faults(self) -> None:
+        """Create initial divergences and schedule fault-site events."""
+        net = self.network
+        for cid, pf in self.prepared.items():
+            seeds: set[int] = set(pf.seeds)
+            for node, value in pf.forced_nodes.items():
+                if value != self.states[node]:
+                    self._set_record(node, cid, value)
+                # The pseudo-input pins transistors it gates, which may
+                # differ from the good circuit's states.
+                for t in net.node_gates[node]:
+                    seeds.add(net.t_source[t])
+                    seeds.add(net.t_drain[t])
+            self._schedule(cid, seeds)
+        self._settle_all()
+
+    # ------------------------------------------------------------------
+    # record maintenance
+    # ------------------------------------------------------------------
+    def _set_record(self, node: int, cid: int, state: int) -> None:
+        state_list = self.node_records[node]
+        if state_list is None:
+            state_list = StateList()
+            self.node_records[node] = state_list
+        state_list.set(cid, state)
+        self.circuit_records[cid][node] = state
+
+    def _remove_record(self, node: int, cid: int) -> None:
+        state_list = self.node_records[node]
+        if state_list is not None:
+            state_list.remove(cid)
+        self.circuit_records[cid].pop(node, None)
+
+    # ------------------------------------------------------------------
+    # good-circuit simulation
+    # ------------------------------------------------------------------
+    def _good_node_changed(self, node: int) -> None:
+        """Good node changed: transistor updates + record maintenance."""
+        net = self.network
+        states = self.states
+        tstates = self.tstates
+        new_state = states[node]
+        for t in net.node_gates[node]:
+            if t in self.good_forced_transistors:
+                continue
+            new_t = TRANS_TABLE[net.t_kind[t]][new_state]
+            if new_t != tstates[t]:
+                tstates[t] = new_t
+                for terminal in (net.t_source[t], net.t_drain[t]):
+                    if not net.node_is_input[terminal]:
+                        self._good_pending.add(terminal)
+        # Reconvergence: records equal to the new good state vanish.
+        state_list = self.node_records[node]
+        if state_list:
+            stale = [
+                cid for cid, s in state_list.items() if s == new_state
+            ]
+            for cid in stale:
+                self._remove_record(node, cid)
+        # Forced-node records must reflect divergence from the new state.
+        for cid, value in self._node_fault_sites.get(node, ()):
+            if cid in self.live:
+                if value == new_state:
+                    self._remove_record(node, cid)
+                else:
+                    self._set_record(node, cid, value)
+
+    def _settle_all(self) -> None:
+        """Run unit-delay rounds until every circuit is quiescent.
+
+        Each round simulates the good circuit first, then every faulty
+        circuit with pending events in ascending circuit-id order (the
+        paper's time-step discipline).  Interleaving per *round* -- not
+        per input setting -- matters: switching transients (e.g. decoder
+        hazards) are real events in the unit-delay model, and faulty
+        circuits must see the same intermediate states a standalone
+        simulation of them would.
+        """
+        circuit_rounds: dict[int, int] = {}
+        good_rounds = 0
+        total_rounds = 0
+        hard_cap = 3 * self.max_rounds + 50
+        while self._good_pending or self._fault_pending:
+            total_rounds += 1
+            if total_rounds > hard_cap:
+                # Pathological mutual churn: states already conservative,
+                # stop scheduling (counted for reporting).
+                self.oscillation_events += 1
+                self._good_pending.clear()
+                self._fault_pending.clear()
+                return
+            if self._good_pending:
+                good_rounds += 1
+                if good_rounds > self.max_rounds:
+                    self._force_good_x()
+                else:
+                    self._good_round()
+            if self._fault_pending:
+                pending = self._fault_pending
+                self._fault_pending = {}
+                for cid in sorted(pending):
+                    if cid not in self.live:
+                        continue
+                    count = circuit_rounds.get(cid, 0) + 1
+                    circuit_rounds[cid] = count
+                    if count > self.max_rounds:
+                        self._force_circuit_x(cid, pending[cid])
+                    else:
+                        self._simulate_circuit(cid, pending[cid])
+
+    def _good_round(self) -> None:
+        net = self.network
+        states = self.states
+        tstates = self.tstates
+        seeds = self._good_pending
+        self._good_pending = set()
+
+        member_owner: dict[int, int] = {}
+        solved: list[
+            tuple[list[int], list[tuple[int, int, int]], list[int]]
+        ] = []
+        for seed in seeds:
+            if seed in member_owner:
+                continue
+            members, boundary, adjacency = explore(net, tstates, [seed])
+            index = len(solved)
+            for member in members:
+                member_owner[member] = index
+            changes = [
+                (node, states[node], new_state)
+                for node, new_state in solve_vicinity(
+                    net, states, members, boundary, adjacency
+                )
+            ]
+            solved.append((members, changes, []))
+        for seed in seeds:
+            owner = member_owner.get(seed)
+            if owner is not None:
+                solved[owner][2].append(seed)
+
+        # Synchronous application; trigger scans *before* record
+        # maintenance so triggered circuits can pin pre-change values;
+        # then transistor updates and record maintenance.
+        for _members, changes, _vic_seeds in solved:
+            for node, _old_state, new_state in changes:
+                states[node] = new_state
+        for members, changes, vic_seeds in solved:
+            self._trigger_scan(members, changes, vic_seeds)
+        for _members, changes, _vic_seeds in solved:
+            for node, _old_state, _new_state in changes:
+                self._good_node_changed(node)
+
+    def _force_good_x(self) -> None:
+        """Oscillation fallback: set the active region to X."""
+        self.oscillation_events += 1
+        net = self.network
+        seeds = self._good_pending
+        self._good_pending = set()
+        covered: set[int] = set()
+        for seed in seeds:
+            if seed in covered:
+                continue
+            members, _boundary = compute_vicinity(net, self.tstates, [seed])
+            covered.update(members)
+            changes = [
+                (node, self.states[node], X)
+                for node in members
+                if self.states[node] != X
+            ]
+            for node, _old_state, new_state in changes:
+                self.states[node] = new_state
+            self._trigger_scan(members, changes, list(seeds & set(members)))
+            for node, _old_state, _new_state in changes:
+                self._good_node_changed(node)
+        # Fallout (the forced X propagating through gates) settles in the
+        # following rounds of _settle_all, bounded by its hard cap.
+
+    # ------------------------------------------------------------------
+    # trigger scanning (good -> faulty event creation)
+    # ------------------------------------------------------------------
+    def _trigger_scan(
+        self,
+        members: list[int],
+        changes: list[tuple[int, int, int]],
+        vic_seeds: list[int],
+    ) -> None:
+        """Schedule faulty-circuit events for one solved good vicinity.
+
+        ``changes`` carries (node, old_state, new_state).  For every
+        triggered circuit without an explicit record on a changed node,
+        the *old* state is pinned as a divergence record first: the
+        circuit was tracking the good circuit implicitly, and until its
+        own recomputation says otherwise its state remains the
+        pre-change one (this is the event-creation rule of the paper:
+        "a node in a faulty circuit that previously had the same state
+        as the good circuit may now be different").  Untriggered
+        circuits adopt the new value implicitly, which is sound because
+        nothing in their fault or divergence set touches this vicinity.
+        """
+        if not self.live:
+            return
+        net = self.network
+        tstates = self.tstates
+        node_records = self.node_records
+        node_fault_sites = self._node_fault_sites
+        trans_fault_sites = self._trans_fault_sites
+        channel_gate_nodes = self._channel_gate_nodes
+        base: set[int] = set(vic_seeds)
+        base.update(node for node, _old, _new in changes)
+        triggered: dict[int, set[int]] = {}
+
+        gate_nodes: set[int] = set()
+        for node in members:
+            state_list = node_records[node]
+            if state_list:
+                for cid in state_list.circuit_ids():
+                    triggered.setdefault(cid, set()).add(node)
+            if node in node_fault_sites:
+                for cid, _value in node_fault_sites[node]:
+                    # A pseudo-input in the vicinity can change outcomes
+                    # even when its value matches the good circuit
+                    # (omega drive).
+                    triggered.setdefault(cid, set()).add(node)
+            if node in trans_fault_sites:
+                for cid, t, forced_state in trans_fault_sites[node]:
+                    if forced_state != tstates[t]:
+                        seeds = triggered.setdefault(cid, set())
+                        seeds.add(net.t_source[t])
+                        seeds.add(net.t_drain[t])
+            gate_nodes.update(channel_gate_nodes[node])
+        for gate in gate_nodes:
+            state_list = node_records[gate]
+            if state_list:
+                terminals = self._gate_channel_terminals[gate]
+                for cid in state_list.circuit_ids():
+                    triggered.setdefault(cid, set()).update(terminals)
+
+        if not triggered:
+            return
+        live = self.live
+        for cid, extra in triggered.items():
+            if cid not in live:
+                continue
+            records = self.circuit_records[cid]
+            forced_nodes = self.prepared[cid].forced_nodes
+            for node, old_state, _new_state in changes:
+                if node not in records and node not in forced_nodes:
+                    self._set_record(node, cid, old_state)
+            self._schedule(cid, base | extra)
+
+    def _schedule(self, cid: int, seeds: Iterable[int]) -> None:
+        self._fault_pending.setdefault(cid, set()).update(seeds)
+
+    # ------------------------------------------------------------------
+    # faulty-circuit simulation
+    # ------------------------------------------------------------------
+    def _simulate_circuit(self, cid: int, seeds: set[int]) -> None:
+        """One synchronous round of one faulty circuit."""
+        net = self.network
+        pf = self.prepared[cid]
+        records = self.circuit_records[cid]
+        view = _OverlayStates(self.states, records)
+        tview = _OverlayTransistors(net, view, self._merged_forced_t[cid])
+        forced_nodes = pf.forced_nodes
+
+        expanded: set[int] = set()
+        for raw_seed in seeds:
+            expanded.update(expand_seed(net, tview, raw_seed, forced_nodes))
+        if not expanded:
+            return
+        # One exploration covers all seeds (possibly several disconnected
+        # components; the solver handles them independently).
+        members, boundary, adjacency = explore(
+            net, tview, list(expanded), forced_nodes
+        )
+        all_changes = solve_vicinity(
+            net, view, members, boundary, adjacency, forced_nodes
+        )
+        if not all_changes:
+            return
+        self._apply_circuit_changes(cid, all_changes)
+
+    def _apply_circuit_changes(
+        self, cid: int, changes: list[tuple[int, int]]
+    ) -> None:
+        """Update records and derive next-round events for circuit cid."""
+        net = self.network
+        records = self.circuit_records[cid]
+        good_states = self.states
+        merged_forced = self._merged_forced_t[cid]
+        old_states = {
+            node: records.get(node, good_states[node])
+            for node, _state in changes
+        }
+        for node, state in changes:
+            if state == good_states[node]:
+                self._remove_record(node, cid)
+            else:
+                self._set_record(node, cid, state)
+        next_seeds: set[int] = set()
+        for node, state in changes:
+            old = old_states[node]
+            for t in net.node_gates[node]:
+                if t in merged_forced:
+                    continue
+                table = TRANS_TABLE[net.t_kind[t]]
+                if table[old] != table[state]:
+                    next_seeds.add(net.t_source[t])
+                    next_seeds.add(net.t_drain[t])
+        if next_seeds:
+            self._schedule(cid, next_seeds)
+
+    def _force_circuit_x(self, cid: int, seeds: set[int]) -> None:
+        """Oscillation fallback for one faulty circuit."""
+        self.oscillation_events += 1
+        net = self.network
+        pf = self.prepared[cid]
+        records = self.circuit_records[cid]
+        view = _OverlayStates(self.states, records)
+        tview = _OverlayTransistors(net, view, self._merged_forced_t[cid])
+        covered: set[int] = set()
+        changes: list[tuple[int, int]] = []
+        for raw_seed in seeds:
+            for seed in expand_seed(net, tview, raw_seed, pf.forced_nodes):
+                if seed in covered:
+                    continue
+                members, _boundary = compute_vicinity(
+                    net, tview, [seed], pf.forced_nodes
+                )
+                covered.update(members)
+                changes.extend(
+                    (node, X) for node in members if view[node] != X
+                )
+        if changes:
+            self._apply_circuit_changes(cid, changes)
+
+    # ------------------------------------------------------------------
+    # detection
+    # ------------------------------------------------------------------
+    def _observe(self) -> None:
+        for node in self.observed:
+            state_list = self.node_records[node]
+            if not state_list:
+                continue
+            good_state = self.states[node]
+            # Snapshot: dropping mutates the list during iteration.
+            detected = [
+                (cid, state)
+                for cid, state in state_list.items()
+                if cid in self.live
+                and differs(good_state, state, self.detection_policy)
+            ]
+            for cid, state in detected:
+                self.log.record(
+                    Detection(
+                        circuit_id=cid,
+                        description=self.prepared[cid].fault.describe(),
+                        pattern_index=self._pattern_index,
+                        phase_index=self._phase_index,
+                        node=self.network.node_names[node],
+                        good_state=good_state,
+                        faulty_state=state,
+                    )
+                )
+                if self.drop_on_detect:
+                    self._drop(cid)
+
+    def _drop(self, cid: int) -> None:
+        """Purge a detected circuit: records, events, liveness."""
+        records = self.circuit_records[cid]
+        for node in list(records):
+            state_list = self.node_records[node]
+            if state_list is not None:
+                state_list.remove(cid)
+        records.clear()
+        self.live.discard(cid)
+        self._fault_pending.pop(cid, None)

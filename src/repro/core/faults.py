@@ -1,0 +1,193 @@
+"""Fault models of the switch-level fault simulator (paper section 3).
+
+FMOSSIM directly implements **node faults** (the node behaves as an input
+pinned at a state) and **transistor faults** (the transistor is
+permanently stuck open or closed, without changing its strength).  Wire
+faults are injected with extra *fault transistors* of very high strength,
+following Lightner & Hachtel:
+
+* a **short** between two nodes is a fault transistor between them, off
+  in the good circuit and on in the faulty one;
+* an **open** splits a node in two, the parts joined by a fault
+  transistor that is on in the good circuit and off in the faulty one.
+
+This module defines the fault descriptions (by element *name*, so they
+survive network instrumentation), universe enumeration for the paper's
+fault classes, and random sampling.  ``repro.core.inject`` turns
+descriptions into per-circuit overlays.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..circuits.ram import Ram
+from ..errors import FaultError
+from ..switchlevel.logic import ONE, ZERO
+from ..switchlevel.network import Network
+
+# Fault kind tags.
+NODE_STUCK = "node-stuck"
+TRANSISTOR_STUCK = "transistor-stuck"
+SHORT = "short"
+OPEN = "open"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base class; use the concrete subclasses below."""
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    @property
+    def kind(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NodeStuckFault(Fault):
+    """Storage node permanently behaving as an input at ``value``."""
+
+    node: str
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (ZERO, ONE):
+            raise FaultError(f"node stuck-at value must be 0 or 1, got {self.value}")
+
+    @property
+    def kind(self) -> str:
+        return NODE_STUCK
+
+    def describe(self) -> str:
+        return f"node {self.node} stuck-at-{self.value}"
+
+
+@dataclass(frozen=True)
+class TransistorStuckFault(Fault):
+    """Transistor permanently stuck open (non-conducting) or closed."""
+
+    transistor: str
+    closed: bool
+
+    @property
+    def kind(self) -> str:
+        return TRANSISTOR_STUCK
+
+    def describe(self) -> str:
+        mode = "closed" if self.closed else "open"
+        return f"transistor {self.transistor} stuck-{mode}"
+
+
+@dataclass(frozen=True)
+class ShortFault(Fault):
+    """Two wires shorted together (bridging fault)."""
+
+    node_a: str
+    node_b: str
+
+    def __post_init__(self) -> None:
+        if self.node_a == self.node_b:
+            raise FaultError("cannot short a node to itself")
+
+    @property
+    def kind(self) -> str:
+        return SHORT
+
+    def describe(self) -> str:
+        return f"short {self.node_a}~{self.node_b}"
+
+
+@dataclass(frozen=True)
+class OpenFault(Fault):
+    """A wire break: the listed channel connections of ``node`` are
+    detached onto a new node, open in the faulty circuit.
+
+    ``detached`` names the transistors whose channel terminal moves to
+    the far side of the break.
+    """
+
+    node: str
+    detached: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.detached:
+            raise FaultError("an open fault must detach at least one transistor")
+
+    @property
+    def kind(self) -> str:
+        return OPEN
+
+    def describe(self) -> str:
+        return f"open at {self.node} detaching {','.join(self.detached)}"
+
+
+# --- universe enumeration ---------------------------------------------------
+
+
+def node_stuck_universe(
+    net: Network, nodes: Iterable[str] | None = None
+) -> list[Fault]:
+    """All single storage-node stuck-at-0/1 faults (the paper's classes).
+
+    ``nodes`` restricts the universe; by default every storage node is
+    included.
+    """
+    if nodes is None:
+        names = [net.node_names[i] for i in net.storage_nodes()]
+    else:
+        names = list(nodes)
+        for name in names:
+            if net.node_is_input[net.node(name)]:
+                raise FaultError(f"cannot stick input node {name!r}")
+    faults: list[Fault] = []
+    for name in names:
+        faults.append(NodeStuckFault(name, ZERO))
+        faults.append(NodeStuckFault(name, ONE))
+    return faults
+
+
+def transistor_stuck_universe(
+    net: Network, transistors: Iterable[str] | None = None
+) -> list[Fault]:
+    """All single transistor stuck-open/stuck-closed faults."""
+    if transistors is None:
+        names = list(net.t_names)
+    else:
+        names = list(transistors)
+    faults: list[Fault] = []
+    for name in names:
+        faults.append(TransistorStuckFault(name, closed=False))
+        faults.append(TransistorStuckFault(name, closed=True))
+    return faults
+
+
+def ram_fault_universe(ram: Ram) -> list[Fault]:
+    """The paper's RAM fault universe.
+
+    "single storage nodes stuck-at-zero, single storage nodes
+    stuck-at-one, and single pairs of adjacent bit lines shorted
+    together" -- for RAM256 this is "all 1382 possible single stuck-at
+    and single bus short faults" in the paper's netlist; ours differs
+    only through the slightly different periphery transistor count.
+    """
+    faults = node_stuck_universe(ram.net)
+    for node_a, node_b in ram.bitline_adjacent_pairs():
+        faults.append(ShortFault(node_a, node_b))
+    return faults
+
+
+def sample_faults(
+    faults: Sequence[Fault], count: int, *, seed: int = 0
+) -> list[Fault]:
+    """Reproducible random sample of ``count`` faults (without
+    replacement), per the paper's "randomly chosen subsets"."""
+    if count > len(faults):
+        raise FaultError(
+            f"cannot sample {count} faults from a universe of {len(faults)}"
+        )
+    rng = random.Random(seed)
+    return rng.sample(list(faults), count)

@@ -1,0 +1,206 @@
+"""Fault injection: turning fault descriptions into per-circuit overlays.
+
+The concurrent simulator shares one network among the good circuit and
+every faulty circuit; a fault is represented *without* structural
+per-circuit copies, as the paper describes:
+
+* **node faults** become per-circuit *forced nodes* (the node behaves as
+  an input pinned at the stuck value);
+* **transistor faults** become per-circuit *forced transistors* (state
+  pinned open/closed, strength unchanged);
+* **short faults** insert one very strong fault transistor between the
+  two nodes, forced off in the good circuit and on in the faulty one;
+* **open faults** split the node, moving the listed channel terminals to
+  a new node joined to the original by a very strong fault transistor
+  forced on in the good circuit and off in the faulty one.
+
+Because fault transistors must be added before the network is finalized,
+:func:`prepare` works on an :meth:`unfrozen copy
+<repro.switchlevel.network.Network.unfrozen_copy>` when any wire fault is
+present (existing indexes are preserved).  The caveat the paper inherits
+from Lightner & Hachtel applies here too: in the good circuit a split
+node's halves are joined at the "short" strength rather than merged, so
+an input-drive signal crossing the split is capped at that strength; with
+the default strength system this is observable only in degenerate
+input-versus-input fights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import FaultError
+from ..switchlevel.logic import ONE, ZERO
+from ..switchlevel.network import NTYPE, Network
+from .faults import (
+    Fault,
+    NodeStuckFault,
+    OpenFault,
+    ShortFault,
+    TransistorStuckFault,
+)
+
+#: Transistor state values used for forcing.
+OPEN_STATE = ZERO
+CLOSED_STATE = ONE
+
+
+@dataclass(frozen=True)
+class PreparedFault:
+    """One fault resolved against the instrumented network."""
+
+    circuit_id: int
+    fault: Fault
+    forced_nodes: dict[int, int] = field(default_factory=dict)
+    forced_transistors: dict[int, int] = field(default_factory=dict)
+    #: nodes to perturb when the fault is activated
+    seeds: tuple[int, ...] = ()
+
+    def describe(self) -> str:
+        return f"#{self.circuit_id}: {self.fault.describe()}"
+
+
+@dataclass(frozen=True)
+class Instrumented:
+    """A network prepared for fault simulation.
+
+    ``good_forced_transistors`` applies to *every* circuit (including the
+    good one) except where a circuit's own forcing overrides it -- this
+    is how inserted short/open fault transistors stay inert in all
+    circuits but their own.
+    """
+
+    net: Network
+    prepared: tuple[PreparedFault, ...]
+    good_forced_transistors: dict[int, int]
+
+
+def prepare(net: Network, faults: list[Fault]) -> Instrumented:
+    """Resolve ``faults`` against ``net``; returns the instrumented network.
+
+    Circuit ids are assigned 1..len(faults) in order (0 is the good
+    circuit, as in the paper).
+    """
+    needs_rewrite = any(
+        isinstance(f, (ShortFault, OpenFault)) for f in faults
+    )
+    if needs_rewrite:
+        working = net.unfrozen_copy()
+    else:
+        working = net
+    good_forced: dict[int, int] = {}
+    prepared: list[PreparedFault] = []
+    for index, fault in enumerate(faults):
+        circuit_id = index + 1
+        if isinstance(fault, NodeStuckFault):
+            prepared.append(_prepare_node_stuck(working, circuit_id, fault))
+        elif isinstance(fault, TransistorStuckFault):
+            prepared.append(
+                _prepare_transistor_stuck(working, circuit_id, fault)
+            )
+        elif isinstance(fault, ShortFault):
+            prepared.append(
+                _prepare_short(working, circuit_id, fault, good_forced)
+            )
+        elif isinstance(fault, OpenFault):
+            prepared.append(
+                _prepare_open(working, circuit_id, fault, good_forced)
+            )
+        else:
+            raise FaultError(f"unsupported fault type: {fault!r}")
+    working.finalize()
+    return Instrumented(
+        net=working,
+        prepared=tuple(prepared),
+        good_forced_transistors=good_forced,
+    )
+
+
+def _prepare_node_stuck(
+    net: Network, circuit_id: int, fault: NodeStuckFault
+) -> PreparedFault:
+    node = net.node(fault.node)
+    if net.node_is_input[node]:
+        raise FaultError(
+            f"{fault.describe()}: node faults target storage nodes; "
+            "model a stuck input by driving it in the pattern instead"
+        )
+    return PreparedFault(
+        circuit_id=circuit_id,
+        fault=fault,
+        forced_nodes={node: fault.value},
+        seeds=(node,),
+    )
+
+
+def _prepare_transistor_stuck(
+    net: Network, circuit_id: int, fault: TransistorStuckFault
+) -> PreparedFault:
+    t = net.transistor(fault.transistor)
+    state = CLOSED_STATE if fault.closed else OPEN_STATE
+    return PreparedFault(
+        circuit_id=circuit_id,
+        fault=fault,
+        forced_transistors={t: state},
+        seeds=(net.t_source[t], net.t_drain[t]),
+    )
+
+
+def _prepare_short(
+    net: Network,
+    circuit_id: int,
+    fault: ShortFault,
+    good_forced: dict[int, int],
+) -> PreparedFault:
+    node_a = net.node(fault.node_a)
+    node_b = net.node(fault.node_b)
+    name = f"fault{circuit_id}.short"
+    # Gate choice is irrelevant: the transistor is forced in every circuit.
+    t = net.add_transistor(
+        name,
+        NTYPE,
+        gate=node_a,
+        source=node_a,
+        drain=node_b,
+        strength=net.strengths.max_gamma,
+    )
+    good_forced[t] = OPEN_STATE
+    return PreparedFault(
+        circuit_id=circuit_id,
+        fault=fault,
+        forced_transistors={t: CLOSED_STATE},
+        seeds=(node_a, node_b),
+    )
+
+
+def _prepare_open(
+    net: Network,
+    circuit_id: int,
+    fault: OpenFault,
+    good_forced: dict[int, int],
+) -> PreparedFault:
+    node = net.node(fault.node)
+    split_name = f"{fault.node}.open{circuit_id}"
+    split = net.add_node(
+        split_name,
+        is_input=False,
+        size=net.node_size[node] if not net.node_is_input[node] else 1,
+    )
+    for t_name in fault.detached:
+        t = net.transistor(t_name)
+        net.rewire_channel(t, node, split)
+    joint = net.add_transistor(
+        f"fault{circuit_id}.open",
+        NTYPE,
+        gate=node,
+        source=node,
+        drain=split,
+        strength=net.strengths.max_gamma,
+    )
+    good_forced[joint] = CLOSED_STATE
+    return PreparedFault(
+        circuit_id=circuit_id,
+        fault=fault,
+        forced_transistors={joint: OPEN_STATE},
+        seeds=(node, split),
+    )

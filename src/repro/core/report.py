@@ -1,0 +1,111 @@
+"""Run reports: the measurement records the experiment harness consumes.
+
+A :class:`RunReport` captures everything the paper's figures plot:
+per-pattern CPU seconds (Figures 1/2 falling curves), cumulative
+detections (rising curves), live-circuit counts, totals, and the
+detection log.  Serial runs produce :class:`SerialRunReport` with
+per-fault records instead of per-pattern ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .detection import DetectionLog
+
+
+@dataclass
+class PatternRecord:
+    """Measurements for one pattern of a concurrent (or good-only) run."""
+
+    index: int
+    label: str
+    seconds: float
+    detections: int
+    live_after: int
+
+
+@dataclass
+class RunReport:
+    """Result of a concurrent fault-simulation (or good-only) run."""
+
+    n_faults: int
+    patterns: list[PatternRecord] = field(default_factory=list)
+    log: DetectionLog = field(default_factory=DetectionLog)
+    total_seconds: float = 0.0
+    oscillation_events: int = 0
+
+    @property
+    def n_patterns(self) -> int:
+        return len(self.patterns)
+
+    @property
+    def detected(self) -> int:
+        return len(self.log.detected_circuits())
+
+    @property
+    def coverage(self) -> float:
+        return self.log.coverage(self.n_faults)
+
+    def seconds_per_pattern(self) -> list[float]:
+        """The Figure 1/2 falling curve."""
+        return [p.seconds for p in self.patterns]
+
+    def cumulative_detections(self) -> list[int]:
+        """The Figure 1/2 rising curve."""
+        return self.log.cumulative_by_pattern(self.n_patterns)
+
+    def average_seconds_per_pattern(self) -> float:
+        if not self.patterns:
+            return 0.0
+        return self.total_seconds / len(self.patterns)
+
+    def section_seconds(self, start: int, count: int) -> float:
+        """CPU seconds spent in patterns [start, start+count)."""
+        return sum(p.seconds for p in self.patterns[start:start + count])
+
+
+@dataclass
+class FaultRecord:
+    """Measurements for one fault of a serial run."""
+
+    circuit_id: int
+    description: str
+    detected_pattern: int | None
+    detected_phase: int | None
+    seconds: float
+    patterns_simulated: int
+
+
+@dataclass
+class SerialRunReport:
+    """Result of a serial (one-circuit-at-a-time) fault-simulation run."""
+
+    n_patterns: int
+    reference_seconds: float = 0.0
+    faults: list[FaultRecord] = field(default_factory=list)
+    total_seconds: float = 0.0
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.faults)
+
+    @property
+    def detected(self) -> int:
+        return sum(1 for f in self.faults if f.detected_pattern is not None)
+
+    @property
+    def coverage(self) -> float:
+        if not self.faults:
+            return 0.0
+        return self.detected / len(self.faults)
+
+    def average_seconds_per_pattern(self) -> float:
+        """Total serial CPU time divided by sequence length (Fig. 3's
+        y-axis for the serial curve)."""
+        if self.n_patterns == 0:
+            return 0.0
+        return self.total_seconds / self.n_patterns
+
+    def detection_pattern_map(self) -> dict[int, int | None]:
+        return {f.circuit_id: f.detected_pattern for f in self.faults}

@@ -1,0 +1,196 @@
+"""Serial fault simulation: the baseline the paper compares against.
+
+Each faulty circuit is simulated *individually*, from scratch, until it
+produces an output different from the good circuit (or the pattern
+sequence ends).  Total work is therefore proportional to circuit size x
+patterns x faults, versus the concurrent simulator's circuit size x
+patterns (for fault counts proportional to circuit size).
+
+Two serial numbers are provided:
+
+* :class:`SerialFaultSimulator` actually runs each circuit (used for
+  small-scale measurements and for the concurrent-equals-serial
+  equivalence tests);
+* :func:`estimate_serial_seconds` reproduces the paper's estimator
+  (footnote **): "summing over all faults the number of patterns
+  required to detect the fault times the average time to simulate the
+  good circuit for 1 pattern" -- undetected faults cost the full
+  sequence.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+from ..switchlevel.network import Network
+from ..switchlevel.scheduler import Engine
+from ..patterns.clocking import TestPattern
+from .detection import POLICY_HARD, POLICIES, differs
+from .faults import Fault
+from .inject import Instrumented, PreparedFault, prepare
+from .report import FaultRecord, RunReport, SerialRunReport
+from ..errors import SimulationError
+
+
+class SerialFaultSimulator:
+    """One-circuit-at-a-time fault simulation over a pattern sequence."""
+
+    def __init__(
+        self,
+        net: Network,
+        faults: Sequence[Fault],
+        observed: Sequence[str],
+        *,
+        detection_policy: str = POLICY_HARD,
+        max_rounds: int = 200,
+    ):
+        if detection_policy not in POLICIES:
+            raise SimulationError(
+                f"unknown detection policy {detection_policy!r}"
+            )
+        self._instrumented: Instrumented = prepare(net, list(faults))
+        self.network = self._instrumented.net
+        if not observed:
+            raise SimulationError("at least one observed node is required")
+        self.observed = [self.network.node(name) for name in observed]
+        self.detection_policy = detection_policy
+        self.max_rounds = max_rounds
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        patterns: Iterable[TestPattern],
+        *,
+        clock: str = "process",
+    ) -> SerialRunReport:
+        """Simulate every fault serially; returns the serial report."""
+        timer = time.process_time if clock == "process" else time.perf_counter
+        pattern_list = list(patterns)
+        start_reference = timer()
+        reference = self._reference_trace(pattern_list)
+        reference_seconds = timer() - start_reference
+
+        report = SerialRunReport(
+            n_patterns=len(pattern_list),
+            reference_seconds=reference_seconds,
+        )
+        start_total = timer()
+        for pf in self._instrumented.prepared:
+            start = timer()
+            detected = self._simulate_fault(pf, pattern_list, reference)
+            elapsed = timer() - start
+            if detected is None:
+                pattern_index, phase_index = None, None
+                simulated = len(pattern_list)
+            else:
+                pattern_index, phase_index = detected
+                simulated = pattern_index + 1
+            report.faults.append(
+                FaultRecord(
+                    circuit_id=pf.circuit_id,
+                    description=pf.fault.describe(),
+                    detected_pattern=pattern_index,
+                    detected_phase=phase_index,
+                    seconds=elapsed,
+                    patterns_simulated=simulated,
+                )
+            )
+        report.total_seconds = timer() - start_total
+        return report
+
+    # ------------------------------------------------------------------
+    def _make_engine(self, pf: PreparedFault | None) -> Engine:
+        forced_nodes = pf.forced_nodes if pf is not None else {}
+        forced_transistors = dict(self._instrumented.good_forced_transistors)
+        if pf is not None:
+            forced_transistors.update(pf.forced_transistors)
+        engine = Engine(
+            self.network,
+            forced_nodes=forced_nodes,
+            forced_transistors=forced_transistors,
+            max_rounds=self.max_rounds,
+        )
+        net = self.network
+        for name, state in (("vdd", 1), ("gnd", 0)):
+            if name in net.node_index and net.node_is_input[net.node(name)]:
+                engine.drive(net.node(name), state)
+        if pf is not None:
+            for seed in pf.seeds:
+                engine.perturb(seed)
+            for node in pf.forced_nodes:
+                for t in net.node_gates[node]:
+                    for terminal in (net.t_source[t], net.t_drain[t]):
+                        if not net.node_is_input[terminal]:
+                            engine.perturb(terminal)
+        engine.settle()
+        return engine
+
+    def _drive_phase(self, engine: Engine, settings: dict[str, int]) -> None:
+        net = self.network
+        for name, state in settings.items():
+            engine.drive(net.node(name), state)
+        engine.settle()
+
+    def _reference_trace(
+        self, patterns: list[TestPattern]
+    ) -> list[list[list[int]]]:
+        """Observed good-circuit states: [pattern][observed phase][node]."""
+        engine = self._make_engine(None)
+        trace: list[list[list[int]]] = []
+        for pattern in patterns:
+            pattern_trace: list[list[int]] = []
+            for phase in pattern.phases:
+                self._drive_phase(engine, phase.settings)
+                if phase.observe:
+                    pattern_trace.append(
+                        [engine.states[node] for node in self.observed]
+                    )
+            trace.append(pattern_trace)
+        return trace
+
+    def _simulate_fault(
+        self,
+        pf: PreparedFault,
+        patterns: list[TestPattern],
+        reference: list[list[list[int]]],
+    ) -> tuple[int, int] | None:
+        """Run one faulty circuit until detection; returns (pattern,
+        phase) of the first detection or None."""
+        engine = self._make_engine(pf)
+        for pattern_index, pattern in enumerate(patterns):
+            observation = 0
+            for phase_index, phase in enumerate(pattern.phases):
+                self._drive_phase(engine, phase.settings)
+                if not phase.observe:
+                    continue
+                good_states = reference[pattern_index][observation]
+                observation += 1
+                for node, good_state in zip(self.observed, good_states):
+                    if differs(
+                        good_state, engine.states[node], self.detection_policy
+                    ):
+                        return pattern_index, phase_index
+        return None
+
+
+def estimate_serial_seconds(
+    report: RunReport,
+    good_average_pattern_seconds: float,
+) -> float:
+    """The paper's serial-time estimator (footnote **).
+
+    Sums, over all faults, the number of patterns needed to detect the
+    fault (undetected faults cost the whole sequence) times the average
+    good-circuit time per pattern.
+    """
+    n_patterns = report.n_patterns
+    detected = report.log
+    total_patterns = 0
+    for circuit_id in range(1, report.n_faults + 1):
+        pattern_index = detected.detection_pattern(circuit_id)
+        if pattern_index is None:
+            total_patterns += n_patterns
+        else:
+            total_patterns += pattern_index + 1
+    return total_patterns * good_average_pattern_seconds

@@ -1,0 +1,106 @@
+"""Per-node state lists -- the paper's central data structure.
+
+"We maintain a separate state list for each node, containing records of
+the form <i, s_i> indicating that in circuit i this node has state s_i.
+Such records are maintained only ... for those circuits i such that
+s_i != s_0.  ...  By keeping the state and event lists sorted according
+to the circuit IDs, and maintaining 'shadow pointers' pointing to the
+current positions on the state lists, we can minimize the time spent
+searching these lists."
+
+:class:`StateList` implements exactly that: a list of (circuit-id, state)
+records sorted by circuit id, with binary-search random access and a
+*shadow pointer* giving amortized O(1) lookups when circuits are visited
+in ascending id order (which is how the simulator processes events and
+observations).  The good circuit's state is *not* stored here -- a
+missing record means "same as the good circuit".
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Iterator
+
+
+class StateList:
+    """Sorted divergence records for one node."""
+
+    __slots__ = ("ids", "states", "_shadow")
+
+    def __init__(self) -> None:
+        self.ids: list[int] = []
+        self.states: list[int] = []
+        self._shadow = 0
+
+    # --- random access -------------------------------------------------------
+    def get(self, circuit_id: int) -> int | None:
+        """State recorded for ``circuit_id``, or None (tracks good)."""
+        position = bisect_left(self.ids, circuit_id)
+        if position < len(self.ids) and self.ids[position] == circuit_id:
+            return self.states[position]
+        return None
+
+    def set(self, circuit_id: int, state: int) -> None:
+        """Insert or update the record for ``circuit_id``."""
+        position = bisect_left(self.ids, circuit_id)
+        if position < len(self.ids) and self.ids[position] == circuit_id:
+            self.states[position] = state
+        else:
+            self.ids.insert(position, circuit_id)
+            self.states.insert(position, state)
+
+    def remove(self, circuit_id: int) -> bool:
+        """Delete the record for ``circuit_id``; True if one existed."""
+        position = bisect_left(self.ids, circuit_id)
+        if position < len(self.ids) and self.ids[position] == circuit_id:
+            del self.ids[position]
+            del self.states[position]
+            if self._shadow > position:
+                self._shadow -= 1
+            return True
+        return False
+
+    # --- sweep (shadow pointer) protocol -----------------------------------
+    def begin_sweep(self) -> None:
+        """Reset the shadow pointer before an ascending-id sweep."""
+        self._shadow = 0
+
+    def sweep_get(self, circuit_id: int) -> int | None:
+        """Like :meth:`get`, but amortized O(1) for ascending queries.
+
+        Callers must query circuit ids in non-decreasing order between
+        :meth:`begin_sweep` calls; the shadow pointer only moves forward.
+        """
+        ids = self.ids
+        position = self._shadow
+        n = len(ids)
+        while position < n and ids[position] < circuit_id:
+            position += 1
+        self._shadow = position
+        if position < n and ids[position] == circuit_id:
+            return self.states[position]
+        return None
+
+    # --- iteration -----------------------------------------------------------
+    def items(self) -> Iterator[tuple[int, int]]:
+        """(circuit_id, state) records in ascending circuit-id order."""
+        return zip(self.ids, self.states)
+
+    def circuit_ids(self) -> list[int]:
+        """The recorded circuit ids (ascending).  Do not mutate."""
+        return self.ids
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __bool__(self) -> bool:
+        return bool(self.ids)
+
+    def __contains__(self, circuit_id: int) -> bool:
+        return self.get(circuit_id) is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        records = ", ".join(
+            f"<{i},{s}>" for i, s in zip(self.ids, self.states)
+        )
+        return f"StateList({records})"

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the FMOSSIM reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class NetworkError(ReproError):
+    """A switch-level network is malformed or an operation on it is invalid."""
+
+
+class UnknownNodeError(NetworkError):
+    """A node name or index does not exist in the network."""
+
+
+class UnknownTransistorError(NetworkError):
+    """A transistor name or index does not exist in the network."""
+
+
+class NetworkFrozenError(NetworkError):
+    """Attempted to mutate the topology of a finalized network."""
+
+
+class NetworkNotFinalizedError(NetworkError):
+    """Attempted to simulate a network whose topology was never finalized."""
+
+
+class SimulationError(ReproError):
+    """The simulator was driven incorrectly (bad input name, bad state...)."""
+
+
+class OscillationError(SimulationError):
+    """A circuit failed to reach a stable state within the round limit.
+
+    Raised only when the simulator is configured with
+    ``on_oscillation="raise"``; the default policy forces the unstable
+    nodes to X instead (mirroring MOSSIM II's behavior).
+    """
+
+
+class FaultError(ReproError):
+    """A fault description is invalid for the network it targets."""
+
+
+class NetlistFormatError(ReproError):
+    """A netlist file could not be parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class PatternError(ReproError):
+    """A test pattern refers to unknown inputs or has malformed phases."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

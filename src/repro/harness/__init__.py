@@ -1,0 +1,29 @@
+"""Experiment harness: timing, figure rendering, experiment drivers."""
+
+from .experiments import (
+    CurveResult,
+    Fig3Result,
+    ScalingResult,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_scaling,
+)
+from .figures import ascii_chart, dual_chart, render_table, xy_chart
+from .timing import Timer, format_seconds
+
+__all__ = [
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_scaling",
+    "CurveResult",
+    "ScalingResult",
+    "Fig3Result",
+    "ascii_chart",
+    "dual_chart",
+    "xy_chart",
+    "render_table",
+    "Timer",
+    "format_seconds",
+]

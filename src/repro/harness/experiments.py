@@ -1,0 +1,447 @@
+"""Experiment drivers reproducing the paper's figures and tables.
+
+Each driver builds the circuit, the pattern sequence and the fault list,
+runs the good-circuit and concurrent simulations (plus the paper's serial
+estimator, and optionally a real serial run), and returns a result object
+carrying every number the corresponding figure plots, with a ``render()``
+method producing the figure/table as text.
+
+All drivers accept a circuit scale.  The paper's scale is
+``rows=8, cols=8`` (RAM64, Figures 1/2) and ``rows=16, cols=16`` (RAM256,
+Figure 3 and the scaling comparison); the defaults here are smaller so
+the benchmark suite completes quickly in pure Python -- pass the paper's
+dimensions to reproduce the original experiments in full (see
+EXPERIMENTS.md for measured results at both scales).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from ..circuits.ram import Ram, build_ram
+from ..core.concurrent import ConcurrentFaultSimulator
+from ..core.detection import POLICY_ANY
+from ..core.faults import Fault, ram_fault_universe, sample_faults
+from ..core.report import RunReport
+from ..core.serial import SerialFaultSimulator, estimate_serial_seconds
+from ..errors import ExperimentError
+from ..patterns.sequences import RamSequence, sequence1, sequence2
+from .figures import dual_chart, render_table, xy_chart
+from .timing import format_seconds
+
+#: Default RNG seed for fault sampling (the paper's publication year).
+DEFAULT_SEED = 1985
+
+#: Default detection policy for the reproduction experiments.  The paper
+#: drops a fault "any time the simulation of a faulty circuit produces a
+#: result on the output data pin different than the good circuit", which
+#: includes X-vs-definite differences -- that is ``POLICY_ANY``.  Pass
+#: ``detection_policy="hard"`` for the conservative definite-values-only
+#: rule (EXPERIMENTS.md reports both).
+DEFAULT_POLICY = POLICY_ANY
+
+
+def _pick_faults(
+    ram: Ram, n_faults: int | None, seed: int
+) -> list[Fault]:
+    universe = ram_fault_universe(ram)
+    if n_faults is None or n_faults >= len(universe):
+        return universe
+    return sample_faults(universe, n_faults, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Figures 1 and 2: detection and seconds-per-pattern curves
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CurveResult:
+    """Everything Figures 1/2 plot, plus the totals quoted in the text."""
+
+    experiment: str
+    circuit: str
+    sequence_name: str
+    n_patterns: int
+    n_faults: int
+    detected: int
+    coverage: float
+    good_seconds: float
+    concurrent_seconds: float
+    serial_estimate_seconds: float
+    head_patterns: int
+    head_seconds: float
+    seconds_per_pattern: list[float] = field(default_factory=list)
+    cumulative_detections: list[int] = field(default_factory=list)
+    live_after_pattern: list[int] = field(default_factory=list)
+    report: RunReport | None = field(default=None, repr=False)
+
+    @property
+    def concurrent_vs_serial_ratio(self) -> float:
+        if self.concurrent_seconds == 0:
+            return float("inf")
+        return self.serial_estimate_seconds / self.concurrent_seconds
+
+    @property
+    def concurrent_vs_good_ratio(self) -> float:
+        if self.good_seconds == 0:
+            return float("inf")
+        return self.concurrent_seconds / self.good_seconds
+
+    @property
+    def head_fraction(self) -> float:
+        if self.concurrent_seconds == 0:
+            return 0.0
+        return self.head_seconds / self.concurrent_seconds
+
+    @property
+    def tail_overhead_vs_good(self) -> float:
+        """Average tail sec/pattern over the good circuit's average."""
+        tail = self.seconds_per_pattern[self.head_patterns:]
+        if not tail or self.good_seconds == 0:
+            return 0.0
+        good_avg = self.good_seconds / self.n_patterns
+        return statistics.mean(tail) / good_avg
+
+    def render(self) -> str:
+        chart = dual_chart(
+            self.cumulative_detections,
+            self.seconds_per_pattern,
+            title=(
+                f"{self.experiment}: {self.circuit}, {self.sequence_name} "
+                f"({self.n_patterns} patterns, {self.n_faults} faults)"
+            ),
+        )
+        rows = [
+            ("faults detected", f"{self.detected} ({self.coverage:.1%})"),
+            ("good circuit alone", format_seconds(self.good_seconds)),
+            ("concurrent fault sim", format_seconds(self.concurrent_seconds)),
+            (
+                "serial estimate (paper method)",
+                format_seconds(self.serial_estimate_seconds),
+            ),
+            (
+                "concurrent/serial ratio",
+                f"{self.concurrent_vs_serial_ratio:.1f}",
+            ),
+            (
+                f"head = first {self.head_patterns} patterns",
+                f"{format_seconds(self.head_seconds)} "
+                f"({self.head_fraction:.0%} of total)",
+            ),
+            (
+                "tail overhead vs good circuit",
+                f"{self.tail_overhead_vs_good:.1f}x",
+            ),
+        ]
+        return chart + render_table(("quantity", "value"), rows)
+
+
+def run_curve_experiment(
+    *,
+    experiment: str,
+    rows: int,
+    cols: int,
+    sequence_builder,
+    n_faults: int | None,
+    seed: int,
+    detection_policy: str = DEFAULT_POLICY,
+) -> CurveResult:
+    ram = build_ram(rows, cols)
+    sequence: RamSequence = sequence_builder(ram)
+    faults = _pick_faults(ram, n_faults, seed)
+
+    good = ConcurrentFaultSimulator(ram.net, [], observed=[ram.dout])
+    good_report = good.run(sequence.patterns)
+
+    concurrent = ConcurrentFaultSimulator(
+        ram.net, faults, observed=[ram.dout],
+        detection_policy=detection_policy,
+    )
+    report = concurrent.run(sequence.patterns)
+
+    serial_estimate = estimate_serial_seconds(
+        report, good_report.average_seconds_per_pattern()
+    )
+    head = sequence.head_length
+    return CurveResult(
+        experiment=experiment,
+        circuit=ram.name,
+        sequence_name=sequence.name,
+        n_patterns=len(sequence),
+        n_faults=len(faults),
+        detected=report.detected,
+        coverage=report.coverage,
+        good_seconds=good_report.total_seconds,
+        concurrent_seconds=report.total_seconds,
+        serial_estimate_seconds=serial_estimate,
+        head_patterns=head,
+        head_seconds=report.section_seconds(0, head),
+        seconds_per_pattern=report.seconds_per_pattern(),
+        cumulative_detections=report.cumulative_detections(),
+        live_after_pattern=[p.live_after for p in report.patterns],
+        report=report,
+    )
+
+
+def run_fig1(
+    rows: int = 4,
+    cols: int = 4,
+    n_faults: int | None = None,
+    seed: int = DEFAULT_SEED,
+    detection_policy: str = DEFAULT_POLICY,
+) -> CurveResult:
+    """Figure 1: Test Sequence 1 (control + row/col marches + array march).
+
+    Paper scale: ``rows=8, cols=8, n_faults=428``.
+    """
+    return run_curve_experiment(
+        experiment="FIG1",
+        rows=rows,
+        cols=cols,
+        sequence_builder=sequence1,
+        n_faults=n_faults,
+        seed=seed,
+        detection_policy=detection_policy,
+    )
+
+
+def run_fig2(
+    rows: int = 4,
+    cols: int = 4,
+    n_faults: int | None = None,
+    seed: int = DEFAULT_SEED,
+    detection_policy: str = DEFAULT_POLICY,
+) -> CurveResult:
+    """Figure 2: Test Sequence 2 (row/column marches omitted).
+
+    Paper scale: ``rows=8, cols=8, n_faults=428``.
+    """
+    return run_curve_experiment(
+        experiment="FIG2",
+        rows=rows,
+        cols=cols,
+        sequence_builder=sequence2,
+        n_faults=n_faults,
+        seed=seed,
+        detection_policy=detection_policy,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The in-text scaling comparison (RAM64 vs RAM256)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScalingEntry:
+    circuit: str
+    transistors: int
+    nodes: int
+    n_patterns: int
+    n_faults: int
+    good_seconds: float
+    concurrent_seconds: float
+    serial_estimate_seconds: float
+
+
+@dataclass
+class ScalingResult:
+    """The paper's size-scaling comparison (section 5, in-text table)."""
+
+    small: ScalingEntry
+    large: ScalingEntry
+
+    def factor(self, attribute: str) -> float:
+        small = getattr(self.small, attribute)
+        large = getattr(self.large, attribute)
+        return large / small if small else float("inf")
+
+    def render(self) -> str:
+        headers = (
+            "circuit",
+            "transistors",
+            "patterns",
+            "faults",
+            "good",
+            "concurrent",
+            "serial est.",
+        )
+        rows = [
+            (
+                entry.circuit,
+                entry.transistors,
+                entry.n_patterns,
+                entry.n_faults,
+                format_seconds(entry.good_seconds),
+                format_seconds(entry.concurrent_seconds),
+                format_seconds(entry.serial_estimate_seconds),
+            )
+            for entry in (self.small, self.large)
+        ]
+        factors = (
+            "scale factor",
+            f"{self.factor('transistors'):.1f}x",
+            f"{self.factor('n_patterns'):.1f}x",
+            f"{self.factor('n_faults'):.1f}x",
+            f"{self.factor('good_seconds'):.1f}x",
+            f"{self.factor('concurrent_seconds'):.1f}x",
+            f"{self.factor('serial_estimate_seconds'):.1f}x",
+        )
+        return render_table(headers, rows + [factors])
+
+
+def run_scaling(
+    small: tuple[int, int] = (2, 4),
+    large: tuple[int, int] = (4, 4),
+    n_faults: int | None = None,
+    seed: int = DEFAULT_SEED,
+    detection_policy: str = DEFAULT_POLICY,
+) -> ScalingResult:
+    """Time good/concurrent/serial across two circuit sizes.
+
+    Paper scale: ``small=(8, 8), large=(16, 16)`` with all faults --
+    the paper reports good x9, concurrent x9, serial x37.
+    """
+
+    def entry(rows: int, cols: int) -> ScalingEntry:
+        result = run_fig1(
+            rows, cols, n_faults=n_faults, seed=seed,
+            detection_policy=detection_policy,
+        )
+        ram = build_ram(rows, cols)
+        return ScalingEntry(
+            circuit=result.circuit,
+            transistors=ram.net.n_transistors,
+            nodes=ram.net.n_nodes,
+            n_patterns=result.n_patterns,
+            n_faults=result.n_faults,
+            good_seconds=result.good_seconds,
+            concurrent_seconds=result.concurrent_seconds,
+            serial_estimate_seconds=result.serial_estimate_seconds,
+        )
+
+    return ScalingResult(small=entry(*small), large=entry(*large))
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: average seconds/pattern vs number of (sampled) faults
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig3Point:
+    n_faults: int
+    concurrent_avg: float
+    serial_estimate_avg: float
+    serial_real_avg: float | None = None
+
+
+@dataclass
+class Fig3Result:
+    circuit: str
+    n_patterns: int
+    points: list[Fig3Point] = field(default_factory=list)
+
+    def slope_ratio(self) -> float:
+        """Serial slope over concurrent slope (paper: about 85)."""
+        if len(self.points) < 2:
+            raise ExperimentError("need at least two fault counts")
+        first, last = self.points[0], self.points[-1]
+        df = last.n_faults - first.n_faults
+        if df == 0:
+            raise ExperimentError("fault counts must differ")
+        concurrent = (last.concurrent_avg - first.concurrent_avg) / df
+        serial = (last.serial_estimate_avg - first.serial_estimate_avg) / df
+        if concurrent <= 0:
+            return float("inf")
+        return serial / concurrent
+
+    def render(self) -> str:
+        chart = xy_chart(
+            {
+                "concurrent": [
+                    (p.n_faults, p.concurrent_avg) for p in self.points
+                ],
+                "serial est.": [
+                    (p.n_faults, p.serial_estimate_avg) for p in self.points
+                ],
+            },
+            title=(
+                f"FIG3: avg seconds/pattern vs faults "
+                f"({self.circuit}, {self.n_patterns} patterns)"
+            ),
+        )
+        headers = ["faults", "concurrent s/pat", "serial est. s/pat"]
+        include_real = any(p.serial_real_avg is not None for p in self.points)
+        if include_real:
+            headers.append("serial real s/pat")
+        rows = []
+        for p in self.points:
+            row = [
+                p.n_faults,
+                f"{p.concurrent_avg:.4f}",
+                f"{p.serial_estimate_avg:.4f}",
+            ]
+            if include_real:
+                row.append(
+                    "-" if p.serial_real_avg is None
+                    else f"{p.serial_real_avg:.4f}"
+                )
+            rows.append(row)
+        footer = f"serial/concurrent slope ratio: {self.slope_ratio():.1f}\n"
+        return chart + render_table(headers, rows) + footer
+
+
+def run_fig3(
+    rows: int = 4,
+    cols: int = 4,
+    fault_counts: tuple[int, ...] = (25, 75, 125, 200),
+    seed: int = DEFAULT_SEED,
+    real_serial_limit: int = 0,
+    detection_policy: str = DEFAULT_POLICY,
+) -> Fig3Result:
+    """Figure 3: sweep the fault-sample size, measure avg sec/pattern.
+
+    Paper scale: ``rows=16, cols=16`` with samples up to all 1382 faults.
+    ``real_serial_limit`` additionally runs the true serial simulator for
+    sample sizes up to that limit (0 disables; it is slow).
+    """
+    ram = build_ram(rows, cols)
+    sequence = sequence1(ram)
+    universe = ram_fault_universe(ram)
+    good = ConcurrentFaultSimulator(ram.net, [], observed=[ram.dout])
+    good_report = good.run(sequence.patterns)
+    good_avg = good_report.average_seconds_per_pattern()
+
+    result = Fig3Result(circuit=ram.name, n_patterns=len(sequence))
+    for count in fault_counts:
+        if count > len(universe):
+            raise ExperimentError(
+                f"sample of {count} exceeds universe of {len(universe)}"
+            )
+        faults = sample_faults(universe, count, seed=seed)
+        concurrent = ConcurrentFaultSimulator(
+            ram.net, faults, observed=[ram.dout],
+            detection_policy=detection_policy,
+        )
+        report = concurrent.run(sequence.patterns)
+        estimate = estimate_serial_seconds(report, good_avg)
+        real_avg = None
+        if count <= real_serial_limit:
+            serial = SerialFaultSimulator(
+                ram.net, faults, observed=[ram.dout],
+                detection_policy=detection_policy,
+            )
+            serial_report = serial.run(sequence.patterns)
+            real_avg = serial_report.average_seconds_per_pattern()
+        result.points.append(
+            Fig3Point(
+                n_faults=count,
+                concurrent_avg=report.average_seconds_per_pattern(),
+                serial_estimate_avg=estimate / len(sequence),
+                serial_real_avg=real_avg,
+            )
+        )
+    return result

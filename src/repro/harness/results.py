@@ -1,0 +1,72 @@
+"""Persistence of experiment results (CSV/JSON) for EXPERIMENTS.md.
+
+Result dataclasses from :mod:`repro.harness.experiments` are flattened to
+rows so runs can be archived and compared across machines.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from typing import Any, TextIO
+
+from ..errors import ExperimentError
+from .experiments import CurveResult, Fig3Result, ScalingResult
+
+
+def result_to_dict(result: Any) -> dict:
+    """Flatten an experiment result dataclass to JSON-able primitives."""
+    if isinstance(result, CurveResult):
+        data = dataclasses.asdict(result)
+        data.pop("report", None)
+        data["concurrent_vs_serial_ratio"] = result.concurrent_vs_serial_ratio
+        data["concurrent_vs_good_ratio"] = result.concurrent_vs_good_ratio
+        data["head_fraction"] = result.head_fraction
+        data["tail_overhead_vs_good"] = result.tail_overhead_vs_good
+        return data
+    if isinstance(result, (ScalingResult, Fig3Result)):
+        return dataclasses.asdict(result)
+    raise ExperimentError(f"unknown result type: {type(result).__name__}")
+
+
+def write_json(result: Any, stream: TextIO) -> None:
+    """Write one experiment result as pretty JSON."""
+    json.dump(result_to_dict(result), stream, indent=2)
+    stream.write("\n")
+
+
+def write_curve_csv(result: CurveResult, stream: TextIO) -> None:
+    """Per-pattern series of a Figure 1/2 run as CSV."""
+    writer = csv.writer(stream)
+    writer.writerow(
+        ["pattern", "seconds", "cumulative_detected", "live_after"]
+    )
+    for index in range(result.n_patterns):
+        writer.writerow(
+            [
+                index,
+                f"{result.seconds_per_pattern[index]:.6f}",
+                result.cumulative_detections[index],
+                result.live_after_pattern[index],
+            ]
+        )
+
+
+def write_fig3_csv(result: Fig3Result, stream: TextIO) -> None:
+    """Figure 3 sweep points as CSV."""
+    writer = csv.writer(stream)
+    writer.writerow(
+        ["n_faults", "concurrent_avg", "serial_estimate_avg", "serial_real_avg"]
+    )
+    for point in result.points:
+        writer.writerow(
+            [
+                point.n_faults,
+                f"{point.concurrent_avg:.6f}",
+                f"{point.serial_estimate_avg:.6f}",
+                ""
+                if point.serial_real_avg is None
+                else f"{point.serial_real_avg:.6f}",
+            ]
+        )

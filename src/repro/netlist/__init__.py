@@ -1,0 +1,17 @@
+"""Netlist construction, file I/O and validation."""
+
+from .builder import (
+    NetworkBuilder,
+    bit_values,
+    bus_assignment,
+    declare_bus,
+    names_for_bus,
+)
+
+__all__ = [
+    "NetworkBuilder",
+    "names_for_bus",
+    "declare_bus",
+    "bit_values",
+    "bus_assignment",
+]

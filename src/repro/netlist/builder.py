@@ -1,0 +1,261 @@
+"""Programmatic construction of switch-level networks.
+
+:class:`NetworkBuilder` is the primary way to describe a circuit: it wraps
+:class:`~repro.switchlevel.network.Network` with named nodes, automatic
+naming for internal nodes and transistors, and the power-rail convention
+(``vdd``/``gnd`` input nodes, created by default).  The cell library in
+``repro.cells`` composes circuits on top of a builder; ``build()``
+finalizes and returns the immutable-topology network.
+
+>>> b = NetworkBuilder()
+>>> b.input("a")
+'a'
+>>> b.node("out")
+'out'
+>>> _ = b.dtrans(gate="out", source="vdd", drain="out", strength="weak")
+>>> _ = b.ntrans(gate="a", source="out", drain="gnd", strength="strong")
+>>> net = b.build()
+>>> net.stats()["transistors"]
+2
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import NetworkError, UnknownNodeError
+from ..switchlevel.network import (
+    DTYPE,
+    GND_NAME,
+    NTYPE,
+    PTYPE,
+    VDD_NAME,
+    Network,
+)
+from ..switchlevel.strength import StrengthSystem
+
+
+class NetworkBuilder:
+    """Incrementally builds a :class:`Network` with named elements."""
+
+    def __init__(
+        self,
+        strengths: StrengthSystem | None = None,
+        *,
+        with_rails: bool = True,
+    ):
+        self._net = Network(strengths)
+        self._gensym_counter = 0
+        if with_rails:
+            self.input(VDD_NAME)
+            self.input(GND_NAME)
+
+    # --- naming --------------------------------------------------------------
+    @property
+    def vdd(self) -> str:
+        return VDD_NAME
+
+    @property
+    def gnd(self) -> str:
+        return GND_NAME
+
+    @property
+    def strengths(self) -> StrengthSystem:
+        return self._net.strengths
+
+    def gensym(self, prefix: str) -> str:
+        """A fresh unique name with the given prefix."""
+        while True:
+            self._gensym_counter += 1
+            name = f"{prefix}${self._gensym_counter}"
+            if name not in self._net.node_index and name not in self._net.t_index:
+                return name
+
+    def has_node(self, name: str) -> bool:
+        return name in self._net.node_index
+
+    # --- nodes -----------------------------------------------------------------
+    def node(self, name: str | None = None, *, size: int | str = 1) -> str:
+        """Declare a storage node; returns its name (generated if omitted).
+
+        ``size`` may be a 1-based rank or a size name from the strength
+        system (e.g. ``"large"`` for bus nodes with the default system).
+        """
+        if name is None:
+            name = self.gensym("n")
+        self._net.add_node(name, is_input=False, size=self._size_rank(size))
+        return name
+
+    def nodes(self, *names: str, size: int | str = 1) -> list[str]:
+        """Declare several storage nodes of the same size."""
+        return [self.node(name, size=size) for name in names]
+
+    def input(self, name: str | None = None) -> str:
+        """Declare an input node (unbeatable signal source)."""
+        if name is None:
+            name = self.gensym("in")
+        self._net.add_node(name, is_input=True)
+        return name
+
+    def inputs(self, *names: str) -> list[str]:
+        """Declare several input nodes."""
+        return [self.input(name) for name in names]
+
+    def ensure_node(self, name: str, *, size: int | str = 1) -> str:
+        """Declare a storage node unless a node of that name exists."""
+        if not self.has_node(name):
+            self.node(name, size=size)
+        return name
+
+    # --- transistors --------------------------------------------------------
+    def ntrans(
+        self,
+        gate: str,
+        source: str,
+        drain: str,
+        *,
+        strength: int | str | None = None,
+        name: str | None = None,
+    ) -> str:
+        """Add an n-type transistor; returns its name."""
+        return self._trans(NTYPE, gate, source, drain, strength, name)
+
+    def ptrans(
+        self,
+        gate: str,
+        source: str,
+        drain: str,
+        *,
+        strength: int | str | None = None,
+        name: str | None = None,
+    ) -> str:
+        """Add a p-type transistor; returns its name."""
+        return self._trans(PTYPE, gate, source, drain, strength, name)
+
+    def dtrans(
+        self,
+        gate: str,
+        source: str,
+        drain: str,
+        *,
+        strength: int | str | None = None,
+        name: str | None = None,
+    ) -> str:
+        """Add a d-type (depletion load) transistor; returns its name."""
+        return self._trans(DTYPE, gate, source, drain, strength, name)
+
+    def _trans(
+        self,
+        kind: int,
+        gate: str,
+        source: str,
+        drain: str,
+        strength: int | str | None,
+        name: str | None,
+    ) -> str:
+        if name is None:
+            name = self.gensym("t")
+        self._net.add_transistor(
+            name,
+            kind,
+            self._node_index(gate),
+            self._node_index(source),
+            self._node_index(drain),
+            strength=self._strength_rank(strength),
+        )
+        return name
+
+    # --- translation helpers ---------------------------------------------------
+    def _node_index(self, name: str) -> int:
+        try:
+            return self._net.node_index[name]
+        except KeyError:
+            raise UnknownNodeError(
+                f"no node named {name!r}; declare it with node()/input() first"
+            ) from None
+
+    def _size_rank(self, size: int | str) -> int:
+        if isinstance(size, str):
+            try:
+                return self.strengths.size_names.index(size) + 1
+            except ValueError:
+                raise NetworkError(
+                    f"unknown node size name {size!r}; "
+                    f"expected one of {self.strengths.size_names}"
+                ) from None
+        return size
+
+    def _strength_rank(self, strength: int | str | None) -> int | None:
+        if strength is None:
+            return None
+        if isinstance(strength, str):
+            try:
+                rank = self.strengths.strength_names.index(strength) + 1
+            except ValueError:
+                raise NetworkError(
+                    f"unknown transistor strength name {strength!r}; "
+                    f"expected one of {self.strengths.strength_names}"
+                ) from None
+            return self.strengths.gamma(rank)
+        return self.strengths.gamma(strength)
+
+    # --- finishing ----------------------------------------------------------
+    @property
+    def network(self) -> Network:
+        """The (not yet finalized) network under construction."""
+        return self._net
+
+    def build(self) -> Network:
+        """Finalize the topology and return the network."""
+        return self._net.finalize()
+
+
+def names_for_bus(prefix: str, width: int) -> list[str]:
+    """Conventional bus member names, MSB first: ``prefix<width-1>.. prefix0``.
+
+    >>> names_for_bus("a", 3)
+    ['a2', 'a1', 'a0']
+    """
+    return [f"{prefix}{i}" for i in range(width - 1, -1, -1)]
+
+
+def declare_bus(
+    builder: NetworkBuilder,
+    prefix: str,
+    width: int,
+    *,
+    as_input: bool = False,
+    size: int | str = 1,
+) -> list[str]:
+    """Declare ``width`` nodes named per :func:`names_for_bus`."""
+    names = names_for_bus(prefix, width)
+    for name in names:
+        if as_input:
+            builder.input(name)
+        else:
+            builder.node(name, size=size)
+    return names
+
+
+def bit_values(value: int, width: int) -> list[int]:
+    """Bits of ``value`` MSB first, matching :func:`names_for_bus` order.
+
+    >>> bit_values(5, 4)
+    [0, 1, 0, 1]
+    """
+    if not 0 <= value < (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width - 1, -1, -1)]
+
+
+def bus_assignment(
+    prefix: str, value: int, width: int
+) -> dict[str, int]:
+    """Input-setting dict driving a bus to an integer value.
+
+    >>> bus_assignment("a", 2, 2)
+    {'a1': 1, 'a0': 0}
+    """
+    names = names_for_bus(prefix, width)
+    bits = bit_values(value, width)
+    return dict(zip(names, bits))

@@ -1,0 +1,188 @@
+"""Text netlist format (a dialect of the Berkeley ``.sim`` format).
+
+MOSSIM-family tools exchanged transistor netlists as line-oriented text;
+we use a documented dialect that round-trips every feature of our network
+model.  Grammar (one record per line, ``;`` or ``#`` starts a comment)::
+
+    input <name>...                 declare input nodes
+    node <name>... [size=<k|name>]  declare storage nodes (default size 1)
+    n <gate> <source> <drain> [strength]   n-type transistor
+    p <gate> <source> <drain> [strength]   p-type transistor
+    d <gate> <source> <drain> [strength]   d-type transistor
+    strengths <n_sizes> <n_strengths>      optional header (default 2 3)
+
+Transistor records auto-declare undeclared channel/gate nodes as size-1
+storage nodes, like the original ``.sim`` readers did; ``vdd``/``gnd``
+are pre-declared inputs.  ``strength`` is a 1-based rank or a strength
+name from the active strength system.
+
+>>> net = loads("input a\\nnode out\\nd out vdd out 1\\nn a out gnd 2\\n")
+>>> net.stats()["transistors"]
+2
+"""
+
+from __future__ import annotations
+
+import io
+from typing import TextIO
+
+from ..errors import NetlistFormatError
+from ..switchlevel.network import (
+    DTYPE,
+    KIND_FROM_NAME,
+    KIND_NAMES,
+    NTYPE,
+    PTYPE,
+    Network,
+)
+from ..switchlevel.strength import StrengthSystem
+from .builder import NetworkBuilder
+
+_KIND_RECORDS = frozenset(KIND_FROM_NAME)
+
+
+def loads(text: str, *, strengths: StrengthSystem | None = None) -> Network:
+    """Parse a netlist from a string; returns a finalized network."""
+    return load(io.StringIO(text), strengths=strengths)
+
+
+def load(stream: TextIO, *, strengths: StrengthSystem | None = None) -> Network:
+    """Parse a netlist from a text stream; returns a finalized network."""
+    builder: NetworkBuilder | None = None
+    pending: list[tuple[int, list[str]]] = []
+    header: StrengthSystem | None = None
+
+    for line_number, raw in enumerate(stream, start=1):
+        line = raw.split(";", 1)[0].split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        record = fields[0]
+        if record == "strengths":
+            if pending or builder is not None:
+                raise NetlistFormatError(
+                    "'strengths' must precede all other records", line_number
+                )
+            if len(fields) != 3:
+                raise NetlistFormatError(
+                    "'strengths' takes exactly two integers", line_number
+                )
+            try:
+                header = StrengthSystem(
+                    n_sizes=int(fields[1]), n_strengths=int(fields[2])
+                )
+            except ValueError as exc:
+                raise NetlistFormatError(str(exc), line_number) from exc
+            continue
+        pending.append((line_number, fields))
+
+    system = strengths if strengths is not None else header
+    builder = NetworkBuilder(system)
+    for line_number, fields in pending:
+        _apply_record(builder, fields, line_number)
+    return builder.build()
+
+
+def load_path(path: str, *, strengths: StrengthSystem | None = None) -> Network:
+    """Parse a netlist file by path."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return load(stream, strengths=strengths)
+
+
+def _apply_record(
+    builder: NetworkBuilder, fields: list[str], line_number: int
+) -> None:
+    record = fields[0]
+    if record == "input":
+        if len(fields) < 2:
+            raise NetlistFormatError("'input' needs node names", line_number)
+        for name in fields[1:]:
+            if builder.has_node(name):
+                raise NetlistFormatError(
+                    f"node {name!r} already declared", line_number
+                )
+            builder.input(name)
+        return
+    if record == "node":
+        names = []
+        size: int | str = 1
+        for field in fields[1:]:
+            if field.startswith("size="):
+                size_text = field[len("size="):]
+                size = int(size_text) if size_text.isdigit() else size_text
+            else:
+                names.append(field)
+        if not names:
+            raise NetlistFormatError("'node' needs node names", line_number)
+        for name in names:
+            if builder.has_node(name):
+                raise NetlistFormatError(
+                    f"node {name!r} already declared", line_number
+                )
+            builder.node(name, size=size)
+        return
+    if record in _KIND_RECORDS:
+        if len(fields) not in (4, 5):
+            raise NetlistFormatError(
+                f"'{record}' takes gate source drain [strength]", line_number
+            )
+        gate, source, drain = fields[1:4]
+        strength: int | str | None = None
+        if len(fields) == 5:
+            strength = (
+                int(fields[4]) if fields[4].isdigit() else fields[4]
+            )
+        for name in (gate, source, drain):
+            builder.ensure_node(name)
+        method = {
+            "n": builder.ntrans,
+            "p": builder.ptrans,
+            "d": builder.dtrans,
+        }[record]
+        try:
+            method(gate, source, drain, strength=strength)
+        except Exception as exc:
+            raise NetlistFormatError(str(exc), line_number) from exc
+        return
+    raise NetlistFormatError(f"unknown record type {record!r}", line_number)
+
+
+def dumps(net: Network) -> str:
+    """Serialize a network to the netlist format (canonical order)."""
+    stream = io.StringIO()
+    dump(net, stream)
+    return stream.getvalue()
+
+
+def dump(net: Network, stream: TextIO) -> None:
+    """Serialize a network to a text stream."""
+    system = net.strengths
+    stream.write("; switch-level netlist (FMOSSIM reproduction dialect)\n")
+    stream.write(f"strengths {system.n_sizes} {system.n_strengths}\n")
+    inputs = [
+        net.node_names[i] for i in net.input_nodes()
+        if net.node_names[i] not in ("vdd", "gnd")
+    ]
+    if inputs:
+        stream.write("input " + " ".join(inputs) + "\n")
+    by_size: dict[int, list[str]] = {}
+    for index in net.storage_nodes():
+        by_size.setdefault(net.node_size[index], []).append(
+            net.node_names[index]
+        )
+    for size in sorted(by_size):
+        names = by_size[size]
+        stream.write(f"node {' '.join(names)} size={size}\n")
+    for info in net.iter_transistors():
+        rank = info.strength - system.min_gamma + 1
+        stream.write(
+            f"{KIND_NAMES[info.kind]} {net.node_names[info.gate]} "
+            f"{net.node_names[info.source]} {net.node_names[info.drain]} "
+            f"{rank}\n"
+        )
+
+
+def dump_path(net: Network, path: str) -> None:
+    """Serialize a network to a file."""
+    with open(path, "w", encoding="utf-8") as stream:
+        dump(net, stream)

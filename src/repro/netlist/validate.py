@@ -1,0 +1,134 @@
+"""Netlist sanity lints.
+
+Switch-level netlists have a handful of structural mistakes that simulate
+"fine" but produce permanent X states or dead logic (floating gates,
+nodes with no drive path, missing rails).  :func:`validate` returns a
+list of :class:`Lint` findings; :func:`check` raises on errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import NetworkError
+from ..switchlevel.network import DTYPE, Network
+
+#: Lint severities.
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Lint:
+    """One finding from :func:`validate`."""
+
+    severity: str
+    code: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.severity}[{self.code}]: {self.message}"
+
+
+def validate(net: Network) -> list[Lint]:
+    """Run all lints over a finalized network."""
+    net.require_finalized()
+    lints: list[Lint] = []
+    lints.extend(_check_rails(net))
+    lints.extend(_check_isolated_nodes(net))
+    lints.extend(_check_floating_gates(net))
+    lints.extend(_check_undrivable_nodes(net))
+    return lints
+
+
+def check(net: Network) -> None:
+    """Raise :class:`~repro.errors.NetworkError` if any ERROR lint fires."""
+    problems = [lint for lint in validate(net) if lint.severity == ERROR]
+    if problems:
+        raise NetworkError(
+            "netlist validation failed:\n"
+            + "\n".join(str(lint) for lint in problems)
+        )
+
+
+def _check_rails(net: Network) -> list[Lint]:
+    lints = []
+    for rail in ("vdd", "gnd"):
+        if rail not in net.node_index:
+            lints.append(
+                Lint(WARNING, "no-rail", f"no {rail!r} node declared")
+            )
+        elif not net.node_is_input[net.node(rail)]:
+            lints.append(
+                Lint(ERROR, "rail-not-input", f"{rail!r} is not an input node")
+            )
+    return lints
+
+
+def _check_isolated_nodes(net: Network) -> list[Lint]:
+    lints = []
+    for index in range(net.n_nodes):
+        if not net.node_gates[index] and not net.node_channels[index]:
+            lints.append(
+                Lint(
+                    WARNING,
+                    "isolated-node",
+                    f"node {net.node_names[index]!r} connects to nothing",
+                )
+            )
+    return lints
+
+
+def _check_floating_gates(net: Network) -> list[Lint]:
+    """Gates driven by nodes that no transistor channel or input touches.
+
+    Such a gate stays X forever, silently corrupting everything behind it.
+    d-type gates are exempt: their state does not depend on the gate.
+    """
+    lints = []
+    for info in net.iter_transistors():
+        if info.kind == DTYPE:
+            continue
+        gate = info.gate
+        if net.node_is_input[gate]:
+            continue
+        if not net.node_channels[gate]:
+            lints.append(
+                Lint(
+                    ERROR,
+                    "floating-gate",
+                    f"transistor {info.name!r} is gated by "
+                    f"{net.node_names[gate]!r}, which nothing can drive",
+                )
+            )
+    return lints
+
+
+def _check_undrivable_nodes(net: Network) -> list[Lint]:
+    """Storage nodes with no channel path to any input node.
+
+    They can only ever hold their initial X (or charge-share it around),
+    which is almost always a netlist bug.  Paths ignore transistor states
+    (this is a static reachability check).
+    """
+    reachable: set[int] = set()
+    stack = list(net.input_nodes())
+    reachable.update(stack)
+    while stack:
+        node = stack.pop()
+        for _t, other in net.node_channels[node]:
+            if other not in reachable:
+                reachable.add(other)
+                stack.append(other)
+    lints = []
+    for index in net.storage_nodes():
+        if index not in reachable and net.node_channels[index]:
+            lints.append(
+                Lint(
+                    WARNING,
+                    "undrivable-node",
+                    f"storage node {net.node_names[index]!r} has no channel "
+                    "path to any input node",
+                )
+            )
+    return lints

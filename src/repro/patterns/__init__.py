@@ -1,0 +1,34 @@
+"""Test pattern generation: clocking, marches, sequences, random."""
+
+from .clocking import (
+    READ,
+    WRITE,
+    Phase,
+    RamOp,
+    TestPattern,
+    expand_op,
+    expand_ops,
+    settings_pattern,
+    total_phases,
+)
+from .march import control_test, march_array, march_cols, march_rows
+from .sequences import RamSequence, sequence1, sequence2
+
+__all__ = [
+    "READ",
+    "WRITE",
+    "Phase",
+    "RamOp",
+    "TestPattern",
+    "expand_op",
+    "expand_ops",
+    "settings_pattern",
+    "total_phases",
+    "control_test",
+    "march_array",
+    "march_rows",
+    "march_cols",
+    "RamSequence",
+    "sequence1",
+    "sequence2",
+]

@@ -1,0 +1,128 @@
+"""Test patterns and their expansion into clocked input settings.
+
+The paper's unit of work is the *pattern*: one RAM access (a read or a
+write of one cell), which "actually represents a sequence of 6 input
+settings to cycle the clocks".  We mirror that exactly:
+
+* a :class:`RamOp` describes the access abstractly (op, cell, data);
+* :func:`expand_op` turns it into a :class:`TestPattern` of six
+  :class:`Phase` input settings following the RAM's clocking discipline
+  (precharge, address setup, read, hold, write-back, idle);
+* fault simulators consume :class:`TestPattern` sequences, settling the
+  network after each phase and comparing observed outputs wherever
+  ``observe`` is set.
+
+:class:`TestPattern` is deliberately circuit-agnostic (just named input
+settings), so the same machinery drives the shift-register, ALU and
+property-test circuits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from ..errors import PatternError
+
+if TYPE_CHECKING:  # import only for annotations: avoids a package cycle
+    from ..circuits.ram import Ram
+
+#: RamOp operations.
+READ = "r"
+WRITE = "w"
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One input setting; ``observe`` asks for an output comparison after
+    the network settles (the paper drops a fault as soon as *any* output
+    difference appears, so RAM phases all observe)."""
+
+    settings: dict[str, int]
+    observe: bool = True
+
+
+@dataclass(frozen=True)
+class TestPattern:
+    """One pattern: a labeled sequence of phases."""
+
+    __test__ = False  # not a pytest test class, despite the name
+
+    label: str
+    phases: tuple[Phase, ...]
+
+    def __len__(self) -> int:
+        return len(self.phases)
+
+
+@dataclass(frozen=True)
+class RamOp:
+    """One abstract RAM access."""
+
+    op: str  # READ or WRITE
+    row: int
+    col: int
+    value: int = 0  # written value; ignored for reads
+    expect: int | None = None  # expected read value (documentation/tests)
+
+    def __post_init__(self) -> None:
+        if self.op not in (READ, WRITE):
+            raise PatternError(f"unknown RAM op {self.op!r}")
+
+    @property
+    def label(self) -> str:
+        if self.op == WRITE:
+            return f"w{self.value}@({self.row},{self.col})"
+        return f"r@({self.row},{self.col})"
+
+
+def expand_op(ram: Ram, op: RamOp) -> TestPattern:
+    """Expand a RAM access into the six-phase clock cycle.
+
+    Phases (all observed at the data output):
+
+    1. precharge high (``phi_p=1``), write clock guaranteed low;
+    2. precharge off; address, ``we`` and ``din`` set;
+    3. read clock on -- the selected row is read, output latched;
+    4. read clock off -- bit lines hold the row by charge;
+    5. write clock on -- write-back/refresh (and ``din`` into the
+       addressed column when writing);
+    6. write clock off.
+    """
+    address = ram.address_assignment(op.row, op.col)
+    write_flag = 1 if op.op == WRITE else 0
+    setup: dict[str, int] = {ram.phi_p: 0, ram.we: write_flag,
+                             ram.din: op.value if op.op == WRITE else 0}
+    setup.update(address)
+    phases = (
+        Phase({ram.phi_p: 1, ram.phi_w: 0}),
+        Phase(setup),
+        Phase({ram.phi_r: 1}),
+        Phase({ram.phi_r: 0}),
+        Phase({ram.phi_w: 1}),
+        Phase({ram.phi_w: 0}),
+    )
+    return TestPattern(label=op.label, phases=phases)
+
+
+def expand_ops(ram: Ram, ops: Iterable[RamOp]) -> list[TestPattern]:
+    """Expand a sequence of RAM accesses into test patterns."""
+    return [expand_op(ram, op) for op in ops]
+
+
+def settings_pattern(
+    label: str,
+    settings: Sequence[dict[str, int]],
+    *,
+    observe: bool = True,
+) -> TestPattern:
+    """Build a pattern directly from raw input settings (non-RAM DUTs)."""
+    return TestPattern(
+        label=label,
+        phases=tuple(Phase(dict(s), observe=observe) for s in settings),
+    )
+
+
+def total_phases(patterns: Sequence[TestPattern]) -> int:
+    """Total number of input settings across a pattern sequence."""
+    return sum(len(p) for p in patterns)

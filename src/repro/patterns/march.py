@@ -1,0 +1,93 @@
+"""Marching memory tests (Winegarden & Pannell style, paper ref. [10]).
+
+The paper's RAM test sequences use three marching components:
+
+* a **memory-array march** over every cell (5 ops per cell:
+  ascending w0, then ascending (r0, w1), then ascending (r1, w0)),
+* a **row-select march** exercising every row on a fixed column
+  (5 ops per row: w0 r0 w1 r1 w0),
+* a **column-select march** exercising every column on a fixed row.
+
+These counts reproduce the paper's pattern arithmetic exactly:
+RAM64 gets 7 + 40 + 40 + 320 = 407 patterns and RAM256 gets
+7 + 80 + 80 + 1280 = 1447 (see ``repro.patterns.sequences``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..circuits.ram import Ram
+from .clocking import READ, WRITE, RamOp
+
+
+def ascending_cells(ram: Ram) -> Iterator[tuple[int, int]]:
+    """Cells in ascending (row-major) address order."""
+    for row in range(ram.rows):
+        for col in range(ram.cols):
+            yield row, col
+
+
+def march_array(ram: Ram) -> list[RamOp]:
+    """5N marching test of the memory array.
+
+    March elements: up(w0); up(r0, w1); up(r1, w0).  Leaves all cells 0.
+    """
+    ops: list[RamOp] = []
+    for row, col in ascending_cells(ram):
+        ops.append(RamOp(WRITE, row, col, value=0))
+    for row, col in ascending_cells(ram):
+        ops.append(RamOp(READ, row, col, expect=0))
+        ops.append(RamOp(WRITE, row, col, value=1))
+    for row, col in ascending_cells(ram):
+        ops.append(RamOp(READ, row, col, expect=1))
+        ops.append(RamOp(WRITE, row, col, value=0))
+    return ops
+
+
+def march_rows(ram: Ram, col: int = 0) -> list[RamOp]:
+    """5R march of the row-select logic on a fixed column.
+
+    Per row: w0 r0 w1 r1 w0 -- toggles every row decoder output and both
+    data values through the full read and write paths.
+    """
+    ops: list[RamOp] = []
+    for row in range(ram.rows):
+        ops.append(RamOp(WRITE, row, col, value=0))
+        ops.append(RamOp(READ, row, col, expect=0))
+        ops.append(RamOp(WRITE, row, col, value=1))
+        ops.append(RamOp(READ, row, col, expect=1))
+        ops.append(RamOp(WRITE, row, col, value=0))
+    return ops
+
+
+def march_cols(ram: Ram, row: int = 0) -> list[RamOp]:
+    """5C march of the column-select and bit-line logic on a fixed row."""
+    ops: list[RamOp] = []
+    for col in range(ram.cols):
+        ops.append(RamOp(WRITE, row, col, value=0))
+        ops.append(RamOp(READ, row, col, expect=0))
+        ops.append(RamOp(WRITE, row, col, value=1))
+        ops.append(RamOp(READ, row, col, expect=1))
+        ops.append(RamOp(WRITE, row, col, value=0))
+    return ops
+
+
+def control_test(ram: Ram) -> list[RamOp]:
+    """The 7 patterns testing control and peripheral logic.
+
+    Writes and reads the two corner cells with both data values,
+    exercising the clocks, write-enable, the full address swing, the
+    input latch and the output latch before any marching begins.
+    """
+    last_row = ram.rows - 1
+    last_col = ram.cols - 1
+    return [
+        RamOp(WRITE, 0, 0, value=1),
+        RamOp(READ, 0, 0, expect=1),
+        RamOp(WRITE, last_row, last_col, value=0),
+        RamOp(READ, last_row, last_col, expect=0),
+        RamOp(WRITE, 0, 0, value=0),
+        RamOp(WRITE, last_row, last_col, value=1),
+        RamOp(READ, last_row, last_col, expect=1),
+    ]

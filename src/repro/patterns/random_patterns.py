@@ -1,0 +1,79 @@
+"""Random stimulus generation, used by property tests and examples.
+
+These generators work on any network: they enumerate its input nodes
+(minus the power rails) and emit random input settings.  The
+concurrent-equals-serial equivalence property test drives random
+circuits with these patterns.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..switchlevel.network import GND_NAME, VDD_NAME, Network
+from .clocking import Phase, TestPattern
+
+
+def drivable_inputs(net: Network) -> list[str]:
+    """Names of all input nodes except the power rails."""
+    return [
+        net.node_names[i]
+        for i in net.input_nodes()
+        if net.node_names[i] not in (VDD_NAME, GND_NAME)
+    ]
+
+
+def random_settings(
+    net: Network,
+    rng: random.Random,
+    *,
+    allow_x: bool = False,
+    change_probability: float = 1.0,
+) -> dict[str, int]:
+    """One random input setting.
+
+    With ``change_probability`` < 1 each input is only included (and thus
+    changed) with that probability, producing more realistic partial
+    input events.
+    """
+    states = (0, 1, 2) if allow_x else (0, 1)
+    setting: dict[str, int] = {}
+    for name in drivable_inputs(net):
+        if rng.random() <= change_probability:
+            setting[name] = rng.choice(states)
+    return setting
+
+
+def random_patterns(
+    net: Network,
+    count: int,
+    *,
+    seed: int = 0,
+    phases_per_pattern: int = 2,
+    allow_x: bool = False,
+    change_probability: float = 0.7,
+) -> list[TestPattern]:
+    """A reproducible random pattern sequence for any network."""
+    rng = random.Random(seed)
+    patterns = []
+    for index in range(count):
+        phases = tuple(
+            Phase(
+                random_settings(
+                    net,
+                    rng,
+                    allow_x=allow_x,
+                    change_probability=change_probability,
+                )
+            )
+            for _ in range(phases_per_pattern)
+        )
+        patterns.append(TestPattern(label=f"rand{index}", phases=phases))
+    return patterns
+
+
+def initialization_pattern(net: Network, value: int = 0) -> TestPattern:
+    """A pattern driving every non-rail input to a known value."""
+    setting = {name: value for name in drivable_inputs(net)}
+    return TestPattern(label="init", phases=(Phase(setting),))

@@ -1,0 +1,84 @@
+"""The paper's two RAM test sequences.
+
+* **Sequence 1** (Figure 1): 7 control/peripheral patterns, a marching
+  test of the row-select logic, a marching test of the column-select and
+  bit-line logic, then a marching test of the memory array.  For RAM64
+  this is 7 + 40 + 40 + 320 = 407 patterns; for RAM256,
+  7 + 80 + 80 + 1280 = 1447 -- both matching the paper exactly.
+* **Sequence 2** (Figure 2): the row and column marches are omitted
+  (7 + 320 = 327 patterns for RAM64).  The same faults are eventually
+  detected, but the "severe" decoder/control faults stay alive deep into
+  the array march, which is what makes this sequence slow to fault
+  simulate despite being shorter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuits.ram import Ram
+from .clocking import RamOp, TestPattern, expand_ops
+from .march import control_test, march_array, march_cols, march_rows
+
+
+@dataclass(frozen=True)
+class RamSequence:
+    """A named test sequence with its section boundaries.
+
+    ``sections`` maps section name -> (first pattern index, count); the
+    experiment harness uses it to mark the Figure-1 "head"/"tail" split.
+    """
+
+    name: str
+    ops: tuple[RamOp, ...]
+    patterns: tuple[TestPattern, ...]
+    sections: dict[str, tuple[int, int]]
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    @property
+    def head_length(self) -> int:
+        """Patterns before the memory-array march (the Fig. 1 "head")."""
+        start, _count = self.sections["array"]
+        return start
+
+
+def _assemble(name: str, ram: Ram, parts: list[tuple[str, list[RamOp]]]) -> RamSequence:
+    ops: list[RamOp] = []
+    sections: dict[str, tuple[int, int]] = {}
+    for section_name, section_ops in parts:
+        sections[section_name] = (len(ops), len(section_ops))
+        ops.extend(section_ops)
+    return RamSequence(
+        name=name,
+        ops=tuple(ops),
+        patterns=tuple(expand_ops(ram, ops)),
+        sections=sections,
+    )
+
+
+def sequence1(ram: Ram) -> RamSequence:
+    """Control test + row march + column march + array march."""
+    return _assemble(
+        "sequence1",
+        ram,
+        [
+            ("control", control_test(ram)),
+            ("rows", march_rows(ram)),
+            ("cols", march_cols(ram)),
+            ("array", march_array(ram)),
+        ],
+    )
+
+
+def sequence2(ram: Ram) -> RamSequence:
+    """Control test + array march only (the Figure 2 variant)."""
+    return _assemble(
+        "sequence2",
+        ram,
+        [
+            ("control", control_test(ram)),
+            ("array", march_array(ram)),
+        ],
+    )

@@ -1,0 +1,32 @@
+"""Switch-level simulation substrate (the MOSSIM II network model).
+
+Public surface:
+
+* :mod:`repro.switchlevel.logic` -- ternary states.
+* :mod:`repro.switchlevel.strength` -- the strength/size lattice.
+* :mod:`repro.switchlevel.network` -- nodes, transistors, topology.
+* :class:`repro.switchlevel.simulator.Simulator` -- the logic simulator.
+"""
+
+from .logic import ONE, STATES, X, ZERO
+from .network import DTYPE, NTYPE, PTYPE, Network, transistor_state
+from .scheduler import Engine, SettleStats
+from .simulator import Simulator
+from .strength import DEFAULT_STRENGTHS, StrengthSystem
+
+__all__ = [
+    "ZERO",
+    "ONE",
+    "X",
+    "STATES",
+    "NTYPE",
+    "PTYPE",
+    "DTYPE",
+    "Network",
+    "transistor_state",
+    "Engine",
+    "SettleStats",
+    "Simulator",
+    "StrengthSystem",
+    "DEFAULT_STRENGTHS",
+]

@@ -1,0 +1,145 @@
+"""Ternary logic values for switch-level simulation.
+
+The switch-level model of Bryant (1984) uses three node states:
+
+* ``ZERO`` -- a low voltage,
+* ``ONE``  -- a high voltage,
+* ``X``    -- an indeterminate voltage, arising from an uninitialized
+  node, a short circuit (fight), or improper charge sharing.
+
+States are plain integers (0, 1, 2) so that hot simulation loops can use
+them directly as list indices.  This module also provides the *value set*
+encoding used by the steady-state solver: a 3-bit mask recording which
+signal values (0, 1, X) are present in a collection of signals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+# Node / transistor states.  X deliberately sorts after 0 and 1 so states
+# can index tables of length 3.
+ZERO: int = 0
+ONE: int = 1
+X: int = 2
+
+#: All valid node states, in canonical order.
+STATES: tuple[int, int, int] = (ZERO, ONE, X)
+
+#: Human-readable character for each state (index by state value).
+STATE_CHARS: str = "01X"
+
+#: Map from characters accepted in netlists/patterns to states.
+CHAR_TO_STATE: dict[str, int] = {
+    "0": ZERO,
+    "1": ONE,
+    "x": X,
+    "X": X,
+}
+
+# --- value-set bit masks (used by the steady-state solver) ---------------
+#: Bit set when a definite 0-valued signal is present.
+BIT0: int = 1
+#: Bit set when a definite 1-valued signal is present.
+BIT1: int = 2
+#: Bit set when an X-valued (unknown) signal is present.
+BITX: int = 4
+
+#: value-set mask for a single state (index by state value).
+STATE_TO_MASK: tuple[int, int, int] = (BIT0, BIT1, BITX)
+
+
+def state_from_char(char: str) -> int:
+    """Return the state for a single character ``0``, ``1``, ``x`` or ``X``.
+
+    >>> state_from_char("1")
+    1
+    """
+    try:
+        return CHAR_TO_STATE[char]
+    except KeyError:
+        raise ValueError(f"invalid state character: {char!r}") from None
+
+
+def state_to_char(state: int) -> str:
+    """Return the display character for a state.
+
+    >>> state_to_char(2)
+    'X'
+    """
+    if state not in STATES:
+        raise ValueError(f"invalid state: {state!r}")
+    return STATE_CHARS[state]
+
+
+def lub(a: int, b: int) -> int:
+    """Least upper bound of two states in the information order.
+
+    ``0`` and ``1`` are incomparable maximal elements refined from ``X``;
+    joining conflicting definite values yields ``X``.
+
+    >>> lub(ZERO, ZERO)
+    0
+    >>> lub(ZERO, ONE)
+    2
+    """
+    if a == b:
+        return a
+    return X
+
+
+def lub_all(states: Iterable[int]) -> int:
+    """LUB of an iterable of states; an empty iterable yields X."""
+    result: int | None = None
+    for state in states:
+        result = state if result is None else lub(result, state)
+        if result == X:
+            return X
+    return X if result is None else result
+
+
+def refines(concrete: int, abstract: int) -> bool:
+    """True if ``concrete`` is consistent with (refines) ``abstract``.
+
+    X is refined by anything; 0 and 1 are refined only by themselves.
+    This is the ordering that makes ternary simulation *monotone*: making
+    inputs more definite can only make outputs more definite.
+
+    >>> refines(ONE, X)
+    True
+    >>> refines(ONE, ZERO)
+    False
+    """
+    return abstract == X or concrete == abstract
+
+
+def mask_is_single(mask: int) -> bool:
+    """True if a value-set mask contains exactly one value."""
+    return mask in (BIT0, BIT1, BITX)
+
+
+def mask_to_state(mask: int) -> int:
+    """Resolve a value-set mask to the state it denotes.
+
+    A set containing only 0-signals denotes 0; only 1-signals denotes 1;
+    anything else (a fight or an unknown participant) denotes X.
+
+    >>> mask_to_state(BIT1)
+    1
+    >>> mask_to_state(BIT0 | BIT1)
+    2
+    """
+    if mask == BIT0:
+        return ZERO
+    if mask == BIT1:
+        return ONE
+    return X
+
+
+def invert(state: int) -> int:
+    """Logical complement with X preserved (used by gate-level checks)."""
+    if state == ZERO:
+        return ONE
+    if state == ONE:
+        return ZERO
+    return X

@@ -1,0 +1,258 @@
+"""Event-driven unit-step simulation engine for a single circuit.
+
+The engine owns the mutable state of one circuit (node states, transistor
+states, pending perturbations) and advances it with MOSSIM's scheduling
+discipline: for each change of network inputs, repeatedly compute the
+steady-state response of every perturbed vicinity until the whole network
+is stable.  Each iteration is a *round*:
+
+1. take the pending perturbation seeds;
+2. group them into vicinities (computed against start-of-round transistor
+   states, so the round is synchronous and deterministic);
+3. solve each vicinity's steady state;
+4. apply all changes, update the states of transistors whose gates
+   changed, and derive the next round's seeds from those transistors'
+   channel terminals.
+
+Circuits with level-sensitive feedback (latches) settle in a few rounds;
+genuine oscillators (e.g. a ring of inverters) would loop forever, so
+after ``max_rounds`` the engine forces the still-changing nodes to X
+(MOSSIM's policy) or raises :class:`~repro.errors.OscillationError`,
+depending on ``on_oscillation``.
+
+The engine also supports per-circuit overrides used for fault simulation:
+
+* ``forced_nodes``: node -> state; the node behaves as an input pinned at
+  that state (node stuck-at faults);
+* ``forced_transistors``: transistor -> state; the transistor ignores its
+  gate (stuck-open/stuck-closed faults and inserted short/open fault
+  transistors).
+
+``locality`` selects dynamic vicinities (the paper's algorithm) or static
+DC-connected components (the pre-MOSSIM-II baseline, kept as an ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..errors import OscillationError, SimulationError
+from .logic import STATES, X
+from .network import Network, TRANS_TABLE
+from .steady_state import solve_vicinity
+from .vicinity import (
+    compute_vicinity,
+    expand_seed,
+    explore,
+    perturbations_from_transistor,
+    static_explore,
+)
+
+#: Default bound on rounds per input change; real circuits settle in a
+#: handful, so hitting this means feedback oscillation.
+DEFAULT_MAX_ROUNDS = 200
+
+#: How many force-to-X attempts to make before giving up on stability.
+_MAX_X_ATTEMPTS = 3
+
+
+@dataclass
+class SettleStats:
+    """Bookkeeping returned by :meth:`Engine.settle`."""
+
+    rounds: int = 0
+    vicinities: int = 0
+    nodes_computed: int = 0
+    changes: int = 0
+    oscillated: bool = False
+    changed_nodes: set[int] = field(default_factory=set)
+
+    def merge(self, other: "SettleStats") -> None:
+        self.rounds += other.rounds
+        self.vicinities += other.vicinities
+        self.nodes_computed += other.nodes_computed
+        self.changes += other.changes
+        self.oscillated = self.oscillated or other.oscillated
+        self.changed_nodes |= other.changed_nodes
+
+
+class Engine:
+    """Mutable simulation state and stepping logic for one circuit."""
+
+    def __init__(
+        self,
+        net: Network,
+        *,
+        forced_nodes: Mapping[int, int] | None = None,
+        forced_transistors: Mapping[int, int] | None = None,
+        locality: str = "dynamic",
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        on_oscillation: str = "x",
+    ):
+        net.require_finalized()
+        if locality not in ("dynamic", "static"):
+            raise SimulationError(f"unknown locality mode: {locality!r}")
+        if on_oscillation not in ("x", "raise"):
+            raise SimulationError(
+                f"unknown oscillation policy: {on_oscillation!r}"
+            )
+        self.net = net
+        self.locality = locality
+        self.max_rounds = max_rounds
+        self.on_oscillation = on_oscillation
+        self.forced_nodes: dict[int, int] = dict(forced_nodes or {})
+        self.forced_transistors: dict[int, int] = dict(forced_transistors or {})
+        self.oscillation_events = 0
+
+        self.states: list[int] = net.initial_node_states()
+        for node, state in self.forced_nodes.items():
+            self.states[node] = state
+        self.tstates: list[int] = net.compute_transistor_states(self.states)
+        for t, state in self.forced_transistors.items():
+            self.tstates[t] = state
+        self.pending: set[int] = set()
+
+    # --- driving ------------------------------------------------------------
+    def drive(self, node: int, state: int) -> None:
+        """Set an input node's state and record the resulting perturbations."""
+        if state not in STATES:
+            raise SimulationError(f"invalid state {state!r}")
+        if not self.net.node_is_input[node]:
+            raise SimulationError(
+                f"node {self.net.node_names[node]!r} is not an input node"
+            )
+        if node in self.forced_nodes:
+            raise SimulationError(
+                f"node {self.net.node_names[node]!r} is forced by a fault"
+            )
+        if self.states[node] == state:
+            return
+        self.states[node] = state
+        self._node_changed(node)
+        # second perturbation rule: storage nodes seen through conducting
+        # transistors from a changed input are perturbed.
+        self.pending.update(
+            expand_seed(self.net, self.tstates, node, self.forced_nodes)
+        )
+
+    def perturb(self, node: int) -> None:
+        """Force recomputation of a storage node's vicinity (fault setup)."""
+        self.pending.update(
+            expand_seed(self.net, self.tstates, node, self.forced_nodes)
+        )
+
+    def _node_changed(self, node: int) -> None:
+        """Propagate a node state change to the transistors it gates."""
+        tstates = self.tstates
+        states = self.states
+        net = self.net
+        forced_transistors = self.forced_transistors
+        for t in net.node_gates[node]:
+            if t in forced_transistors:
+                continue
+            new = TRANS_TABLE[net.t_kind[t]][states[net.t_gate[t]]]
+            if new != tstates[t]:
+                tstates[t] = new
+                self.pending.update(
+                    perturbations_from_transistor(net, t, self.forced_nodes)
+                )
+
+    # --- stepping ---------------------------------------------------------
+    def _run_round(self, stats: SettleStats) -> None:
+        """One synchronous round: solve all perturbed vicinities, apply."""
+        seeds = self.pending
+        self.pending = set()
+        covered: set[int] = set()
+        all_changes: list[tuple[int, int]] = []
+        net = self.net
+        states = self.states
+        tstates = self.tstates
+        forced = self.forced_nodes
+        for seed in seeds:
+            if seed in covered:
+                continue
+            if self.locality == "dynamic":
+                members, boundary, adjacency = explore(
+                    net, tstates, [seed], forced
+                )
+            else:
+                members, boundary, adjacency = static_explore(
+                    net, tstates, [seed], forced
+                )
+            covered.update(members)
+            stats.vicinities += 1
+            stats.nodes_computed += len(members)
+            all_changes.extend(
+                solve_vicinity(
+                    net, states, members, boundary, adjacency, forced
+                )
+            )
+        for node, state in all_changes:
+            states[node] = state
+        for node, _state in all_changes:
+            self._node_changed(node)
+            stats.changed_nodes.add(node)
+        stats.changes += len(all_changes)
+
+    def settle(self) -> SettleStats:
+        """Run rounds until the circuit is stable; handle oscillation."""
+        stats = SettleStats()
+        for _attempt in range(_MAX_X_ATTEMPTS):
+            while self.pending:
+                if stats.rounds >= self.max_rounds * (_attempt + 1):
+                    break
+                stats.rounds += 1
+                self._run_round(stats)
+            if not self.pending:
+                return stats
+            # Oscillation: either report it or force the active region to X
+            # and try to settle again (X is usually absorbing).
+            stats.oscillated = True
+            self.oscillation_events += 1
+            if self.on_oscillation == "raise":
+                raise OscillationError(
+                    f"circuit failed to settle within {stats.rounds} rounds"
+                )
+            self._force_pending_to_x(stats)
+        if self.pending:
+            # Give up: drop the perturbations; the X states already applied
+            # are a sound (if weak) description of the oscillating region.
+            self.pending.clear()
+        return stats
+
+    def _force_pending_to_x(self, stats: SettleStats) -> None:
+        """Set every pending node's vicinity to X (oscillation fallback)."""
+        seeds = self.pending
+        self.pending = set()
+        covered: set[int] = set()
+        for seed in seeds:
+            if seed in covered:
+                continue
+            members, _boundary = compute_vicinity(
+                self.net, self.tstates, [seed], self.forced_nodes
+            )
+            covered.update(members)
+            for node in members:
+                if self.states[node] != X:
+                    self.states[node] = X
+                    self._node_changed(node)
+                    stats.changed_nodes.add(node)
+                    stats.changes += 1
+
+    # --- inspection -----------------------------------------------------------
+    def state_of(self, node: int) -> int:
+        return self.states[node]
+
+    def is_stable(self) -> bool:
+        return not self.pending
+
+    def snapshot(self) -> tuple[list[int], list[int]]:
+        """Copy of (node states, transistor states) for save/restore."""
+        return list(self.states), list(self.tstates)
+
+    def restore(self, snapshot: tuple[Iterable[int], Iterable[int]]) -> None:
+        node_states, transistor_states = snapshot
+        self.states[:] = list(node_states)
+        self.tstates[:] = list(transistor_states)
+        self.pending.clear()

@@ -1,0 +1,145 @@
+"""The discrete strength lattice of the switch-level model.
+
+Bryant's model (and hence FMOSSIM) ranks every signal by a *strength*
+drawn from one totally ordered set::
+
+    kappa_1 < ... < kappa_k  <  gamma_1 < ... < gamma_m  <  omega
+    (node sizes)                (transistor strengths)      (input drive)
+
+* A *size* ``kappa_i`` is the strength of the charge stored on a storage
+  node; larger sizes model larger capacitances (e.g. bus wires).
+* A *strength* ``gamma_j`` is the conductance rank of a transistor;
+  stronger transistors overpower weaker ones in ratioed logic.
+* ``omega`` is the unbeatable strength of an input node (Vdd, Gnd, or any
+  primary input), like a voltage source.
+
+A signal traversing a transistor is attenuated to the minimum of its
+current strength and the transistor's strength; because every size is
+below every transistor strength, stored charge keeps its size no matter
+what it flows through, while drive signals are capped by the weakest
+transistor on their path.  This single ``min`` rule gives charge sharing,
+ratioed logic, and drive-overrides-charge behavior all at once.
+
+Strengths are plain integers (1-based) so hot loops can compare and index
+with them directly.  :class:`StrengthSystem` names the levels and checks
+bounds when networks are built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Strength of the absence of any signal (below every real strength).
+NO_SIGNAL: int = 0
+
+
+@dataclass(frozen=True)
+class StrengthSystem:
+    """Defines how many node sizes and transistor strengths a network uses.
+
+    The default (2 sizes, 3 transistor strengths) follows the paper's
+    modeling advice: two sizes suffice for most circuits (big busses vs
+    everything else); nMOS needs two transistor strengths (weak pull-up
+    loads vs regular transistors) and fault injection adds one extra,
+    very strong level for short/open fault transistors.
+
+    >>> ss = StrengthSystem()
+    >>> ss.size(1) < ss.size(2) < ss.gamma(1) < ss.omega
+    True
+    """
+
+    n_sizes: int = 2
+    n_strengths: int = 3
+    size_names: tuple[str, ...] = field(default=("small", "large"))
+    strength_names: tuple[str, ...] = field(default=("weak", "strong", "short"))
+
+    def __post_init__(self) -> None:
+        if self.n_sizes < 1:
+            raise ValueError("need at least one node size")
+        if self.n_strengths < 1:
+            raise ValueError("need at least one transistor strength")
+        if len(self.size_names) != self.n_sizes:
+            object.__setattr__(
+                self,
+                "size_names",
+                tuple(f"size{i + 1}" for i in range(self.n_sizes)),
+            )
+        if len(self.strength_names) != self.n_strengths:
+            object.__setattr__(
+                self,
+                "strength_names",
+                tuple(f"gamma{i + 1}" for i in range(self.n_strengths)),
+            )
+
+    # --- level accessors --------------------------------------------------
+    def size(self, rank: int) -> int:
+        """Absolute strength of the ``rank``-th node size (1-based)."""
+        if not 1 <= rank <= self.n_sizes:
+            raise ValueError(
+                f"size rank {rank} out of range 1..{self.n_sizes}"
+            )
+        return rank
+
+    def gamma(self, rank: int) -> int:
+        """Absolute strength of the ``rank``-th transistor strength."""
+        if not 1 <= rank <= self.n_strengths:
+            raise ValueError(
+                f"transistor strength rank {rank} out of range "
+                f"1..{self.n_strengths}"
+            )
+        return self.n_sizes + rank
+
+    @property
+    def omega(self) -> int:
+        """The input-drive strength; beats everything else."""
+        return self.n_sizes + self.n_strengths + 1
+
+    @property
+    def max_strength(self) -> int:
+        """The largest strength value in use (== ``omega``)."""
+        return self.omega
+
+    @property
+    def min_size(self) -> int:
+        """Absolute strength of the smallest node size."""
+        return 1
+
+    @property
+    def max_size(self) -> int:
+        """Absolute strength of the largest node size."""
+        return self.n_sizes
+
+    @property
+    def min_gamma(self) -> int:
+        """Absolute strength of the weakest transistor."""
+        return self.n_sizes + 1
+
+    @property
+    def max_gamma(self) -> int:
+        """Absolute strength of the strongest transistor."""
+        return self.n_sizes + self.n_strengths
+
+    # --- queries ----------------------------------------------------------
+    def is_size(self, strength: int) -> bool:
+        """True if ``strength`` is a node-size level."""
+        return 1 <= strength <= self.n_sizes
+
+    def is_gamma(self, strength: int) -> bool:
+        """True if ``strength`` is a transistor-strength level."""
+        return self.min_gamma <= strength <= self.max_gamma
+
+    def name(self, strength: int) -> str:
+        """Human-readable name of a strength level."""
+        if strength == NO_SIGNAL:
+            return "none"
+        if self.is_size(strength):
+            return f"size:{self.size_names[strength - 1]}"
+        if self.is_gamma(strength):
+            return f"drive:{self.strength_names[strength - self.min_gamma]}"
+        if strength == self.omega:
+            return "input:omega"
+        raise ValueError(f"strength {strength} not in this system")
+
+
+#: The strength system used throughout the reproduction unless overridden.
+DEFAULT_STRENGTHS = StrengthSystem()

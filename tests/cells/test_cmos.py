@@ -1,0 +1,94 @@
+"""Truth-table tests for the CMOS cells (p-type switch semantics)."""
+
+import itertools
+
+import pytest
+
+from repro.cells import cmos
+from repro.netlist.builder import NetworkBuilder
+from repro.switchlevel.simulator import Simulator
+
+
+def evaluate(cell, arity, out_name="out", unwrap_single=False):
+    b = NetworkBuilder()
+    inputs = [b.input(f"i{k}") for k in range(arity)]
+    cell(b, inputs[0] if unwrap_single else inputs, out_name)
+    s = Simulator(b.build())
+    table = {}
+    for values in itertools.product("01", repeat=arity):
+        s.apply(dict(zip(inputs, values)))
+        table[values] = s.get(out_name)
+    return table
+
+
+class TestCmosGates:
+    def test_inverter(self):
+        assert evaluate(cmos.inverter, 1, unwrap_single=True) == {("0",): "1", ("1",): "0"}
+
+    def test_inverter_x_gives_x(self):
+        b = NetworkBuilder()
+        b.input("a")
+        cmos.inverter(b, "a", "out")
+        s = Simulator(b.build())
+        s.apply({"a": "X"})
+        assert s.get("out") == "X"
+
+    @pytest.mark.parametrize("arity", [2, 3])
+    def test_nand(self, arity):
+        for values, out in evaluate(cmos.nand, arity).items():
+            assert out == ("0" if all(v == "1" for v in values) else "1")
+
+    @pytest.mark.parametrize("arity", [2, 3])
+    def test_nor(self, arity):
+        for values, out in evaluate(cmos.nor, arity).items():
+            assert out == ("0" if any(v == "1" for v in values) else "1")
+
+    def test_and(self):
+        for values, out in evaluate(cmos.and_gate, 2).items():
+            assert out == ("1" if values == ("1", "1") else "0")
+
+    def test_or(self):
+        for values, out in evaluate(cmos.or_gate, 2).items():
+            assert out == ("1" if "1" in values else "0")
+
+    def test_xor(self):
+        b = NetworkBuilder()
+        b.inputs("a", "c")
+        cmos.xor_gate(b, "a", "c", "out")
+        s = Simulator(b.build())
+        for a in "01":
+            for c in "01":
+                s.apply({"a": a, "c": c})
+                assert s.get("out") == str(int(a != c))
+
+    def test_empty_gate_inputs_rejected(self):
+        b = NetworkBuilder()
+        with pytest.raises(ValueError):
+            cmos.nand(b, [])
+        with pytest.raises(ValueError):
+            cmos.nor(b, [])
+
+
+class TestTransmissionGate:
+    def test_passes_both_values_when_on(self):
+        b = NetworkBuilder()
+        b.inputs("ctl", "a")
+        ctl_bar = cmos.inverter(b, "ctl", "ctlb")
+        b.node("n")
+        cmos.transmission_gate(b, "ctl", ctl_bar, "a", "n")
+        s = Simulator(b.build())
+        for v in "0101":
+            s.apply({"ctl": 1, "a": v})
+            assert s.get("n") == v
+
+    def test_holds_when_off(self):
+        b = NetworkBuilder()
+        b.inputs("ctl", "a")
+        ctl_bar = cmos.inverter(b, "ctl", "ctlb")
+        b.node("n")
+        cmos.transmission_gate(b, "ctl", ctl_bar, "a", "n")
+        s = Simulator(b.build())
+        s.apply({"ctl": 1, "a": 1})
+        s.apply({"ctl": 0})
+        s.apply({"a": 0})
+        assert s.get("n") == "1"

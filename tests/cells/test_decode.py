@@ -1,0 +1,52 @@
+"""Exhaustive tests for the decoder cells."""
+
+import pytest
+
+from repro.cells import decode
+from repro.netlist.builder import NetworkBuilder, bus_assignment, declare_bus
+from repro.switchlevel.simulator import Simulator
+
+
+@pytest.mark.parametrize("width", [1, 2, 3])
+def test_nor_decoder_exhaustive(width):
+    b = NetworkBuilder()
+    addr = declare_bus(b, "a", width, as_input=True)
+    comp = decode.complement_drivers(b, addr, "a")
+    selects = decode.nor_decoder(b, addr, comp, "dec")
+    s = Simulator(b.build())
+    for value in range(1 << width):
+        s.apply(bus_assignment("a", value, width))
+        for i, select in enumerate(selects):
+            expected = "1" if i == value else "0"
+            assert s.get(select) == expected, (value, i)
+
+
+def test_complement_drivers_invert():
+    b = NetworkBuilder()
+    addr = declare_bus(b, "a", 2, as_input=True)
+    comp = decode.complement_drivers(b, addr, "a")
+    s = Simulator(b.build())
+    s.apply({"a1": 1, "a0": 0})
+    assert s.get(comp[0]) == "0"
+    assert s.get(comp[1]) == "1"
+
+
+def test_mismatched_buses_rejected():
+    b = NetworkBuilder()
+    addr = declare_bus(b, "a", 2, as_input=True)
+    with pytest.raises(ValueError):
+        decode.nor_decoder(b, addr, addr[:1], "dec")
+
+
+def test_enabled_lines_gate_with_enable():
+    b = NetworkBuilder()
+    addr = declare_bus(b, "a", 1, as_input=True)
+    b.input("en")
+    comp = decode.complement_drivers(b, addr, "a")
+    selects = decode.nor_decoder(b, addr, comp, "dec")
+    lines = decode.enabled_lines(b, selects, "en", "wl")
+    s = Simulator(b.build())
+    s.apply({"a0": 1, "en": 0})
+    assert [s.get(line) for line in lines] == ["0", "0"]
+    s.apply({"en": 1})
+    assert [s.get(line) for line in lines] == ["0", "1"]

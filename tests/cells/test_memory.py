@@ -1,0 +1,130 @@
+"""Behavioral tests for the dynamic memory structures."""
+
+from repro.cells import memory
+from repro.netlist.builder import NetworkBuilder
+from repro.switchlevel.simulator import Simulator
+
+
+class TestDramCell:
+    def build(self):
+        b = NetworkBuilder()
+        b.inputs("wbl_drv", "phi", "wwl", "rwl")
+        # Drive the write bitline from an input through an always-on pass.
+        wbl = b.node("wbl", size="large")
+        b.ntrans("vdd", "wbl_drv", wbl, strength="strong")
+        rbl = memory.precharged_bus(b, "rbl", "phi")
+        cell = memory.dram_cell_3t(b, wbl, rbl, "wwl", "rwl", "cell")
+        return Simulator(b.build()), cell
+
+    def write(self, s, value):
+        s.apply({"wbl_drv": value, "wwl": 1})
+        s.apply({"wwl": 0})
+
+    def read(self, s):
+        s.apply({"phi": 1})
+        s.apply({"phi": 0})
+        s.apply({"rwl": 1})
+        value = s.get("rbl")
+        s.apply({"rwl": 0})
+        return value
+
+    def test_write_then_hold(self):
+        s, cell = self.build()
+        self.write(s, 1)
+        assert s.get(cell.store) == "1"
+        s.apply({"wbl_drv": 0})  # bitline moves, cell isolated
+        assert s.get(cell.store) == "1"
+
+    def test_read_is_inverting(self):
+        s, cell = self.build()
+        self.write(s, 1)
+        assert self.read(s) == "0"  # stored 1 discharges the bitline
+        self.write(s, 0)
+        assert self.read(s) == "1"  # stored 0 leaves it precharged
+
+    def test_read_does_not_destroy_cell(self):
+        s, cell = self.build()
+        self.write(s, 1)
+        self.read(s)
+        assert s.get(cell.store) == "1"
+
+    def test_uninitialized_cell_reads_x(self):
+        s, cell = self.build()
+        assert s.get(cell.store) == "X"
+        assert self.read(s) == "X"
+
+
+class TestDynamicLatch:
+    def test_sample_and_hold(self):
+        b = NetworkBuilder()
+        b.inputs("d", "clk")
+        stored, out = memory.dynamic_latch(b, "d", "clk", "q")
+        s = Simulator(b.build())
+        s.apply({"d": 1, "clk": 1})
+        assert s.get(stored) == "1"
+        assert s.get(out) == "0"  # inverted output
+        s.apply({"clk": 0})
+        s.apply({"d": 0})
+        assert s.get(stored) == "1"  # held
+        assert s.get(out) == "0"
+
+    def test_transparent_while_clocked(self):
+        b = NetworkBuilder()
+        b.inputs("d", "clk")
+        stored, out = memory.dynamic_latch(b, "d", "clk", "q")
+        s = Simulator(b.build())
+        s.apply({"clk": 1, "d": 0})
+        assert s.get(out) == "1"
+        s.apply({"d": 1})
+        assert s.get(out) == "0"
+
+
+class TestPrechargedBus:
+    def test_precharge_and_float(self):
+        b = NetworkBuilder()
+        b.inputs("phi", "pull")
+        bus = memory.precharged_bus(b, "bus", "phi")
+        b.ntrans("pull", bus, "gnd", strength="strong")
+        s = Simulator(b.build())
+        s.apply({"phi": 1, "pull": 0})
+        assert s.get(bus) == "1"
+        s.apply({"phi": 0})
+        assert s.get(bus) == "1"  # holds charge
+        s.apply({"pull": 1})
+        assert s.get(bus) == "0"  # discharged
+        s.apply({"pull": 0})
+        s.apply({"phi": 1})
+        assert s.get(bus) == "1"  # recharged
+
+    def test_bus_charge_beats_small_node(self):
+        b = NetworkBuilder()
+        b.inputs("phi", "g", "setm")
+        bus = memory.precharged_bus(b, "bus", "phi")
+        small = b.node("m", size=1)
+        b.ntrans("setm", "gnd", small, strength="strong")
+        b.ntrans("g", bus, small, strength="strong")
+        s = Simulator(b.build())
+        s.apply({"phi": 1, "setm": 1, "g": 0})
+        s.apply({"phi": 0, "setm": 0})
+        s.apply({"g": 1})  # share charge: bus (large, 1) vs m (small, 0)
+        assert s.get(bus) == "1"
+        assert s.get(small) == "1"
+
+
+class TestShiftStage:
+    def test_two_phase_shift(self):
+        b = NetworkBuilder()
+        b.inputs("d", "ca", "cb")
+        out = memory.shift_stage(b, "d", "ca", "cb", "st")
+        s = Simulator(b.build())
+
+        def cycle(value):
+            s.apply({"d": value, "ca": 1})
+            s.apply({"ca": 0})
+            s.apply({"cb": 1})
+            s.apply({"cb": 0})
+
+        cycle(1)
+        assert s.get(out) == "1"
+        cycle(0)
+        assert s.get(out) == "0"

@@ -1,0 +1,122 @@
+"""Truth-table tests for every nMOS cell."""
+
+import itertools
+
+import pytest
+
+from repro.cells import nmos
+from repro.netlist.builder import NetworkBuilder
+from repro.switchlevel.simulator import Simulator
+
+
+def evaluate(cell, arity, out_name="out", unwrap_single=False):
+    """Build a cell over ``arity`` inputs and return its truth table."""
+    b = NetworkBuilder()
+    inputs = [b.input(f"i{k}") for k in range(arity)]
+    cell(b, inputs[0] if unwrap_single else inputs, out_name)
+    s = Simulator(b.build())
+    table = {}
+    for values in itertools.product("01", repeat=arity):
+        s.apply(dict(zip(inputs, values)))
+        table[values] = s.get(out_name)
+    return table
+
+
+class TestInverter:
+    def test_truth_table(self):
+        table = evaluate(nmos.inverter, 1, unwrap_single=True)
+        assert table == {("0",): "1", ("1",): "0"}
+
+    def test_x_input(self):
+        b = NetworkBuilder()
+        b.input("a")
+        nmos.inverter(b, "a", "out")
+        s = Simulator(b.build())
+        s.apply({"a": "X"})
+        assert s.get("out") == "X"
+
+
+class TestNand:
+    @pytest.mark.parametrize("arity", [1, 2, 3, 4])
+    def test_truth_table(self, arity):
+        table = evaluate(nmos.nand, arity)
+        for values, out in table.items():
+            expected = "0" if all(v == "1" for v in values) else "1"
+            assert out == expected, (values, out)
+
+    def test_empty_inputs_rejected(self):
+        b = NetworkBuilder()
+        with pytest.raises(ValueError):
+            nmos.nand(b, [], "out")
+
+
+class TestNor:
+    @pytest.mark.parametrize("arity", [1, 2, 3])
+    def test_truth_table(self, arity):
+        table = evaluate(nmos.nor, arity)
+        for values, out in table.items():
+            expected = "0" if any(v == "1" for v in values) else "1"
+            assert out == expected, (values, out)
+
+    def test_empty_inputs_rejected(self):
+        b = NetworkBuilder()
+        with pytest.raises(ValueError):
+            nmos.nor(b, [], "out")
+
+
+class TestCompositeGates:
+    def test_and(self):
+        table = evaluate(nmos.and_gate, 2)
+        for values, out in table.items():
+            assert out == ("1" if values == ("1", "1") else "0")
+
+    def test_or(self):
+        table = evaluate(nmos.or_gate, 3)
+        for values, out in table.items():
+            expected = "1" if any(v == "1" for v in values) else "0"
+            assert out == expected
+
+    def test_buffer(self):
+        b = NetworkBuilder()
+        b.input("a")
+        nmos.buffer(b, "a", "out")
+        s = Simulator(b.build())
+        for v in "01":
+            s.apply({"a": v})
+            assert s.get("out") == v
+
+    def test_xor(self):
+        b = NetworkBuilder()
+        b.input("a")
+        b.input("c")
+        nmos.xor_gate(b, "a", "c", "out")
+        s = Simulator(b.build())
+        for a in "01":
+            for c in "01":
+                s.apply({"a": a, "c": c})
+                assert s.get("out") == str(int(a != c)), (a, c)
+
+
+class TestPassLogic:
+    def test_pass_transistor_gating(self):
+        b = NetworkBuilder()
+        b.input("ctl")
+        b.input("a")
+        b.node("n")
+        nmos.pass_transistor(b, "ctl", "a", "n")
+        s = Simulator(b.build())
+        s.apply({"ctl": 1, "a": 1})
+        assert s.get("n") == "1"
+        s.apply({"ctl": 0})
+        s.apply({"a": 0})
+        assert s.get("n") == "1"  # holds charge when gated off
+
+    def test_mux2(self):
+        b = NetworkBuilder()
+        b.inputs("sa", "sb", "a", "c")
+        nmos.mux2_pass(b, "sa", "sb", "a", "c", "out")
+        s = Simulator(b.build())
+        s.apply({"a": 1, "c": 0, "sa": 1, "sb": 0})
+        assert s.get("out") == "1"
+        s.apply({"sa": 0, "sb": 1})
+        assert s.get("out") == "0"

@@ -1,0 +1,74 @@
+"""Functional tests for the nMOS ALU."""
+
+import pytest
+
+from repro.circuits.alu import build_alu
+from repro.errors import NetworkError
+from repro.netlist.builder import bus_assignment
+from repro.switchlevel.simulator import Simulator
+
+
+def run_op(sim, alu, op, a, b):
+    settings = alu.op_assignment(op)
+    settings.update(bus_assignment("a", a, alu.width))
+    settings.update(bus_assignment("b", b, alu.width))
+    sim.apply(settings)
+    text = sim.get_bus(alu.result)
+    assert "X" not in text, f"{op}({a},{b}) -> {text}"
+    return int(text, 2), sim.get(alu.carry_out)
+
+
+@pytest.fixture(scope="module")
+def alu4():
+    alu = build_alu(4)
+    return alu, Simulator(alu.net)
+
+
+class TestAluOps:
+    @pytest.mark.parametrize("a,b", [(0, 0), (5, 3), (12, 10), (15, 15)])
+    def test_and(self, alu4, a, b):
+        alu, sim = alu4
+        assert run_op(sim, alu, "and", a, b)[0] == a & b
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (5, 3), (12, 10), (8, 7)])
+    def test_or(self, alu4, a, b):
+        alu, sim = alu4
+        assert run_op(sim, alu, "or", a, b)[0] == a | b
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (5, 3), (15, 9), (6, 6)])
+    def test_xor(self, alu4, a, b):
+        alu, sim = alu4
+        assert run_op(sim, alu, "xor", a, b)[0] == a ^ b
+
+    @pytest.mark.parametrize(
+        "a,b", [(0, 0), (1, 1), (5, 3), (15, 1), (9, 9), (15, 15)]
+    )
+    def test_add_with_carry(self, alu4, a, b):
+        alu, sim = alu4
+        value, carry = run_op(sim, alu, "add", a, b)
+        total = a + b
+        assert value == total % 16
+        assert carry == str(total // 16)
+
+    def test_exhaustive_2bit(self):
+        alu = build_alu(2)
+        sim = Simulator(alu.net)
+        for a in range(4):
+            for b in range(4):
+                assert run_op(sim, alu, "and", a, b)[0] == (a & b)
+                assert run_op(sim, alu, "or", a, b)[0] == (a | b)
+                assert run_op(sim, alu, "xor", a, b)[0] == (a ^ b)
+                value, carry = run_op(sim, alu, "add", a, b)
+                assert value == (a + b) % 4
+                assert carry == str((a + b) // 4)
+
+
+class TestAluValidation:
+    def test_zero_width_rejected(self):
+        with pytest.raises(NetworkError):
+            build_alu(0)
+
+    def test_unknown_op_rejected(self):
+        alu = build_alu(2)
+        with pytest.raises(NetworkError):
+            alu.op_assignment("nand")

@@ -1,0 +1,107 @@
+"""Structural and functional tests of the RAM generator."""
+
+import pytest
+
+from repro.circuits.ram import build_ram, ram16, ram64, ram256
+from repro.errors import NetworkError
+from repro.patterns.clocking import READ, WRITE, RamOp, expand_op
+from repro.switchlevel.simulator import Simulator
+
+
+def access(sim, ram, op):
+    for phase in expand_op(ram, op).phases:
+        sim.apply(phase.settings)
+    return sim.get(ram.dout)
+
+
+class TestStructure:
+    def test_dimension_validation(self):
+        with pytest.raises(NetworkError):
+            build_ram(3, 4)
+        with pytest.raises(NetworkError):
+            build_ram(4, 1)
+
+    def test_paper_scale_instances(self):
+        r64 = ram64()
+        assert (r64.rows, r64.cols, r64.words) == (8, 8, 64)
+        r256 = ram256()
+        assert r256.words == 256
+        # Same order of magnitude as the paper's netlists
+        # (RAM64: 378 transistors / 229 nodes; RAM256: 1148 / 695).
+        assert 350 <= r64.net.n_transistors <= 550
+        assert 200 <= r64.net.n_nodes <= 320
+        assert 1100 <= r256.net.n_transistors <= 1600
+        assert 600 <= r256.net.n_nodes <= 900
+
+    def test_structure_inventory(self, ram4x4):
+        net = ram4x4.net
+        stats = net.stats()
+        assert stats["d_type"] > 0  # ratioed logic pull-ups
+        assert stats["p_type"] == 0  # nMOS design
+        # Bit lines are large-size nodes (charge-sharing winners).
+        for name in ram4x4.read_bitlines + ram4x4.write_bitlines:
+            assert net.node_size[net.node(name)] == 2
+        # 3T cells: three named transistors per cell.
+        for suffix in (".w", ".g", ".r"):
+            assert f"c0_0{suffix}" in net.t_index
+
+    def test_address_assignment(self, ram4x4):
+        assignment = ram4x4.address_assignment(2, 1)
+        assert assignment == {"ra1": 1, "ra0": 0, "ca1": 0, "ca0": 1}
+
+    def test_address_out_of_range(self, ram4x4):
+        with pytest.raises(NetworkError):
+            ram4x4.address_assignment(4, 0)
+
+    def test_single_output(self, ram4x4):
+        # Low observability, as the paper stresses: one data output.
+        assert ram4x4.dout == "dout"
+
+
+class TestFunction:
+    def test_write_read_every_cell(self):
+        ram = ram16()
+        sim = Simulator(ram.net)
+        for row in range(ram.rows):
+            for col in range(ram.cols):
+                value = (row + col) % 2
+                access(sim, ram, RamOp(WRITE, row, col, value=value))
+        for row in range(ram.rows):
+            for col in range(ram.cols):
+                expected = str((row + col) % 2)
+                assert access(sim, ram, RamOp(READ, row, col)) == expected
+
+    def test_write_does_not_disturb_neighbors(self):
+        ram = build_ram(4, 4)
+        sim = Simulator(ram.net)
+        for col in range(4):
+            access(sim, ram, RamOp(WRITE, 1, col, value=1))
+        access(sim, ram, RamOp(WRITE, 1, 2, value=0))
+        expected = {0: "1", 1: "1", 2: "0", 3: "1"}
+        for col, value in expected.items():
+            assert access(sim, ram, RamOp(READ, 1, col)) == value
+
+    def test_read_refreshes_row(self):
+        # Reading any cell rewrites the whole row (3T refresh-on-access),
+        # so stored values survive arbitrarily many reads.
+        ram = build_ram(2, 2)
+        sim = Simulator(ram.net)
+        access(sim, ram, RamOp(WRITE, 0, 0, value=1))
+        access(sim, ram, RamOp(WRITE, 0, 1, value=0))
+        for _ in range(5):
+            assert access(sim, ram, RamOp(READ, 0, 0)) == "1"
+            assert access(sim, ram, RamOp(READ, 0, 1)) == "0"
+
+    def test_uninitialized_read_is_x(self):
+        ram = build_ram(2, 2)
+        sim = Simulator(ram.net)
+        assert access(sim, ram, RamOp(READ, 1, 1)) == "X"
+
+    def test_data_survives_other_row_traffic(self):
+        ram = build_ram(4, 4)
+        sim = Simulator(ram.net)
+        access(sim, ram, RamOp(WRITE, 0, 0, value=1))
+        for col in range(4):
+            access(sim, ram, RamOp(WRITE, 3, col, value=0))
+            access(sim, ram, RamOp(READ, 3, col))
+        assert access(sim, ram, RamOp(READ, 0, 0)) == "1"

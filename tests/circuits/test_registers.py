@@ -1,0 +1,83 @@
+"""Functional tests for the shift register and register file."""
+
+import pytest
+
+from repro.circuits.registers import build_register_file, build_shift_register
+from repro.errors import NetworkError
+from repro.netlist.builder import bus_assignment
+from repro.switchlevel.simulator import Simulator
+
+
+class TestShiftRegister:
+    def shift(self, sim, sr, bit):
+        sim.apply({sr.data_in: bit, sr.clock_a: 1})
+        sim.apply({sr.clock_a: 0})
+        sim.apply({sr.clock_b: 1})
+        sim.apply({sr.clock_b: 0})
+
+    def test_bits_propagate_stage_per_cycle(self):
+        sr = build_shift_register(4)
+        sim = Simulator(sr.net)
+        bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        seen = []
+        for bit in bits:
+            self.shift(sim, sr, bit)
+            seen.append(sim.get(sr.data_out))
+        # After 4 cycles the first bit reaches the output.
+        expected = ["X"] * (sr.stages - 1) + [
+            str(b) for b in bits[: len(bits) - sr.stages + 1]
+        ]
+        assert seen == expected
+
+    def test_holds_between_clocks(self):
+        sr = build_shift_register(2)
+        sim = Simulator(sr.net)
+        for bit in (1, 0):
+            self.shift(sim, sr, bit)
+        held = sim.get(sr.data_out)
+        sim.apply({sr.data_in: 1})  # data moves, clocks idle
+        assert sim.get(sr.data_out) == held
+
+    def test_zero_stages_rejected(self):
+        with pytest.raises(NetworkError):
+            build_shift_register(0)
+
+
+class TestRegisterFile:
+    def write(self, sim, rf, word, value):
+        settings = {rf.write_enable: 1}
+        settings.update(bus_assignment("adr", word, rf.addr_bits))
+        settings.update(bus_assignment("d", value, rf.width))
+        sim.apply(settings)
+        sim.apply({rf.clock: 1})
+        sim.apply({rf.clock: 0, rf.write_enable: 0})
+
+    def read(self, sim, rf, word):
+        sim.apply(bus_assignment("adr", word, rf.addr_bits))
+        return sim.get_bus(rf.data_out)
+
+    def test_write_read_all_words(self):
+        rf = build_register_file(4, 3)
+        sim = Simulator(rf.net)
+        values = {0: 5, 1: 2, 2: 7, 3: 0}
+        for word, value in values.items():
+            self.write(sim, rf, word, value)
+        for word, value in values.items():
+            assert self.read(sim, rf, word) == format(value, "03b")
+
+    def test_overwrite(self):
+        rf = build_register_file(2, 2)
+        sim = Simulator(rf.net)
+        self.write(sim, rf, 1, 3)
+        self.write(sim, rf, 1, 0)
+        assert self.read(sim, rf, 1) == "00"
+
+    def test_unwritten_word_reads_x(self):
+        rf = build_register_file(2, 2)
+        sim = Simulator(rf.net)
+        self.write(sim, rf, 0, 3)
+        assert "X" in self.read(sim, rf, 1)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(NetworkError):
+            build_register_file(3, 2)

@@ -1,0 +1,26 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.ram import Ram, build_ram
+from repro.netlist.builder import NetworkBuilder
+from repro.switchlevel.simulator import Simulator
+
+
+@pytest.fixture
+def builder() -> NetworkBuilder:
+    """A fresh builder with power rails."""
+    return NetworkBuilder()
+
+
+@pytest.fixture(scope="session")
+def ram4x4() -> Ram:
+    """A small RAM shared by read-only tests (do not mutate the network)."""
+    return build_ram(4, 4)
+
+
+def make_simulator(builder: NetworkBuilder, **kwargs) -> Simulator:
+    """Finalize a builder and wrap it in a simulator."""
+    return Simulator(builder.build(), **kwargs)

@@ -1,0 +1,118 @@
+"""Tests for the analysis layer (coverage breakdowns, fault dictionary)."""
+
+import pytest
+
+from repro.analysis import (
+    build_dictionary,
+    classify_by_kind,
+    coverage_report,
+    ram_region_classifier,
+)
+from repro.circuits.ram import build_ram
+from repro.core.concurrent import ConcurrentFaultSimulator
+from repro.core.faults import (
+    NodeStuckFault,
+    ShortFault,
+    ram_fault_universe,
+    sample_faults,
+)
+from repro.patterns.sequences import sequence1
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    ram = build_ram(2, 2)
+    sequence = sequence1(ram)
+    faults = sample_faults(ram_fault_universe(ram), 30, seed=3)
+    simulator = ConcurrentFaultSimulator(
+        ram.net, faults, observed=[ram.dout]
+    )
+    report = simulator.run(sequence.patterns)
+    return ram, faults, report
+
+
+class TestCoverageReport:
+    def test_totals_consistent(self, small_run):
+        _ram, faults, report = small_run
+        cov = coverage_report(faults, report)
+        assert cov.total == len(faults)
+        assert cov.detected == report.detected
+        assert cov.detected + len(cov.undetected) == cov.total
+        assert cov.coverage == pytest.approx(report.coverage)
+
+    def test_class_sums_match_total(self, small_run):
+        _ram, faults, report = small_run
+        cov = coverage_report(faults, report)
+        assert sum(c.total for c in cov.classes) == cov.total
+        assert sum(c.detected for c in cov.classes) == cov.detected
+
+    def test_kind_classifier_groups(self, small_run):
+        _ram, faults, report = small_run
+        cov = coverage_report(faults, report, classifier=classify_by_kind)
+        names = {c.name for c in cov.classes}
+        assert names <= {"node-stuck", "transistor-stuck", "short", "open"}
+
+    def test_region_classifier_names(self):
+        assert ram_region_classifier(NodeStuckFault("c0_1.s", 0)) == (
+            "memory cell"
+        )
+        assert ram_region_classifier(NodeStuckFault("rbl2", 1)) == (
+            "bit line / bus"
+        )
+        assert ram_region_classifier(NodeStuckFault("row.sel3", 0)) == (
+            "address decode"
+        )
+        assert ram_region_classifier(NodeStuckFault("wwl1", 0)) == "word line"
+        assert ram_region_classifier(ShortFault("rbl0", "wbl1")) == (
+            "bit line / bus"
+        )
+
+    def test_first_last_pattern_ordering(self, small_run):
+        _ram, faults, report = small_run
+        cov = coverage_report(faults, report)
+        for entry in cov.classes:
+            if entry.first_pattern is not None:
+                assert entry.first_pattern <= entry.last_pattern
+
+    def test_render_contains_total_and_undetected(self, small_run):
+        _ram, faults, report = small_run
+        text = coverage_report(faults, report).render()
+        assert "TOTAL" in text
+        if report.detected < len(faults):
+            assert "undetected" in text
+
+
+class TestFaultDictionary:
+    def test_every_detected_fault_has_a_signature(self, small_run):
+        _ram, faults, report = small_run
+        dictionary = build_dictionary(faults, report)
+        listed = {
+            fault
+            for candidates in dictionary.entries.values()
+            for _cid, fault in candidates
+        }
+        assert len(listed) == report.detected
+
+    def test_lookup_roundtrip(self, small_run):
+        _ram, faults, report = small_run
+        dictionary = build_dictionary(faults, report)
+        detection = report.log.detections[0]
+        candidates = dictionary.lookup(
+            detection.pattern_index,
+            detection.phase_index,
+            detection.node,
+            detection.faulty_state,
+        )
+        descriptions = {fault.describe() for fault in candidates}
+        assert detection.description in descriptions
+
+    def test_ambiguity_at_least_one(self, small_run):
+        _ram, faults, report = small_run
+        dictionary = build_dictionary(faults, report)
+        if dictionary.entries:
+            assert dictionary.ambiguity() >= 1.0
+
+    def test_render(self, small_run):
+        _ram, faults, report = small_run
+        text = build_dictionary(faults, report).render(limit=5)
+        assert "p" in text

@@ -1,0 +1,173 @@
+"""Unit-level tests of ConcurrentFaultSimulator behaviors.
+
+The big equivalence properties live in test_equivalence_props.py; these
+pin the surrounding machinery: dropping, policies, record bookkeeping,
+reconvergence, API validation.
+"""
+
+import pytest
+
+from repro.cells import nmos
+from repro.core.concurrent import ConcurrentFaultSimulator
+from repro.core.detection import POLICY_ANY, POLICY_HARD
+from repro.core.faults import NodeStuckFault
+from repro.errors import FaultError, SimulationError
+from repro.netlist.builder import NetworkBuilder
+from repro.patterns.clocking import Phase, TestPattern
+
+
+def two_stage_net():
+    b = NetworkBuilder()
+    b.input("a")
+    mid = nmos.inverter(b, "a", "mid")
+    out = nmos.inverter(b, mid, "out")
+    return b.build(), mid, out
+
+
+def patterns_for(*values):
+    return [
+        TestPattern(f"p{i}", (Phase({"a": v}),))
+        for i, v in enumerate(values)
+    ]
+
+
+class TestApiValidation:
+    def test_observed_required(self):
+        net, _, _ = two_stage_net()
+        with pytest.raises(SimulationError):
+            ConcurrentFaultSimulator(net, [], [])
+
+    def test_unknown_policy_rejected(self):
+        net, _, out = two_stage_net()
+        with pytest.raises(SimulationError):
+            ConcurrentFaultSimulator(
+                net, [], [out], detection_policy="psychic"
+            )
+
+    def test_drive_non_input_rejected(self):
+        net, _, out = two_stage_net()
+        simulator = ConcurrentFaultSimulator(net, [], [out])
+        with pytest.raises(SimulationError):
+            simulator.apply_phase({"mid": 1})
+
+    def test_invalid_state_rejected(self):
+        net, _, out = two_stage_net()
+        simulator = ConcurrentFaultSimulator(net, [], [out])
+        with pytest.raises(SimulationError):
+            simulator.apply_phase({"a": 3})
+
+    def test_circuit_state_of_unknown_circuit(self):
+        net, _, out = two_stage_net()
+        simulator = ConcurrentFaultSimulator(net, [], [out])
+        with pytest.raises(FaultError):
+            simulator.circuit_state_of(5, out)
+
+
+class TestDroppingAndRecords:
+    def test_detected_circuit_dropped_and_purged(self):
+        net, mid, out = two_stage_net()
+        fault = NodeStuckFault(mid, 1)
+        simulator = ConcurrentFaultSimulator(net, [fault], [out])
+        simulator.run(patterns_for(0, 1))
+        assert simulator.live_circuits == set()
+        assert simulator.total_divergence_records() == 0
+
+    def test_no_drop_keeps_circuit_live(self):
+        net, mid, out = two_stage_net()
+        fault = NodeStuckFault(mid, 1)
+        simulator = ConcurrentFaultSimulator(
+            net, [fault], [out], drop_on_detect=False
+        )
+        report = simulator.run(patterns_for(0, 1, 0, 1))
+        assert simulator.live_circuits == {1}
+        # Multiple detection events get logged for the same circuit.
+        assert len(report.log) > 1
+        assert report.detected == 1
+
+    def test_reconvergence_removes_records(self):
+        net, mid, out = two_stage_net()
+        # mid stuck at 1; with a=0 good mid is 1 too: no divergence.
+        fault = NodeStuckFault(mid, 1)
+        simulator = ConcurrentFaultSimulator(
+            net, [fault], [out], drop_on_detect=False
+        )
+        simulator.apply_phase({"a": 0})
+        assert simulator.total_divergence_records() == 0
+        simulator.apply_phase({"a": 1})  # good mid=0: diverges
+        assert simulator.total_divergence_records() > 0
+        simulator.apply_phase({"a": 0})  # reconverges again
+        assert simulator.total_divergence_records() == 0
+
+    def test_circuit_state_view(self):
+        net, mid, out = two_stage_net()
+        fault = NodeStuckFault(mid, 1)
+        simulator = ConcurrentFaultSimulator(
+            net, [fault], [out], drop_on_detect=False
+        )
+        simulator.apply_phase({"a": 1})
+        assert simulator.good_state_of(mid) == 0
+        assert simulator.circuit_state_of(1, mid) == 1
+        assert simulator.good_state_of(out) == 1
+        assert simulator.circuit_state_of(1, out) == 0
+
+
+class TestPolicies:
+    def test_definite_difference_detected_under_both_policies(self):
+        b = NetworkBuilder()
+        b.input("a")
+        b.input("b")
+        nmos.nand(b, ["a", "b"], "mid")
+        out = nmos.inverter(b, "mid", "out")
+        net = b.build()
+        for policy in (POLICY_HARD, POLICY_ANY):
+            simulator = ConcurrentFaultSimulator(
+                net,
+                [NodeStuckFault("mid", 0)],
+                [out],
+                detection_policy=policy,
+            )
+            report = simulator.run(
+                [TestPattern("p", (Phase({"a": 0, "b": 0}),))]
+            )
+            assert report.detected == 1, policy
+
+    def test_any_detects_x_vs_definite(self):
+        # Good output definite 1; fault isolates the output so it keeps
+        # an X charge: "any" detects, "hard" does not.
+        b = NetworkBuilder()
+        b.input("a")
+        b.node("out")
+        pass_t = b.ntrans("a", "vdd", "out", strength="strong", name="pt")
+        net = b.build()
+        from repro.core.faults import TransistorStuckFault
+
+        fault = TransistorStuckFault("pt", closed=False)
+        patterns = [TestPattern("p", (Phase({"a": 1}),))]
+        hard = ConcurrentFaultSimulator(
+            net, [fault], ["out"], detection_policy=POLICY_HARD
+        ).run(patterns)
+        any_ = ConcurrentFaultSimulator(
+            net, [fault], ["out"], detection_policy=POLICY_ANY
+        ).run(patterns)
+        assert hard.detected == 0
+        assert any_.detected == 1
+
+
+class TestGoodOnly:
+    def test_good_only_run_matches_plain_simulator(self):
+        net, mid, out = two_stage_net()
+        from repro.switchlevel.simulator import Simulator
+
+        simulator = ConcurrentFaultSimulator(net, [], [out])
+        reference = Simulator(net)
+        for value in (0, 1, 0, 1):
+            simulator.apply_phase({"a": value})
+            reference.apply({"a": value})
+            assert simulator.good_state_of(out) == reference.state_of(out)
+
+    def test_zero_faults_zero_overhead_structures(self):
+        net, _, out = two_stage_net()
+        simulator = ConcurrentFaultSimulator(net, [], [out])
+        simulator.run(patterns_for(0, 1, 0))
+        assert simulator.total_divergence_records() == 0
+        assert simulator.live_circuits == set()

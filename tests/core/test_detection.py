@@ -1,0 +1,82 @@
+"""Unit tests for detection policies and the detection log."""
+
+import pytest
+
+from repro.core.detection import (
+    POLICY_ANY,
+    POLICY_HARD,
+    Detection,
+    DetectionLog,
+    differs,
+)
+from repro.errors import SimulationError
+from repro.switchlevel.logic import ONE, X, ZERO
+
+
+class TestDiffers:
+    def test_equal_states_never_detect(self):
+        for state in (ZERO, ONE, X):
+            assert not differs(state, state, POLICY_HARD)
+            assert not differs(state, state, POLICY_ANY)
+
+    def test_hard_policy_requires_definite_difference(self):
+        assert differs(ZERO, ONE, POLICY_HARD)
+        assert differs(ONE, ZERO, POLICY_HARD)
+        assert not differs(ONE, X, POLICY_HARD)
+        assert not differs(X, ONE, POLICY_HARD)
+
+    def test_any_policy_counts_x_differences(self):
+        assert differs(ONE, X, POLICY_ANY)
+        assert differs(X, ZERO, POLICY_ANY)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SimulationError):
+            differs(ONE, ZERO, "fuzzy")
+
+
+def det(cid, pattern, phase=0):
+    return Detection(
+        circuit_id=cid,
+        description=f"fault {cid}",
+        pattern_index=pattern,
+        phase_index=phase,
+        node="dout",
+        good_state=ONE,
+        faulty_state=ZERO,
+    )
+
+
+class TestDetectionLog:
+    def test_first_detection_kept(self):
+        log = DetectionLog()
+        log.record(det(1, 5))
+        log.record(det(1, 9))
+        assert log.detection_pattern(1) == 5
+        assert len(log) == 2  # both events logged
+
+    def test_detected_circuits(self):
+        log = DetectionLog()
+        log.record(det(1, 5))
+        log.record(det(3, 2))
+        assert log.detected_circuits() == {1, 3}
+        assert log.detection_pattern(2) is None
+
+    def test_coverage(self):
+        log = DetectionLog()
+        log.record(det(1, 0))
+        assert log.coverage(4) == 0.25
+        assert log.coverage(0) == 0.0
+
+    def test_cumulative_curve(self):
+        log = DetectionLog()
+        log.record(det(1, 0))
+        log.record(det(2, 2))
+        log.record(det(3, 2))
+        assert log.cumulative_by_pattern(4) == [1, 1, 3, 3]
+
+    def test_cumulative_curve_empty(self):
+        assert DetectionLog().cumulative_by_pattern(3) == [0, 0, 0]
+
+    def test_str_rendering(self):
+        text = str(det(7, 3))
+        assert "circuit 7" in text and "pattern 3" in text

@@ -1,0 +1,112 @@
+"""Unit tests for fault descriptions, universes and sampling."""
+
+import pytest
+
+from repro.core.faults import (
+    NodeStuckFault,
+    OpenFault,
+    ShortFault,
+    TransistorStuckFault,
+    node_stuck_universe,
+    ram_fault_universe,
+    sample_faults,
+    transistor_stuck_universe,
+)
+from repro.errors import FaultError
+from repro.netlist.builder import NetworkBuilder
+
+
+@pytest.fixture
+def inverter_net():
+    b = NetworkBuilder()
+    b.input("a")
+    b.node("out")
+    b.dtrans("out", "vdd", "out", strength="weak", name="pu")
+    b.ntrans("a", "out", "gnd", strength="strong", name="pd")
+    return b.build()
+
+
+class TestFaultDescriptions:
+    def test_node_stuck_describe(self):
+        fault = NodeStuckFault("out", 1)
+        assert fault.describe() == "node out stuck-at-1"
+        assert fault.kind == "node-stuck"
+
+    def test_node_stuck_validates_value(self):
+        with pytest.raises(FaultError):
+            NodeStuckFault("out", 2)
+
+    def test_transistor_stuck_describe(self):
+        assert "stuck-open" in TransistorStuckFault("pd", closed=False).describe()
+        assert "stuck-closed" in TransistorStuckFault("pd", closed=True).describe()
+
+    def test_short_validates_distinct_nodes(self):
+        with pytest.raises(FaultError):
+            ShortFault("a", "a")
+
+    def test_open_requires_detached_transistors(self):
+        with pytest.raises(FaultError):
+            OpenFault("out", ())
+
+    def test_faults_are_hashable_and_comparable(self):
+        assert NodeStuckFault("n", 0) == NodeStuckFault("n", 0)
+        assert len({NodeStuckFault("n", 0), NodeStuckFault("n", 0)}) == 1
+
+
+class TestUniverses:
+    def test_node_stuck_universe_covers_storage_nodes(self, inverter_net):
+        faults = node_stuck_universe(inverter_net)
+        names = {f.node for f in faults}
+        assert names == {"out"}
+        assert len(faults) == 2  # SA0 and SA1
+
+    def test_node_stuck_universe_restricted(self, inverter_net):
+        faults = node_stuck_universe(inverter_net, ["out"])
+        assert len(faults) == 2
+
+    def test_node_stuck_universe_rejects_inputs(self, inverter_net):
+        with pytest.raises(FaultError):
+            node_stuck_universe(inverter_net, ["a"])
+
+    def test_transistor_universe(self, inverter_net):
+        faults = transistor_stuck_universe(inverter_net)
+        assert len(faults) == 4  # 2 transistors x open/closed
+
+    def test_ram_universe_composition(self, ram4x4):
+        faults = ram_fault_universe(ram4x4)
+        stuck = [f for f in faults if isinstance(f, NodeStuckFault)]
+        shorts = [f for f in faults if isinstance(f, ShortFault)]
+        n_storage = len(ram4x4.net.storage_nodes())
+        assert len(stuck) == 2 * n_storage
+        assert len(shorts) == 2 * ram4x4.cols - 1  # wbl/rbl interleaving
+        assert len(faults) == len(stuck) + len(shorts)
+
+    def test_bitline_pairs_are_physically_adjacent(self, ram4x4):
+        pairs = ram4x4.bitline_adjacent_pairs()
+        assert ("wbl0", "rbl0") in pairs
+        assert ("rbl0", "wbl1") in pairs
+        assert ("wbl0", "rbl1") not in pairs
+
+
+class TestSampling:
+    def test_sample_reproducible(self, ram4x4):
+        universe = ram_fault_universe(ram4x4)
+        a = sample_faults(universe, 10, seed=7)
+        b = sample_faults(universe, 10, seed=7)
+        assert a == b
+
+    def test_sample_without_replacement(self, ram4x4):
+        universe = ram_fault_universe(ram4x4)
+        sample = sample_faults(universe, 25, seed=1)
+        assert len(sample) == len(set(sample)) == 25
+
+    def test_different_seeds_differ(self, ram4x4):
+        universe = ram_fault_universe(ram4x4)
+        assert sample_faults(universe, 20, seed=1) != sample_faults(
+            universe, 20, seed=2
+        )
+
+    def test_oversample_rejected(self, ram4x4):
+        universe = ram_fault_universe(ram4x4)
+        with pytest.raises(FaultError):
+            sample_faults(universe, len(universe) + 1)

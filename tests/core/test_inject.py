@@ -1,0 +1,124 @@
+"""Unit tests for fault instrumentation (overlays and fault transistors)."""
+
+import pytest
+
+from repro.core.faults import (
+    NodeStuckFault,
+    OpenFault,
+    ShortFault,
+    TransistorStuckFault,
+)
+from repro.core.inject import CLOSED_STATE, OPEN_STATE, prepare
+from repro.errors import FaultError
+from repro.netlist.builder import NetworkBuilder
+
+
+def pass_chain_net():
+    b = NetworkBuilder()
+    b.inputs("a", "g1", "g2")
+    b.nodes("m", "out")
+    b.ntrans("g1", "a", "m", strength="strong", name="t1")
+    b.ntrans("g2", "m", "out", strength="strong", name="t2")
+    return b.build()
+
+
+class TestNodeStuck:
+    def test_overlay(self):
+        net = pass_chain_net()
+        inst = prepare(net, [NodeStuckFault("m", 1)])
+        assert inst.net is net  # no rewrite needed
+        pf = inst.prepared[0]
+        assert pf.circuit_id == 1
+        assert pf.forced_nodes == {net.node("m"): 1}
+        assert pf.forced_transistors == {}
+        assert pf.seeds == (net.node("m"),)
+
+    def test_input_node_rejected(self):
+        net = pass_chain_net()
+        with pytest.raises(FaultError):
+            prepare(net, [NodeStuckFault("a", 0)])
+
+
+class TestTransistorStuck:
+    def test_stuck_open_overlay(self):
+        net = pass_chain_net()
+        inst = prepare(net, [TransistorStuckFault("t1", closed=False)])
+        pf = inst.prepared[0]
+        t1 = net.transistor("t1")
+        assert pf.forced_transistors == {t1: OPEN_STATE}
+        assert set(pf.seeds) == {net.t_source[t1], net.t_drain[t1]}
+
+    def test_stuck_closed_overlay(self):
+        net = pass_chain_net()
+        inst = prepare(net, [TransistorStuckFault("t2", closed=True)])
+        assert list(inst.prepared[0].forced_transistors.values()) == [
+            CLOSED_STATE
+        ]
+
+
+class TestShort:
+    def test_fault_transistor_inserted(self):
+        net = pass_chain_net()
+        inst = prepare(net, [ShortFault("m", "out")])
+        assert inst.net is not net
+        assert inst.net.n_transistors == net.n_transistors + 1
+        t = inst.net.transistor("fault1.short")
+        # Present but off in the good circuit; on in the faulty one.
+        assert inst.good_forced_transistors == {t: OPEN_STATE}
+        assert inst.prepared[0].forced_transistors == {t: CLOSED_STATE}
+        # Maximum strength, per the paper ("very high strength").
+        assert inst.net.t_strength[t] == inst.net.strengths.max_gamma
+
+    def test_original_network_untouched(self):
+        net = pass_chain_net()
+        before = net.n_transistors
+        prepare(net, [ShortFault("m", "out")])
+        assert net.n_transistors == before
+
+
+class TestOpen:
+    def test_node_split_and_joint(self):
+        net = pass_chain_net()
+        inst = prepare(net, [OpenFault("m", ("t2",))])
+        new_net = inst.net
+        split = new_net.node("m.open1")
+        t2 = new_net.transistor("t2")
+        # t2's channel terminal moved to the split node.
+        assert split in (new_net.t_source[t2], new_net.t_drain[t2])
+        joint = new_net.transistor("fault1.open")
+        # Joint closed in the good circuit, open in the faulty one.
+        assert inst.good_forced_transistors[joint] == CLOSED_STATE
+        assert inst.prepared[0].forced_transistors[joint] == OPEN_STATE
+
+    def test_open_requires_transistor_on_node(self):
+        net = pass_chain_net()
+        with pytest.raises(Exception):
+            prepare(net, [OpenFault("out", ("t1",))])  # t1 not on out
+
+
+class TestMultipleFaults:
+    def test_circuit_ids_sequential(self):
+        net = pass_chain_net()
+        faults = [
+            NodeStuckFault("m", 0),
+            TransistorStuckFault("t1", closed=True),
+            ShortFault("a", "out"),
+        ]
+        inst = prepare(net, faults)
+        assert [pf.circuit_id for pf in inst.prepared] == [1, 2, 3]
+        assert [pf.fault for pf in inst.prepared] == faults
+
+    def test_two_shorts_get_distinct_transistors(self):
+        net = pass_chain_net()
+        inst = prepare(
+            net, [ShortFault("m", "out"), ShortFault("a", "m")]
+        )
+        t_names = {t for pf in inst.prepared for t in pf.forced_transistors}
+        assert len(t_names) == 2
+
+    def test_unsupported_fault_type_rejected(self):
+        class Weird:
+            pass
+
+        with pytest.raises(FaultError):
+            prepare(pass_chain_net(), [Weird()])

@@ -1,0 +1,109 @@
+"""Unit and property tests for the sorted state lists (paper section 4)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.statelist import StateList
+
+
+class TestBasicOperations:
+    def test_empty(self):
+        sl = StateList()
+        assert len(sl) == 0
+        assert not sl
+        assert sl.get(3) is None
+        assert 3 not in sl
+
+    def test_set_and_get(self):
+        sl = StateList()
+        sl.set(5, 1)
+        sl.set(2, 0)
+        sl.set(9, 2)
+        assert sl.get(5) == 1
+        assert sl.get(2) == 0
+        assert sl.get(9) == 2
+        assert sl.get(4) is None
+
+    def test_records_sorted_by_circuit_id(self):
+        sl = StateList()
+        for cid in (7, 1, 4, 2):
+            sl.set(cid, 1)
+        assert sl.circuit_ids() == [1, 2, 4, 7]
+
+    def test_set_updates_in_place(self):
+        sl = StateList()
+        sl.set(3, 0)
+        sl.set(3, 2)
+        assert sl.get(3) == 2
+        assert len(sl) == 1
+
+    def test_remove(self):
+        sl = StateList()
+        sl.set(1, 0)
+        sl.set(2, 1)
+        assert sl.remove(1)
+        assert sl.get(1) is None
+        assert sl.get(2) == 1
+        assert not sl.remove(1)
+
+    def test_items_in_order(self):
+        sl = StateList()
+        sl.set(3, 1)
+        sl.set(1, 0)
+        assert list(sl.items()) == [(1, 0), (3, 1)]
+
+
+class TestSweep:
+    def test_sweep_matches_get(self):
+        sl = StateList()
+        for cid in (2, 5, 8, 13):
+            sl.set(cid, cid % 3)
+        sl.begin_sweep()
+        for cid in range(15):
+            assert sl.sweep_get(cid) == sl.get(cid), cid
+
+    def test_sweep_restarts_after_begin(self):
+        sl = StateList()
+        sl.set(2, 1)
+        sl.begin_sweep()
+        assert sl.sweep_get(10) is None  # pointer ran past the end
+        sl.begin_sweep()
+        assert sl.sweep_get(2) == 1
+
+    def test_remove_behind_shadow_keeps_position_valid(self):
+        sl = StateList()
+        for cid in (1, 2, 3, 4):
+            sl.set(cid, 0)
+        sl.begin_sweep()
+        assert sl.sweep_get(3) == 0
+        sl.remove(1)  # removal before the shadow pointer
+        assert sl.sweep_get(4) == 0
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["set", "remove"]),
+            st.integers(1, 20),
+            st.integers(0, 2),
+        ),
+        max_size=60,
+    )
+)
+def test_matches_dict_model(operations):
+    """StateList behaves exactly like a dict keyed by circuit id."""
+    sl = StateList()
+    model: dict[int, int] = {}
+    for op, cid, state in operations:
+        if op == "set":
+            sl.set(cid, state)
+            model[cid] = state
+        else:
+            assert sl.remove(cid) == (cid in model)
+            model.pop(cid, None)
+        assert sl.circuit_ids() == sorted(model)
+        assert dict(sl.items()) == model
+    # A full ascending sweep agrees with random access.
+    sl.begin_sweep()
+    for cid in range(22):
+        assert sl.sweep_get(cid) == model.get(cid)

@@ -1,0 +1,156 @@
+"""Tests for the experiment harness: timing, figures, drivers, results."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.harness.experiments import (
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_scaling,
+)
+from repro.harness.figures import (
+    ascii_chart,
+    dual_chart,
+    render_table,
+    xy_chart,
+)
+from repro.harness.results import (
+    result_to_dict,
+    write_curve_csv,
+    write_fig3_csv,
+    write_json,
+)
+from repro.harness.timing import Timer, clock_function, format_seconds
+
+
+class TestTiming:
+    def test_timer_accumulates(self):
+        timer = Timer(clock="perf")
+        for _ in range(3):
+            with timer:
+                sum(range(1000))
+        assert timer.seconds > 0
+
+    def test_clock_function_lookup(self):
+        assert callable(clock_function("process"))
+        assert callable(clock_function("perf"))
+        with pytest.raises(ExperimentError):
+            clock_function("sundial")
+
+    def test_format_seconds_ranges(self):
+        assert format_seconds(0.004).endswith("ms")
+        assert format_seconds(5.0).endswith(" s")
+        assert format_seconds(600.0).endswith("min")
+
+
+class TestFigures:
+    def test_ascii_chart_contains_extremes(self):
+        text = ascii_chart([1, 5, 3, 2], title="t")
+        assert "t" in text and "5" in text and "1" in text
+
+    def test_ascii_chart_empty(self):
+        assert "(no data)" in ascii_chart([], title="t")
+
+    def test_ascii_chart_resamples_long_series(self):
+        text = ascii_chart(list(range(1000)), width=40)
+        longest = max(len(line) for line in text.splitlines())
+        assert longest < 70
+
+    def test_dual_chart_markers(self):
+        text = dual_chart([0, 1, 2, 3], [3.0, 2.0, 1.0, 0.5], title="fig")
+        assert "+" in text and "*" in text and "fig" in text
+
+    def test_xy_chart_series_markers(self):
+        text = xy_chart(
+            {"concurrent": [(1, 1.0), (2, 2.0)], "serial": [(1, 5.0), (2, 9.0)]},
+            title="f3",
+        )
+        assert "[c] concurrent" in text
+        assert "[s] serial" in text
+
+    def test_render_table_alignment(self):
+        text = render_table(("a", "bb"), [(1, 22), (333, 4)])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # aligned
+
+
+@pytest.fixture(scope="module")
+def tiny_fig1():
+    return run_fig1(rows=2, cols=2, n_faults=40)
+
+
+class TestDrivers:
+    def test_fig1_result_fields(self, tiny_fig1):
+        result = tiny_fig1
+        assert result.n_patterns == 47  # 7 + 10 + 10 + 20 for a 2x2 RAM
+        assert result.n_faults == 40
+        assert len(result.seconds_per_pattern) == result.n_patterns
+        assert len(result.cumulative_detections) == result.n_patterns
+        assert 0 < result.coverage <= 1
+        assert result.concurrent_seconds > result.good_seconds
+
+    def test_fig1_render(self, tiny_fig1):
+        text = tiny_fig1.render()
+        assert "FIG1" in text and "serial" in text
+
+    def test_fig2_uses_sequence2(self):
+        result = run_fig2(rows=2, cols=2, n_faults=20)
+        assert result.sequence_name == "sequence2"
+        assert result.n_patterns == 27  # 7 + 20
+
+    def test_scaling_factors(self):
+        result = run_scaling(small=(2, 2), large=(2, 4), n_faults=30)
+        assert result.factor("transistors") > 1
+        assert result.factor("n_patterns") > 1
+        assert "scale factor" in result.render()
+
+    def test_fig3_points_and_slope(self):
+        result = run_fig3(rows=2, cols=2, fault_counts=(10, 40, 80))
+        assert [p.n_faults for p in result.points] == [10, 40, 80]
+        assert result.slope_ratio() > 0
+        assert "FIG3" in result.render()
+
+    def test_fig3_rejects_oversample(self):
+        with pytest.raises(ExperimentError):
+            run_fig3(rows=2, cols=2, fault_counts=(10_000,))
+
+    def test_fig3_real_serial_limit(self):
+        result = run_fig3(
+            rows=2, cols=2, fault_counts=(5,), real_serial_limit=5
+        )
+        assert result.points[0].serial_real_avg is not None
+
+
+class TestResults:
+    def test_result_to_dict_curve(self, tiny_fig1):
+        data = result_to_dict(tiny_fig1)
+        assert data["experiment"] == "FIG1"
+        assert "report" not in data
+        assert "concurrent_vs_serial_ratio" in data
+
+    def test_write_json_roundtrip(self, tiny_fig1):
+        stream = io.StringIO()
+        write_json(tiny_fig1, stream)
+        data = json.loads(stream.getvalue())
+        assert data["n_faults"] == 40
+
+    def test_write_curve_csv(self, tiny_fig1):
+        stream = io.StringIO()
+        write_curve_csv(tiny_fig1, stream)
+        lines = stream.getvalue().strip().splitlines()
+        assert lines[0] == "pattern,seconds,cumulative_detected,live_after"
+        assert len(lines) == tiny_fig1.n_patterns + 1
+
+    def test_write_fig3_csv(self):
+        result = run_fig3(rows=2, cols=2, fault_counts=(5, 10))
+        stream = io.StringIO()
+        write_fig3_csv(result, stream)
+        assert len(stream.getvalue().strip().splitlines()) == 3
+
+    def test_unknown_result_rejected(self):
+        with pytest.raises(ExperimentError):
+            result_to_dict(object())

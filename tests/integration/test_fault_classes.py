@@ -1,0 +1,202 @@
+"""Integration: behavior of each fault class on real circuit structures.
+
+The paper validates FMOSSIM on node stuck-at faults, transistor
+stuck-open/closed faults and bit-line shorts; these tests pin the
+*circuit-level symptoms* each class should produce (e.g. a stuck-open
+write-access transistor turns the cell into a retention element -- a
+sequential fault a gate-level model cannot express).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.ram import build_ram
+from repro.core.concurrent import ConcurrentFaultSimulator
+from repro.core.faults import (
+    NodeStuckFault,
+    OpenFault,
+    ShortFault,
+    TransistorStuckFault,
+)
+from repro.patterns.clocking import READ, WRITE, RamOp, expand_ops
+
+
+def run_ops(simulator, ram, ops):
+    for pattern in expand_ops(ram, ops):
+        simulator.apply_pattern(pattern)
+
+
+@pytest.fixture()
+def ram2x2():
+    return build_ram(2, 2)
+
+
+class TestNodeStuckInRam:
+    def test_cell_stuck_at_one_reads_one_after_writing_zero(self, ram2x2):
+        ram = ram2x2
+        fault = NodeStuckFault(ram.cell_store(0, 0), 1)
+        simulator = ConcurrentFaultSimulator(
+            ram.net, [fault], observed=[ram.dout], drop_on_detect=False
+        )
+        run_ops(
+            simulator, ram, [RamOp(WRITE, 0, 0, value=0), RamOp(READ, 0, 0)]
+        )
+        assert simulator.good_state_of(ram.dout) == 0
+        assert simulator.circuit_state_of(1, ram.dout) == 1
+        assert simulator.log.detected_circuits() == {1}
+
+    def test_cell_stuck_matching_data_is_silent(self, ram2x2):
+        ram = ram2x2
+        fault = NodeStuckFault(ram.cell_store(0, 0), 1)
+        simulator = ConcurrentFaultSimulator(
+            ram.net, [fault], observed=[ram.dout]
+        )
+        run_ops(
+            simulator, ram, [RamOp(WRITE, 0, 0, value=1), RamOp(READ, 0, 0)]
+        )
+        assert simulator.log.detected_circuits() == set()
+
+    def test_wordline_stuck_kills_whole_row(self, ram2x2):
+        ram = ram2x2
+        fault = NodeStuckFault("rwl0", 0)  # row 0 can never be read
+        simulator = ConcurrentFaultSimulator(
+            ram.net, [fault], observed=[ram.dout], drop_on_detect=False
+        )
+        ops = []
+        for col in range(2):
+            ops.append(RamOp(WRITE, 0, col, value=1))
+            ops.append(RamOp(READ, 0, col))
+        run_ops(simulator, ram, ops)
+        assert len(simulator.log.detections) >= 2  # both columns wrong
+
+
+class TestTransistorStuckInRam:
+    def test_stuck_open_write_access_retains_old_data(self, ram2x2):
+        # The classic non-classical fault: the cell cannot be rewritten,
+        # so it behaves sequentially (needs a write-then-read-back of the
+        # opposite value to detect).
+        ram = ram2x2
+        fault = TransistorStuckFault("c0_0.w", closed=False)
+        simulator = ConcurrentFaultSimulator(
+            ram.net, [fault], observed=[ram.dout], drop_on_detect=False
+        )
+        store = ram.cell_store(0, 0)
+        # The faulty cell floats at X and cannot be initialized at all:
+        run_ops(
+            simulator, ram, [RamOp(WRITE, 0, 0, value=1), RamOp(READ, 0, 0)]
+        )
+        assert simulator.good_state_of(store) == 1
+        assert simulator.circuit_state_of(1, store) == 2  # X: never written
+
+    def test_stuck_closed_read_access_couples_bitline(self, ram2x2):
+        # With the read-access transistor stuck closed, the cell's read
+        # path loads the bit line even when the row is unselected.
+        ram = ram2x2
+        fault = TransistorStuckFault("c0_0.r", closed=True)
+        simulator = ConcurrentFaultSimulator(
+            ram.net, [fault], observed=[ram.dout], drop_on_detect=False
+        )
+        ops = [
+            RamOp(WRITE, 0, 0, value=1),  # faulty cell holds 1
+            RamOp(WRITE, 1, 0, value=0),
+            RamOp(READ, 1, 0),  # read other row, same column
+        ]
+        run_ops(simulator, ram, ops)
+        # Good circuit reads 0; the faulty one sees the bit line pulled
+        # low by the stuck-on cell as well -- same value here, so check
+        # the structural difference on the bit line instead during the
+        # precharge that follows.
+        assert simulator.live_circuits  # still undetected by this test
+        # Write 0 into the faulty cell, then read the other row holding 1:
+        run_ops(
+            simulator,
+            ram,
+            [
+                RamOp(WRITE, 0, 0, value=0),
+                RamOp(WRITE, 1, 0, value=1),
+                RamOp(READ, 1, 0),
+            ],
+        )
+        # Good: 1 (cell (1,0) pulls the line).  Faulty: also pulled by
+        # cell (0,0)'s stuck path only if its store is 1 -- it is 0, so
+        # both read 1 and the fault stays subtle, exactly why the paper
+        # calls such faults hard; assert simulation stayed consistent.
+        assert simulator.good_state_of(ram.dout) == 1
+
+
+class TestShortsInRam:
+    def test_bitline_short_detected_by_march(self, ram2x2):
+        ram = ram2x2
+        fault = ShortFault("rbl0", "wbl1")
+        simulator = ConcurrentFaultSimulator(
+            ram.net, [fault], observed=[ram.dout]
+        )
+        ops = []
+        for row in range(2):
+            for col in range(2):
+                ops.append(RamOp(WRITE, row, col, value=0))
+        for row in range(2):
+            for col in range(2):
+                ops.append(RamOp(READ, row, col))
+                ops.append(RamOp(WRITE, row, col, value=1))
+        for row in range(2):
+            for col in range(2):
+                ops.append(RamOp(READ, row, col))
+        run_ops(simulator, ram, ops)
+        assert simulator.log.detected_circuits() == {1}
+
+    def test_short_symmetric(self, ram2x2):
+        # A short is an undirected connection: both argument orders
+        # produce identical detection behavior.
+        ram = ram2x2
+        ops = [
+            RamOp(WRITE, 0, 0, value=1),
+            RamOp(WRITE, 0, 1, value=0),
+            RamOp(READ, 0, 0),
+            RamOp(READ, 0, 1),
+        ]
+        detections = []
+        for pair in (("rbl0", "wbl1"), ("wbl1", "rbl0")):
+            simulator = ConcurrentFaultSimulator(
+                ram.net, [ShortFault(*pair)], observed=[ram.dout]
+            )
+            run_ops(simulator, ram, ops)
+            detections.append(simulator.log.detection_pattern(1))
+        assert detections[0] == detections[1]
+
+
+class TestOpenFaults:
+    def test_open_isolates_cell_from_bitline(self, ram2x2):
+        ram = ram2x2
+        # Break wbl0 at the point where cell (0,0)'s write transistor
+        # taps it: in the faulty circuit the cell can never be written.
+        fault = OpenFault("wbl0", ("c0_0.w",))
+        simulator = ConcurrentFaultSimulator(
+            ram.net, [fault], observed=[ram.dout], drop_on_detect=False
+        )
+        run_ops(
+            simulator, ram, [RamOp(WRITE, 0, 0, value=1), RamOp(READ, 0, 0)]
+        )
+        store = ram.cell_store(0, 0)
+        assert simulator.good_state_of(store) == 1
+        assert simulator.circuit_state_of(1, store) == 2  # X: unwritable
+
+    def test_open_good_circuit_unaffected(self, ram2x2):
+        ram = ram2x2
+        fault = OpenFault("wbl0", ("c0_0.w",))
+        simulator = ConcurrentFaultSimulator(
+            ram.net, [fault], observed=[ram.dout]
+        )
+        run_ops(
+            simulator,
+            ram,
+            [
+                RamOp(WRITE, 0, 0, value=1),
+                RamOp(READ, 0, 0),
+                RamOp(WRITE, 0, 0, value=0),
+                RamOp(READ, 0, 0),
+            ],
+        )
+        # Good circuit works normally through the (closed) joint.
+        assert simulator.good_state_of(ram.dout) == 0

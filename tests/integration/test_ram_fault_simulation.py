@@ -1,0 +1,138 @@
+"""Integration: full fault-simulation campaigns on the RAM.
+
+One full concurrent run of the complete RAM16 fault universe under Test
+Sequence 1 is shared by the whole module (it is the expensive part);
+the tests then check the paper's qualitative claims against it.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.circuits.ram import build_ram
+from repro.core.concurrent import ConcurrentFaultSimulator
+from repro.core.faults import (
+    NodeStuckFault,
+    ram_fault_universe,
+)
+from repro.core.serial import estimate_serial_seconds
+from repro.patterns.sequences import sequence1
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    ram = build_ram(4, 4)
+    sequence = sequence1(ram)
+    faults = ram_fault_universe(ram)
+    good = ConcurrentFaultSimulator(ram.net, [], observed=[ram.dout])
+    good_report = good.run(sequence.patterns)
+    simulator = ConcurrentFaultSimulator(
+        ram.net, faults, observed=[ram.dout]
+    )
+    report = simulator.run(sequence.patterns)
+    return ram, sequence, faults, good_report, report, simulator
+
+
+class TestCoverage:
+    def test_high_overall_coverage(self, campaign):
+        *_, report, _sim = campaign
+        assert report.coverage > 0.8
+
+    def test_marching_test_covers_cell_stuck_faults(self, campaign):
+        ram, _seq, faults, _good, report, _sim = campaign
+        detected = report.log.detected_circuits()
+        for cid, fault in enumerate(faults, start=1):
+            if isinstance(fault, NodeStuckFault) and fault.node.endswith(
+                ".s"
+            ):
+                assert cid in detected, f"cell fault missed: {fault.describe()}"
+
+    def test_control_faults_detected_early(self, campaign):
+        # Stuck-at-0 word lines are severe (a whole row unreadable): the
+        # row march in the head must catch every one.  Stuck-at-1 lines
+        # produce bit-line interference that often reads as X (not a
+        # hard detection), so they may survive into the array march;
+        # they must still be detected eventually.
+        ram, seq, faults, _good, report, _sim = campaign
+        head = seq.head_length
+        for cid, fault in enumerate(faults, start=1):
+            if isinstance(fault, NodeStuckFault) and fault.node.startswith(
+                "rwl"
+            ):
+                pattern = report.log.detection_pattern(cid)
+                assert pattern is not None, fault.describe()
+                if fault.value == 0:
+                    assert pattern < head, fault.describe()
+
+
+class TestPerformanceShape:
+    def test_concurrent_beats_serial_estimate(self, campaign):
+        *_, good_report, report, _sim = campaign
+        estimate = estimate_serial_seconds(
+            report, good_report.average_seconds_per_pattern()
+        )
+        assert report.total_seconds < estimate
+
+    def test_per_pattern_cost_falls(self, campaign):
+        *_, report, _sim = campaign
+        seconds = report.seconds_per_pattern()
+        first = statistics.mean(seconds[:10])
+        last = statistics.mean(seconds[-10:])
+        assert first > 2 * last
+
+    def test_live_set_shrinks_monotonically(self, campaign):
+        *_, report, _sim = campaign
+        live = [p.live_after for p in report.patterns]
+        assert all(b <= a for a, b in zip(live, live[1:]))
+        assert live[-1] == report.n_faults - report.detected
+
+
+class TestBookkeeping:
+    def test_dropped_circuits_leave_no_records(self, campaign):
+        *_, report, simulator = campaign
+        for cid in report.log.detected_circuits():
+            assert simulator.circuit_records[cid] == {}
+            assert cid not in simulator.live
+
+    def test_node_records_consistent_with_circuit_records(self, campaign):
+        *_, simulator = campaign
+        for cid, records in simulator.circuit_records.items():
+            for node, state in records.items():
+                state_list = simulator.node_records[node]
+                assert state_list is not None
+                assert state_list.get(cid) == state
+        # And the reverse direction.
+        for node, state_list in enumerate(simulator.node_records):
+            if state_list is None:
+                continue
+            for cid, state in state_list.items():
+                assert simulator.circuit_records[cid].get(node) == state
+
+    def test_oscillation_only_in_faulty_circuits(self, campaign):
+        # The good RAM never oscillates.  Some faults genuinely create
+        # combinational loops (e.g. a short tying a write bit line to
+        # the read bit line that feeds its own refresh inverter), so the
+        # fault run legitimately reports forced-X events.
+        *_, good_report, report, _sim = campaign
+        assert good_report.oscillation_events == 0
+        assert report.oscillation_events < report.n_faults
+
+    def test_detection_phases_within_pattern(self, campaign):
+        *_, report, _sim = campaign
+        for detection in report.log.detections:
+            assert 0 <= detection.phase_index < 6
+            assert detection.node == "dout"
+
+
+class TestGoodOnlyRun:
+    def test_zero_fault_run_detects_nothing(self, campaign):
+        *_, good_report, _report, _sim = campaign
+        assert good_report.n_faults == 0
+        assert good_report.detected == 0
+        assert len(good_report.log) == 0
+
+    def test_good_run_is_fast_relative_to_fault_run(self, campaign):
+        *_, good_report, report, _sim = campaign
+        assert good_report.total_seconds < report.total_seconds

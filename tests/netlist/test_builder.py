@@ -1,0 +1,111 @@
+"""Unit tests for the NetworkBuilder DSL and bus helpers."""
+
+import pytest
+
+from repro.errors import NetworkError, UnknownNodeError
+from repro.netlist.builder import (
+    NetworkBuilder,
+    bit_values,
+    bus_assignment,
+    declare_bus,
+    names_for_bus,
+)
+
+
+class TestBuilder:
+    def test_rails_created_by_default(self, builder):
+        assert builder.has_node("vdd")
+        assert builder.has_node("gnd")
+
+    def test_rails_optional(self):
+        b = NetworkBuilder(with_rails=False)
+        assert not b.has_node("vdd")
+
+    def test_node_and_input_return_names(self, builder):
+        assert builder.node("n") == "n"
+        assert builder.input("i") == "i"
+
+    def test_anonymous_names_unique(self, builder):
+        names = {builder.node() for _ in range(10)}
+        assert len(names) == 10
+
+    def test_gensym_avoids_collisions(self, builder):
+        builder.node("x$1")
+        assert builder.gensym("x") != "x$1"
+
+    def test_size_by_name(self, builder):
+        name = builder.node("bus", size="large")
+        net = builder.build()
+        assert net.node_size[net.node(name)] == 2
+
+    def test_unknown_size_name_rejected(self, builder):
+        with pytest.raises(NetworkError):
+            builder.node("bus", size="giant")
+
+    def test_strength_by_name(self, builder):
+        builder.input("a")
+        builder.node("n")
+        builder.ntrans("a", "vdd", "n", strength="weak")
+        net = builder.build()
+        assert net.t_strength[0] == net.strengths.gamma(1)
+
+    def test_unknown_strength_name_rejected(self, builder):
+        builder.input("a")
+        builder.node("n")
+        with pytest.raises(NetworkError):
+            builder.ntrans("a", "vdd", "n", strength="mega")
+
+    def test_transistor_to_unknown_node_rejected(self, builder):
+        builder.input("a")
+        with pytest.raises(UnknownNodeError):
+            builder.ntrans("a", "vdd", "missing")
+
+    def test_ensure_node_idempotent(self, builder):
+        builder.ensure_node("n")
+        builder.ensure_node("n")
+        net = builder.build()
+        assert net.node("n") >= 0
+
+    def test_kinds_map_correctly(self, builder):
+        builder.input("a")
+        builder.nodes("x", "y")
+        n = builder.ntrans("a", "x", "y")
+        p = builder.ptrans("a", "x", "y")
+        d = builder.dtrans("a", "x", "y")
+        net = builder.build()
+        from repro.switchlevel.network import DTYPE, NTYPE, PTYPE
+        assert net.t_kind[net.transistor(n)] == NTYPE
+        assert net.t_kind[net.transistor(p)] == PTYPE
+        assert net.t_kind[net.transistor(d)] == DTYPE
+
+
+class TestBusHelpers:
+    def test_names_for_bus_msb_first(self):
+        assert names_for_bus("a", 3) == ["a2", "a1", "a0"]
+
+    def test_bit_values_msb_first(self):
+        assert bit_values(5, 4) == [0, 1, 0, 1]
+        assert bit_values(0, 2) == [0, 0]
+        assert bit_values(3, 2) == [1, 1]
+
+    def test_bit_values_range_checked(self):
+        with pytest.raises(ValueError):
+            bit_values(4, 2)
+        with pytest.raises(ValueError):
+            bit_values(-1, 2)
+
+    def test_bus_assignment(self):
+        assert bus_assignment("a", 2, 2) == {"a1": 1, "a0": 0}
+
+    def test_declare_bus_inputs(self, builder):
+        names = declare_bus(builder, "ad", 2, as_input=True)
+        net = builder.build()
+        assert names == ["ad1", "ad0"]
+        for name in names:
+            assert net.node_is_input[net.node(name)]
+
+    def test_declare_bus_storage_with_size(self, builder):
+        names = declare_bus(builder, "bl", 2, size="large")
+        net = builder.build()
+        for name in names:
+            assert net.node_size[net.node(name)] == 2

@@ -1,0 +1,148 @@
+"""Unit and property tests for the netlist text format."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetlistFormatError
+from repro.netlist import sim_format
+from repro.netlist.builder import NetworkBuilder
+from repro.switchlevel.strength import StrengthSystem
+
+EXAMPLE = """\
+; a ratioed nMOS inverter
+strengths 2 3
+input a
+node out
+d out vdd out 1
+n a out gnd 2
+"""
+
+
+class TestLoads:
+    def test_parse_example(self):
+        net = sim_format.loads(EXAMPLE)
+        assert net.n_transistors == 2
+        assert net.node_is_input[net.node("a")]
+        assert not net.node_is_input[net.node("out")]
+
+    def test_auto_declares_channel_nodes(self):
+        net = sim_format.loads("n g s d\n")
+        assert {"g", "s", "d"} <= set(net.node_index)
+
+    def test_comments_and_blanks_ignored(self):
+        net = sim_format.loads("# c\n\n; c2\nn g s d 1 # trailing\n")
+        assert net.n_transistors == 1
+
+    def test_node_sizes(self):
+        net = sim_format.loads("node bl size=2\nn g bl gnd\n")
+        assert net.node_size[net.node("bl")] == 2
+
+    def test_strength_by_name(self):
+        net = sim_format.loads("n g s d weak\n")
+        assert net.t_strength[0] == net.strengths.gamma(1)
+
+    def test_strengths_header(self):
+        net = sim_format.loads("strengths 1 1\nn g s d 1\n")
+        assert net.strengths.n_sizes == 1
+        assert net.strengths.omega == 3
+
+    def test_header_after_records_rejected(self):
+        with pytest.raises(NetlistFormatError):
+            sim_format.loads("n g s d\nstrengths 2 3\n")
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(NetlistFormatError):
+            sim_format.loads("input a\ninput a\n")
+
+    def test_unknown_record_rejected(self):
+        with pytest.raises(NetlistFormatError) as info:
+            sim_format.loads("q g s d\n")
+        assert info.value.line_number == 1
+
+    def test_arity_errors_carry_line_numbers(self):
+        with pytest.raises(NetlistFormatError) as info:
+            sim_format.loads("# ok\nn g s\n")
+        assert info.value.line_number == 2
+
+    def test_self_loop_reported_with_line(self):
+        with pytest.raises(NetlistFormatError):
+            sim_format.loads("n g s s\n")
+
+
+class TestRoundTrip:
+    def test_example_roundtrip(self):
+        net = sim_format.loads(EXAMPLE)
+        text = sim_format.dumps(net)
+        net2 = sim_format.loads(text)
+        assert net2.n_nodes == net.n_nodes
+        assert net2.n_transistors == net.n_transistors
+        assert set(net2.node_index) == set(net.node_index)
+        for name in net.node_index:
+            i, j = net.node(name), net2.node(name)
+            assert net.node_is_input[i] == net2.node_is_input[j]
+            assert net.node_size[i] == net2.node_size[j]
+
+    def test_file_roundtrip(self, tmp_path):
+        net = sim_format.loads(EXAMPLE)
+        path = tmp_path / "inv.sim"
+        sim_format.dump_path(net, str(path))
+        net2 = sim_format.load_path(str(path))
+        assert net2.n_transistors == net.n_transistors
+
+
+@st.composite
+def random_netlist_network(draw):
+    system = StrengthSystem(
+        n_sizes=draw(st.integers(1, 3)), n_strengths=draw(st.integers(1, 3))
+    )
+    b = NetworkBuilder(system)
+    names = [b.vdd, b.gnd]
+    for k in range(draw(st.integers(0, 3))):
+        names.append(b.input(f"i{k}"))
+    for k in range(draw(st.integers(1, 6))):
+        names.append(
+            b.node(f"s{k}", size=draw(st.integers(1, system.n_sizes)))
+        )
+    for _ in range(draw(st.integers(0, 8))):
+        kind = draw(st.sampled_from(["ntrans", "ptrans", "dtrans"]))
+        source = draw(st.sampled_from(names))
+        drain = draw(st.sampled_from([n for n in names if n != source]))
+        getattr(b, kind)(
+            draw(st.sampled_from(names)),
+            source,
+            drain,
+            strength=draw(st.integers(1, system.n_strengths)),
+        )
+    return b.build()
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(random_netlist_network())
+    def test_dump_load_preserves_structure(self, net):
+        net2 = sim_format.loads(sim_format.dumps(net))
+        assert net2.n_nodes == net.n_nodes
+        assert net2.n_transistors == net.n_transistors
+        assert net2.strengths.omega == net.strengths.omega
+        for name, index in net.node_index.items():
+            j = net2.node(name)
+            assert net.node_is_input[index] == net2.node_is_input[j]
+            assert net.node_size[index] == net2.node_size[j]
+        # Transistor multiset by (kind, strength, gate, source, drain) names.
+        def key(n, t):
+            return (
+                n.t_kind[t],
+                n.t_strength[t],
+                n.node_names[n.t_gate[t]],
+                frozenset(
+                    (n.node_names[n.t_source[t]], n.node_names[n.t_drain[t]])
+                ),
+            )
+
+        original = sorted(
+            str(key(net, t)) for t in range(net.n_transistors)
+        )
+        parsed = sorted(
+            str(key(net2, t)) for t in range(net2.n_transistors)
+        )
+        assert original == parsed

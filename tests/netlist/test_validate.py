@@ -1,0 +1,82 @@
+"""Unit tests for netlist lints."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.netlist.builder import NetworkBuilder
+from repro.netlist.validate import ERROR, WARNING, check, validate
+
+
+def lint_codes(net):
+    return {lint.code for lint in validate(net)}
+
+
+class TestRailLints:
+    def test_missing_rails_warn(self):
+        b = NetworkBuilder(with_rails=False)
+        b.input("a")
+        b.node("n")
+        b.ntrans("a", "a", "n")
+        assert "no-rail" in lint_codes(b.build())
+
+    def test_storage_rail_is_error(self):
+        b = NetworkBuilder(with_rails=False)
+        b.node("vdd")
+        b.input("gnd")
+        b.input("a")
+        b.node("n")
+        b.ntrans("a", "vdd", "n")
+        net = b.build()
+        assert "rail-not-input" in lint_codes(net)
+        with pytest.raises(NetworkError):
+            check(net)
+
+
+class TestStructureLints:
+    def test_isolated_node_warns(self):
+        b = NetworkBuilder()
+        b.node("orphan")
+        assert "isolated-node" in lint_codes(b.build())
+
+    def test_floating_gate_is_error(self):
+        b = NetworkBuilder()
+        b.node("float")  # gates a transistor but nothing can drive it
+        b.node("n")
+        b.ntrans("float", "vdd", "n")
+        net = b.build()
+        assert "floating-gate" in lint_codes(net)
+        with pytest.raises(NetworkError):
+            check(net)
+
+    def test_d_type_gate_exempt_from_floating(self):
+        b = NetworkBuilder()
+        b.node("out")
+        b.dtrans("out", "vdd", "out", strength="weak")
+        b.ntrans("vdd", "out", "gnd")
+        assert "floating-gate" not in lint_codes(b.build())
+
+    def test_undrivable_node_warns(self):
+        b = NetworkBuilder()
+        b.input("a")
+        b.nodes("x", "y")
+        b.ntrans("a", "x", "y")  # x-y island, no path to any input
+        assert "undrivable-node" in lint_codes(b.build())
+
+    def test_clean_inverter_has_no_findings(self):
+        b = NetworkBuilder()
+        b.input("a")
+        b.node("out")
+        b.dtrans("out", "vdd", "out", strength="weak")
+        b.ntrans("a", "out", "gnd")
+        assert lint_codes(b.build()) == set()
+        check(b.build() if False else b.network)  # no error raised
+
+    def test_ram_is_clean(self, ram4x4):
+        findings = [
+            lint for lint in validate(ram4x4.net) if lint.severity == ERROR
+        ]
+        assert findings == []
+
+    def test_severities_are_valid(self, ram4x4):
+        for lint in validate(ram4x4.net):
+            assert lint.severity in (ERROR, WARNING)

@@ -1,0 +1,171 @@
+"""Tests for pattern expansion, marches and the paper's sequences."""
+
+import pytest
+
+from repro.circuits.ram import build_ram, ram64, ram256
+from repro.errors import PatternError
+from repro.patterns.clocking import (
+    READ,
+    WRITE,
+    RamOp,
+    expand_op,
+    expand_ops,
+    settings_pattern,
+    total_phases,
+)
+from repro.patterns.march import (
+    control_test,
+    march_array,
+    march_cols,
+    march_rows,
+)
+from repro.patterns.random_patterns import (
+    drivable_inputs,
+    initialization_pattern,
+    random_patterns,
+)
+from repro.patterns.sequences import sequence1, sequence2
+
+
+class TestClocking:
+    def test_pattern_has_six_phases(self, ram4x4):
+        pattern = expand_op(ram4x4, RamOp(WRITE, 1, 2, value=1))
+        assert len(pattern) == 6  # "a sequence of 6 input settings"
+
+    def test_phases_cycle_the_clocks(self, ram4x4):
+        pattern = expand_op(ram4x4, RamOp(READ, 0, 0))
+        phases = pattern.phases
+        assert phases[0].settings[ram4x4.phi_p] == 1
+        assert phases[1].settings[ram4x4.phi_p] == 0
+        assert phases[2].settings == {ram4x4.phi_r: 1}
+        assert phases[3].settings == {ram4x4.phi_r: 0}
+        assert phases[4].settings == {ram4x4.phi_w: 1}
+        assert phases[5].settings == {ram4x4.phi_w: 0}
+
+    def test_write_sets_we_and_din(self, ram4x4):
+        pattern = expand_op(ram4x4, RamOp(WRITE, 1, 2, value=1))
+        setup = pattern.phases[1].settings
+        assert setup[ram4x4.we] == 1
+        assert setup[ram4x4.din] == 1
+
+    def test_read_clears_we(self, ram4x4):
+        setup = expand_op(ram4x4, RamOp(READ, 1, 2)).phases[1].settings
+        assert setup[ram4x4.we] == 0
+
+    def test_address_in_setup_phase(self, ram4x4):
+        setup = expand_op(ram4x4, RamOp(READ, 2, 3)).phases[1].settings
+        assert setup["ra1"] == 1 and setup["ra0"] == 0
+        assert setup["ca1"] == 1 and setup["ca0"] == 1
+
+    def test_invalid_op_rejected(self):
+        with pytest.raises(PatternError):
+            RamOp("q", 0, 0)
+
+    def test_labels(self):
+        assert RamOp(WRITE, 1, 2, value=0).label == "w0@(1,2)"
+        assert RamOp(READ, 3, 0).label == "r@(3,0)"
+
+    def test_settings_pattern(self):
+        pattern = settings_pattern("init", [{"a": 1}, {"a": 0}])
+        assert len(pattern) == 2
+        assert pattern.phases[0].settings == {"a": 1}
+
+    def test_total_phases(self, ram4x4):
+        patterns = expand_ops(
+            ram4x4, [RamOp(READ, 0, 0), RamOp(WRITE, 0, 0, value=1)]
+        )
+        assert total_phases(patterns) == 12
+
+
+class TestMarches:
+    def test_march_array_is_5n(self, ram4x4):
+        assert len(march_array(ram4x4)) == 5 * ram4x4.words
+
+    def test_march_array_structure(self, ram4x4):
+        ops = march_array(ram4x4)
+        n = ram4x4.words
+        assert all(op.op == WRITE and op.value == 0 for op in ops[:n])
+        # Then alternating read/write ascending.
+        assert ops[n].op == READ and ops[n].expect == 0
+        assert ops[n + 1].op == WRITE and ops[n + 1].value == 1
+
+    def test_march_array_leaves_zeros(self, ram4x4):
+        final_writes = {}
+        for op in march_array(ram4x4):
+            if op.op == WRITE:
+                final_writes[(op.row, op.col)] = op.value
+        assert set(final_writes.values()) == {0}
+
+    def test_march_rows_and_cols_counts(self, ram4x4):
+        assert len(march_rows(ram4x4)) == 5 * ram4x4.rows
+        assert len(march_cols(ram4x4)) == 5 * ram4x4.cols
+
+    def test_march_rows_touches_every_row(self, ram4x4):
+        rows = {op.row for op in march_rows(ram4x4)}
+        assert rows == set(range(ram4x4.rows))
+
+    def test_control_test_is_seven_patterns(self, ram4x4):
+        assert len(control_test(ram4x4)) == 7
+
+    def test_control_test_hits_corner_cells(self, ram4x4):
+        cells = {(op.row, op.col) for op in control_test(ram4x4)}
+        assert (0, 0) in cells
+        assert (ram4x4.rows - 1, ram4x4.cols - 1) in cells
+
+
+class TestSequences:
+    def test_paper_pattern_counts(self):
+        # The exact arithmetic from the paper.
+        r64 = ram64()
+        assert len(sequence1(r64)) == 407
+        assert len(sequence2(r64)) == 327
+        r256 = ram256()
+        assert len(sequence1(r256)) == 1447
+
+    def test_sections(self, ram4x4):
+        seq = sequence1(ram4x4)
+        assert seq.sections["control"] == (0, 7)
+        assert seq.sections["rows"] == (7, 20)
+        assert seq.sections["cols"] == (27, 20)
+        assert seq.sections["array"] == (47, 80)
+        assert seq.head_length == 47
+
+    def test_sequence2_omits_row_col_marches(self, ram4x4):
+        seq = sequence2(ram4x4)
+        assert set(seq.sections) == {"control", "array"}
+        assert len(seq) == 7 + 5 * ram4x4.words
+
+    def test_patterns_match_ops(self, ram4x4):
+        seq = sequence1(ram4x4)
+        assert len(seq.patterns) == len(seq.ops)
+        assert seq.patterns[0].label == seq.ops[0].label
+
+
+class TestRandomPatterns:
+    def test_drivable_inputs_excludes_rails(self, ram4x4):
+        names = drivable_inputs(ram4x4.net)
+        assert "vdd" not in names and "gnd" not in names
+        assert ram4x4.we in names
+
+    def test_reproducible(self, ram4x4):
+        a = random_patterns(ram4x4.net, 5, seed=3)
+        b = random_patterns(ram4x4.net, 5, seed=3)
+        assert a == b
+
+    def test_allow_x(self, ram4x4):
+        patterns = random_patterns(
+            ram4x4.net, 20, seed=0, allow_x=True, change_probability=1.0
+        )
+        states = {
+            state
+            for pattern in patterns
+            for phase in pattern.phases
+            for state in phase.settings.values()
+        }
+        assert 2 in states
+
+    def test_initialization_pattern_drives_everything(self, ram4x4):
+        pattern = initialization_pattern(ram4x4.net)
+        assert set(pattern.phases[0].settings) == set(
+            drivable_inputs(ram4x4.net)
+        )

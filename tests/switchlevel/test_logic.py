@@ -1,0 +1,125 @@
+"""Unit tests for ternary logic values and value-set masks."""
+
+import pytest
+
+from repro.switchlevel.logic import (
+    BIT0,
+    BIT1,
+    BITX,
+    ONE,
+    STATE_CHARS,
+    STATES,
+    X,
+    ZERO,
+    invert,
+    lub,
+    lub_all,
+    mask_is_single,
+    mask_to_state,
+    refines,
+    state_from_char,
+    state_to_char,
+)
+
+
+class TestStates:
+    def test_state_values_index_tables(self):
+        assert (ZERO, ONE, X) == (0, 1, 2)
+
+    def test_states_tuple_is_canonical(self):
+        assert STATES == (ZERO, ONE, X)
+
+    def test_state_chars(self):
+        assert [state_to_char(s) for s in STATES] == ["0", "1", "X"]
+
+    def test_state_chars_constant_matches(self):
+        assert STATE_CHARS == "01X"
+
+    @pytest.mark.parametrize(
+        "char,state", [("0", ZERO), ("1", ONE), ("x", X), ("X", X)]
+    )
+    def test_state_from_char(self, char, state):
+        assert state_from_char(char) == state
+
+    def test_state_from_char_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            state_from_char("2")
+
+    def test_state_to_char_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            state_to_char(7)
+
+
+class TestLub:
+    @pytest.mark.parametrize("state", STATES)
+    def test_lub_idempotent(self, state):
+        assert lub(state, state) == state
+
+    def test_lub_conflict_is_x(self):
+        assert lub(ZERO, ONE) == X
+        assert lub(ONE, ZERO) == X
+
+    @pytest.mark.parametrize("state", STATES)
+    def test_lub_with_x_is_x(self, state):
+        assert lub(state, X) == X
+        assert lub(X, state) == X
+
+    def test_lub_commutative(self):
+        for a in STATES:
+            for b in STATES:
+                assert lub(a, b) == lub(b, a)
+
+    def test_lub_all_empty_is_x(self):
+        assert lub_all([]) == X
+
+    def test_lub_all_single(self):
+        assert lub_all([ONE]) == ONE
+
+    def test_lub_all_mixed(self):
+        assert lub_all([ONE, ONE, ZERO]) == X
+
+
+class TestRefinement:
+    def test_everything_refines_x(self):
+        for state in STATES:
+            assert refines(state, X)
+
+    def test_definite_refines_only_itself(self):
+        assert refines(ONE, ONE)
+        assert refines(ZERO, ZERO)
+        assert not refines(ONE, ZERO)
+        assert not refines(ZERO, ONE)
+
+    def test_x_does_not_refine_definite(self):
+        assert not refines(X, ONE)
+        assert not refines(X, ZERO)
+
+
+class TestMasks:
+    def test_masks_match_shifted_states(self):
+        assert BIT0 == 1 << ZERO
+        assert BIT1 == 1 << ONE
+        assert BITX == 1 << X
+
+    def test_mask_is_single(self):
+        assert mask_is_single(BIT0)
+        assert mask_is_single(BIT1)
+        assert mask_is_single(BITX)
+        assert not mask_is_single(BIT0 | BIT1)
+        assert not mask_is_single(0)
+
+    def test_mask_to_state_singletons(self):
+        assert mask_to_state(BIT0) == ZERO
+        assert mask_to_state(BIT1) == ONE
+        assert mask_to_state(BITX) == X
+
+    def test_mask_to_state_fight_is_x(self):
+        assert mask_to_state(BIT0 | BIT1) == X
+        assert mask_to_state(BIT0 | BITX) == X
+
+
+class TestInvert:
+    def test_invert(self):
+        assert invert(ZERO) == ONE
+        assert invert(ONE) == ZERO
+        assert invert(X) == X

@@ -1,0 +1,205 @@
+"""Unit tests for the network model, including the paper's Table 1."""
+
+import pytest
+
+from repro.errors import (
+    NetworkError,
+    NetworkFrozenError,
+    NetworkNotFinalizedError,
+    UnknownNodeError,
+    UnknownTransistorError,
+)
+from repro.switchlevel.logic import ONE, X, ZERO
+from repro.switchlevel.network import (
+    DTYPE,
+    NTYPE,
+    PTYPE,
+    Network,
+    transistor_state,
+)
+
+
+class TestTable1:
+    """Transistor state as a function of gate node state (paper Table 1)."""
+
+    def test_n_type(self):
+        assert transistor_state(NTYPE, ZERO) == ZERO
+        assert transistor_state(NTYPE, ONE) == ONE
+        assert transistor_state(NTYPE, X) == X
+
+    def test_p_type(self):
+        assert transistor_state(PTYPE, ZERO) == ONE
+        assert transistor_state(PTYPE, ONE) == ZERO
+        assert transistor_state(PTYPE, X) == X
+
+    def test_d_type_always_conducts(self):
+        for gate_state in (ZERO, ONE, X):
+            assert transistor_state(DTYPE, gate_state) == ONE
+
+
+def small_net() -> Network:
+    net = Network()
+    net.add_node("vdd", is_input=True)
+    net.add_node("gnd", is_input=True)
+    net.add_node("a", is_input=True)
+    net.add_node("out", size=1)
+    net.add_transistor("pu", DTYPE, net.node("out"), net.node("vdd"),
+                       net.node("out"), strength=net.strengths.gamma(1))
+    net.add_transistor("pd", NTYPE, net.node("a"), net.node("out"),
+                       net.node("gnd"), strength=net.strengths.gamma(2))
+    return net
+
+
+class TestConstruction:
+    def test_counts(self):
+        net = small_net()
+        assert net.n_nodes == 4
+        assert net.n_transistors == 2
+
+    def test_duplicate_node_rejected(self):
+        net = small_net()
+        with pytest.raises(NetworkError):
+            net.add_node("a")
+
+    def test_duplicate_transistor_rejected(self):
+        net = small_net()
+        with pytest.raises(NetworkError):
+            net.add_transistor("pu", NTYPE, 0, 1, 2)
+
+    def test_unknown_node_lookup(self):
+        with pytest.raises(UnknownNodeError):
+            small_net().node("nope")
+
+    def test_unknown_transistor_lookup(self):
+        with pytest.raises(UnknownTransistorError):
+            small_net().transistor("nope")
+
+    def test_bad_size_rejected(self):
+        net = small_net()
+        with pytest.raises(NetworkError):
+            net.add_node("big", size=99)
+
+    def test_input_ignores_size(self):
+        net = small_net()
+        index = net.add_node("clk", is_input=True, size=1)
+        assert net.node_size[index] == net.strengths.omega
+
+    def test_self_loop_rejected(self):
+        net = small_net()
+        with pytest.raises(NetworkError):
+            net.add_transistor("bad", NTYPE, 0, 3, 3)
+
+    def test_bad_kind_rejected(self):
+        net = small_net()
+        with pytest.raises(NetworkError):
+            net.add_transistor("bad", 9, 0, 1, 2)
+
+    def test_bad_terminal_rejected(self):
+        net = small_net()
+        with pytest.raises(UnknownNodeError):
+            net.add_transistor("bad", NTYPE, 0, 1, 99)
+
+    def test_size_strength_not_allowed_for_transistor(self):
+        net = small_net()
+        with pytest.raises(NetworkError):
+            net.add_transistor("bad", NTYPE, 0, 1, 2, strength=1)
+
+
+class TestFinalize:
+    def test_adjacency_built(self):
+        net = small_net().finalize()
+        out = net.node("out")
+        incident = {t for t, _ in net.node_channels[out]}
+        assert incident == {net.transistor("pu"), net.transistor("pd")}
+        assert net.node_gates[out] == [net.transistor("pu")]
+
+    def test_finalize_idempotent(self):
+        net = small_net().finalize()
+        assert net.finalize() is net
+
+    def test_frozen_after_finalize(self):
+        net = small_net().finalize()
+        with pytest.raises(NetworkFrozenError):
+            net.add_node("late")
+        with pytest.raises(NetworkFrozenError):
+            net.add_transistor("late", NTYPE, 0, 1, 2)
+
+    def test_require_finalized(self):
+        with pytest.raises(NetworkNotFinalizedError):
+            small_net().require_finalized()
+
+    def test_stats(self):
+        stats = small_net().finalize().stats()
+        assert stats["nodes"] == 4
+        assert stats["input_nodes"] == 3
+        assert stats["storage_nodes"] == 1
+        assert stats["transistors"] == 2
+        assert stats["n_type"] == 1
+        assert stats["d_type"] == 1
+        assert stats["p_type"] == 0
+
+
+class TestUnfrozenCopy:
+    def test_copy_preserves_indexes_and_accepts_additions(self):
+        net = small_net().finalize()
+        copy = net.unfrozen_copy()
+        assert copy.node("out") == net.node("out")
+        assert copy.transistor("pd") == net.transistor("pd")
+        copy.add_node("extra")
+        copy.add_transistor(
+            "fault", NTYPE, copy.node("extra"), copy.node("out"),
+            copy.node("extra"),
+        )
+        copy.finalize()
+        assert copy.n_transistors == net.n_transistors + 1
+        # The original is untouched.
+        assert net.n_transistors == 2
+
+    def test_rewire_channel(self):
+        net = small_net()
+        split = net.add_node("out.split")
+        pd = net.transistor("pd")
+        net.rewire_channel(pd, net.node("out"), split)
+        assert net.t_source[pd] == split
+
+    def test_rewire_requires_matching_terminal(self):
+        net = small_net()
+        split = net.add_node("s2")
+        with pytest.raises(NetworkError):
+            net.rewire_channel(net.transistor("pd"), net.node("vdd"), split)
+
+    def test_rewire_frozen_rejected(self):
+        net = small_net().finalize()
+        with pytest.raises(NetworkFrozenError):
+            net.rewire_channel(0, 0, 1)
+
+
+class TestStateHelpers:
+    def test_initial_states_all_x(self):
+        net = small_net().finalize()
+        assert net.initial_node_states() == [X] * 4
+
+    def test_compute_transistor_states(self):
+        net = small_net().finalize()
+        states = [ONE, ZERO, ONE, ZERO]  # vdd gnd a out
+        tstates = net.compute_transistor_states(states)
+        assert tstates[net.transistor("pu")] == ONE  # d-type
+        assert tstates[net.transistor("pd")] == ONE  # gate a == 1
+
+    def test_validate_states_rejects_bad_length(self):
+        net = small_net().finalize()
+        with pytest.raises(NetworkError):
+            net.validate_states([ONE])
+
+    def test_validate_states_rejects_bad_value(self):
+        net = small_net().finalize()
+        with pytest.raises(NetworkError):
+            net.validate_states([ONE, ZERO, 5, ZERO])
+
+    def test_node_and_transistor_info(self):
+        net = small_net().finalize()
+        info = net.node_info(net.node("out"))
+        assert info.name == "out" and not info.is_input
+        tinfo = net.transistor_info(net.transistor("pd"))
+        assert tinfo.kind_name == "n"
+        assert tinfo.strength == net.strengths.gamma(2)

@@ -1,0 +1,209 @@
+"""Tests for the event-driven engine: locality, feedback, oscillation."""
+
+import pytest
+
+from repro.errors import OscillationError, SimulationError
+from repro.netlist.builder import NetworkBuilder
+from repro.cells import nmos
+from repro.switchlevel.scheduler import Engine
+from repro.switchlevel.simulator import Simulator
+
+
+def ring_oscillator(stages: int = 3) -> NetworkBuilder:
+    b = NetworkBuilder()
+    b.input("en")
+    first = b.node("r0")
+    previous = first
+    for i in range(1, stages):
+        previous = nmos.inverter(b, previous, f"r{i}")
+    # Close the loop through a NAND with the enable so the ring can be
+    # started deterministically.
+    out = nmos.nand(b, [previous, "en"], "rback")
+    b.ntrans("vdd", out, first, strength="strong")  # always-on connection
+    return b
+
+
+class TestFeedback:
+    def test_cross_coupled_inverters_settle(self):
+        b = NetworkBuilder()
+        b.inputs("set_q", "set_qb")
+        q = b.node("q")
+        qb = b.node("qb")
+        # NOR latch from primitive transistors.
+        nmos.pullup(b, q)
+        nmos.pullup(b, qb)
+        b.ntrans("qb", q, "gnd", strength="strong")
+        b.ntrans("set_q", qb, "gnd", strength="strong")
+        b.ntrans("q", qb, "gnd", strength="strong")
+        b.ntrans("set_qb", q, "gnd", strength="strong")
+        s = Simulator(b.build())
+        s.apply({"set_q": 1, "set_qb": 0})
+        assert (s.get("q"), s.get("qb")) == ("1", "0")
+        s.apply({"set_q": 0})
+        assert (s.get("q"), s.get("qb")) == ("1", "0")  # latch holds
+        s.apply({"set_qb": 1})
+        s.apply({"set_qb": 0})
+        assert (s.get("q"), s.get("qb")) == ("0", "1")  # flipped
+
+
+class TestOscillation:
+    """From an all-X start a ring sits at the (stable) X fixpoint, so the
+    tests first park the ring with the enable low to inject definite
+    states, then start it."""
+
+    def test_ring_stable_at_x_from_cold_start(self):
+        s = Simulator(ring_oscillator().build(), max_rounds=30)
+        stats = s.apply({"en": 1})
+        assert not stats.oscillated
+        assert s.get("r0") == "X"
+
+    def test_ring_oscillator_forced_to_x(self):
+        s = Simulator(ring_oscillator().build(), max_rounds=30)
+        s.apply({"en": 0})  # park: definite states around the ring
+        assert s.get("r0") in "01"
+        stats = s.apply({"en": 1})  # odd inversion loop: oscillates
+        assert stats.oscillated
+        assert s.oscillated
+        # The ring nodes end up X (sound description of oscillation).
+        assert s.get("r0") == "X"
+
+    def test_ring_oscillator_raises_when_configured(self):
+        s = Simulator(
+            ring_oscillator().build(), max_rounds=30, on_oscillation="raise"
+        )
+        s.apply({"en": 0})
+        with pytest.raises(OscillationError):
+            s.apply({"en": 1})
+
+    def test_oscillation_count_reported(self):
+        s = Simulator(ring_oscillator().build(), max_rounds=30)
+        s.apply({"en": 0})
+        s.apply({"en": 1})
+        assert s.engine.oscillation_events >= 1
+
+
+class TestEngineValidation:
+    def test_drive_non_input_rejected(self):
+        b = NetworkBuilder()
+        b.input("a")
+        nmos.inverter(b, "a", "out")
+        engine = Engine(b.build())
+        with pytest.raises(SimulationError):
+            engine.drive(engine.net.node("out"), 1)
+
+    def test_drive_invalid_state_rejected(self):
+        b = NetworkBuilder()
+        b.input("a")
+        b.node("n")
+        engine = Engine(b.build())
+        with pytest.raises(SimulationError):
+            engine.drive(engine.net.node("a"), 9)
+
+    def test_drive_forced_node_rejected(self):
+        b = NetworkBuilder()
+        b.input("a")
+        b.node("n")
+        b.ntrans("a", "vdd", "n")
+        net = b.build()
+        engine = Engine(net, forced_nodes={net.node("n"): 0})
+        with pytest.raises(SimulationError):
+            engine.drive(net.node("n"), 1)
+
+    def test_bad_locality_rejected(self):
+        b = NetworkBuilder()
+        b.node("n")
+        with pytest.raises(SimulationError):
+            Engine(b.build(), locality="quantum")
+
+    def test_bad_oscillation_policy_rejected(self):
+        b = NetworkBuilder()
+        b.node("n")
+        with pytest.raises(SimulationError):
+            Engine(b.build(), on_oscillation="ignore")
+
+
+class TestForcedOverrides:
+    def test_forced_node_acts_as_input(self):
+        b = NetworkBuilder()
+        b.input("a")
+        out = nmos.inverter(b, "a", "out")
+        net = b.build()
+        forced = {net.node(out): 1}
+        s = Simulator(net, forced_nodes=forced)
+        s.apply({"a": 1})  # would normally drive out to 0
+        assert s.get("out") == "1"
+
+    def test_forced_transistor_stuck_open(self):
+        b = NetworkBuilder()
+        b.input("a")
+        b.node("out")
+        b.dtrans("out", "vdd", "out", strength="weak")
+        pd = b.ntrans("a", "out", "gnd", strength="strong")
+        net = b.build()
+        s = Simulator(net, forced_transistors={net.transistor(pd): 0})
+        s.apply({"a": 1})
+        assert s.get("out") == "1"  # pulldown stuck open: output stays high
+
+    def test_forced_transistor_stuck_closed(self):
+        b = NetworkBuilder()
+        b.input("a")
+        b.node("out")
+        b.dtrans("out", "vdd", "out", strength="weak")
+        pd = b.ntrans("a", "out", "gnd", strength="strong")
+        net = b.build()
+        s = Simulator(net, forced_transistors={net.transistor(pd): 1})
+        s.apply({"a": 0})
+        assert s.get("out") == "0"  # pulldown stuck closed: output low
+
+
+class TestStaticLocalityAblation:
+    def test_static_mode_matches_dynamic_results(self):
+        # Same functional results, just a larger recomputed region.
+        for locality in ("dynamic", "static"):
+            b = NetworkBuilder()
+            b.input("a")
+            b.input("g")
+            mid = nmos.inverter(b, "a", "mid")
+            b.node("far")
+            b.ntrans("g", mid, "far", strength="strong")
+            s = Simulator(b.build(), locality=locality)
+            s.apply({"a": 0, "g": 1})
+            assert s.get("far") == "1", locality
+            s.apply({"g": 0})
+            s.apply({"a": 1})
+            assert s.get("far") == "1", locality  # isolated charge
+
+    def test_static_mode_computes_more_nodes(self):
+        # Static locality differs from dynamic on pass-transistor chains:
+        # an off transistor bounds the dynamic vicinity but not the
+        # DC-connected component.
+        def run(locality):
+            b = NetworkBuilder()
+            b.input("a")
+            b.input("g")
+            previous = b.node("p0")
+            b.ntrans("vdd", "a", previous, strength="strong")
+            for i in range(1, 7):
+                node = b.node(f"p{i}")
+                b.ntrans("g", previous, node, strength="strong")
+                previous = node
+            s = Simulator(b.build(), locality=locality)
+            s.apply({"g": 0})
+            stats = s.apply({"a": 1})  # chain is cut: only p0 should move
+            return stats.nodes_computed
+
+        assert run("static") > run("dynamic")
+
+
+class TestSnapshots:
+    def test_snapshot_restore_roundtrip(self):
+        b = NetworkBuilder()
+        b.input("a")
+        nmos.inverter(b, "a", "out")
+        s = Simulator(b.build())
+        s.apply({"a": 0})
+        snap = s.snapshot()
+        s.apply({"a": 1})
+        assert s.get("out") == "0"
+        s.restore(snap)
+        assert s.get("out") == "1"

@@ -1,0 +1,247 @@
+"""Semantic tests of the steady-state solver on the standard MOS idioms.
+
+Each test builds a tiny network and checks the settled states against
+electrically reasoned expectations: ratioed logic, charge sharing and
+retention, drive-beats-charge, signal blocking, X conservatism.
+"""
+
+import pytest
+
+from repro.netlist.builder import NetworkBuilder
+from repro.switchlevel.simulator import Simulator
+
+
+def sim(builder: NetworkBuilder) -> Simulator:
+    return Simulator(builder.build())
+
+
+class TestDriveAndFights:
+    def test_input_drives_node(self, builder):
+        builder.input("a")
+        builder.node("n")
+        builder.ntrans("vdd", "a", "n", strength="strong")  # always on
+        s = sim(builder)
+        s.apply({"a": 1})
+        assert s.get("n") == "1"
+        s.apply({"a": 0})
+        assert s.get("n") == "0"
+
+    def test_equal_strength_fight_is_x(self, builder):
+        builder.node("n")
+        builder.ntrans("vdd", "vdd", "n", strength="strong")
+        builder.ntrans("vdd", "gnd", "n", strength="strong")
+        s = sim(builder)
+        assert s.get("n") == "X"
+
+    def test_stronger_drive_wins_fight(self, builder):
+        builder.node("n")
+        builder.ntrans("vdd", "vdd", "n", strength="weak")
+        builder.ntrans("vdd", "gnd", "n", strength="strong")
+        s = sim(builder)
+        assert s.get("n") == "0"
+
+    def test_ratioed_inverter(self, builder):
+        builder.input("a")
+        builder.node("out")
+        builder.dtrans("out", "vdd", "out", strength="weak")
+        builder.ntrans("a", "out", "gnd", strength="strong")
+        s = sim(builder)
+        s.apply({"a": 0})
+        assert s.get("out") == "1"
+        s.apply({"a": 1})
+        assert s.get("out") == "0"
+        s.apply({"a": "X"})
+        assert s.get("out") == "X"
+
+
+class TestChargeBehavior:
+    def test_isolated_node_retains_state(self, builder):
+        builder.input("g")
+        builder.node("n")
+        builder.ntrans("g", "vdd", "n", strength="strong")
+        s = sim(builder)
+        s.apply({"g": 1})
+        assert s.get("n") == "1"
+        s.apply({"g": 0})  # isolate: charge holds
+        assert s.get("n") == "1"
+
+    def test_drive_overwrites_charge(self, builder):
+        builder.input("g")
+        builder.node("n", size="large")
+        builder.ntrans("g", "gnd", "n", strength="weak")
+        s = sim(builder)
+        s.apply({"g": 1})
+        assert s.get("n") == "0"  # weakest drive still beats largest charge
+
+    def test_charge_sharing_big_wins(self, builder):
+        builder.input("g")
+        builder.input("seta")
+        builder.input("setb")
+        builder.node("big", size="large")
+        builder.node("small", size=1)
+        builder.ntrans("seta", "vdd", "big", strength="strong")
+        builder.ntrans("setb", "gnd", "small", strength="strong")
+        builder.ntrans("g", "big", "small", strength="strong")
+        s = sim(builder)
+        s.apply({"seta": 1, "setb": 1, "g": 0})
+        s.apply({"seta": 0, "setb": 0})  # big=1, small=0, both isolated
+        s.apply({"g": 1})  # connect: big charge wins
+        assert s.get("big") == "1"
+        assert s.get("small") == "1"
+
+    def test_charge_sharing_equal_sizes_is_x(self, builder):
+        builder.input("g")
+        builder.input("seta")
+        builder.input("setb")
+        builder.node("na", size=1)
+        builder.node("nb", size=1)
+        builder.ntrans("seta", "vdd", "na", strength="strong")
+        builder.ntrans("setb", "gnd", "nb", strength="strong")
+        builder.ntrans("g", "na", "nb", strength="strong")
+        s = sim(builder)
+        s.apply({"seta": 1, "setb": 1, "g": 0})
+        s.apply({"seta": 0, "setb": 0})
+        s.apply({"g": 1})
+        assert s.get("na") == "X"
+        assert s.get("nb") == "X"
+
+    def test_charge_sharing_agreeing_values_stays_definite(self, builder):
+        builder.input("g")
+        builder.input("seta")
+        builder.node("na", size=1)
+        builder.node("nb", size=1)
+        builder.ntrans("seta", "vdd", "na", strength="strong")
+        builder.ntrans("seta", "vdd", "nb", strength="strong")
+        builder.ntrans("g", "na", "nb", strength="strong")
+        s = sim(builder)
+        s.apply({"seta": 1, "g": 0})
+        s.apply({"seta": 0})
+        s.apply({"g": 1})
+        assert s.get("na") == "1"
+        assert s.get("nb") == "1"
+
+
+class TestXConservatism:
+    def test_x_gate_cannot_corrupt_agreeing_value(self, builder):
+        # Node stores 1; an X transistor connects it to vdd (also 1):
+        # whether or not the switch conducts the node sees only 1s.
+        builder.input("g")
+        builder.input("seta")
+        builder.node("n")
+        builder.ntrans("seta", "vdd", "n", strength="strong")
+        builder.ntrans("g", "vdd", "n", strength="strong")
+        s = sim(builder)
+        s.apply({"seta": 1, "g": 0})
+        s.apply({"seta": 0, "g": "X"})
+        assert s.get("n") == "1"
+
+    def test_x_gate_with_conflicting_value_is_x(self, builder):
+        builder.input("g")
+        builder.input("seta")
+        builder.node("n")
+        builder.ntrans("seta", "gnd", "n", strength="strong")
+        builder.ntrans("g", "vdd", "n", strength="strong")
+        s = sim(builder)
+        s.apply({"seta": 1, "g": 0})
+        s.apply({"seta": 0, "g": "X"})  # n stored 0; maybe-on path to 1
+        assert s.get("n") == "X"
+
+    def test_x_input_propagates_x_through_on_switch(self, builder):
+        builder.input("a")
+        builder.node("n")
+        builder.ntrans("vdd", "a", "n", strength="strong")
+        s = sim(builder)
+        s.apply({"a": "X"})
+        assert s.get("n") == "X"
+
+
+class TestBlocking:
+    def test_strongly_driven_node_blocks_weak_signal(self, builder):
+        # gnd --weak-- mid --strong-- vdd ; mid --strong-- out:
+        # mid is pinned to 1 by the strong path, so out sees only 1
+        # even though a weak 0 arrives at mid.
+        builder.node("mid")
+        builder.node("out")
+        builder.ntrans("vdd", "gnd", "mid", strength="weak")
+        builder.ntrans("vdd", "vdd", "mid", strength="strong")
+        builder.ntrans("vdd", "mid", "out", strength="strong")
+        s = sim(builder)
+        assert s.get("mid") == "1"
+        assert s.get("out") == "1"
+
+    def test_fight_propagates_as_x(self, builder):
+        builder.node("mid")
+        builder.node("out")
+        builder.ntrans("vdd", "gnd", "mid", strength="strong")
+        builder.ntrans("vdd", "vdd", "mid", strength="strong")
+        builder.ntrans("vdd", "mid", "out", strength="strong")
+        s = sim(builder)
+        assert s.get("mid") == "X"
+        assert s.get("out") == "X"
+
+    def test_weak_path_attenuates_strong_source(self, builder):
+        # A strong 0 reaching through a weak transistor loses to a strong
+        # path to vdd at the target.
+        builder.node("n")
+        builder.ntrans("vdd", "gnd", "n", strength="weak")
+        builder.ntrans("vdd", "vdd", "n", strength="strong")
+        s = sim(builder)
+        assert s.get("n") == "1"
+
+
+class TestBidirectionality:
+    def test_signal_flows_both_directions(self, builder):
+        builder.input("g")
+        builder.input("a")
+        builder.node("left")
+        builder.node("right")
+        builder.ntrans("vdd", "a", "left", strength="strong")
+        builder.ntrans("g", "left", "right", strength="strong")
+        s = sim(builder)
+        s.apply({"a": 1, "g": 1})
+        assert s.get("right") == "1"  # left -> right
+        # Now drive from the right side instead.
+        b2 = NetworkBuilder()
+        b2.input("g")
+        b2.input("a")
+        b2.node("left")
+        b2.node("right")
+        b2.ntrans("vdd", "a", "right", strength="strong")
+        b2.ntrans("g", "left", "right", strength="strong")
+        s2 = sim(b2)
+        s2.apply({"a": 0, "g": 1})
+        assert s2.get("left") == "0"  # right -> left
+
+    def test_chain_of_pass_transistors(self, builder):
+        builder.input("g")
+        builder.input("a")
+        previous = "a"
+        for i in range(5):
+            node = builder.node(f"n{i}")
+            builder.ntrans("g", previous, node, strength="strong")
+            previous = node
+        s = sim(builder)
+        s.apply({"a": 1, "g": 1})
+        assert s.get("n4") == "1"
+        s.apply({"a": 0})
+        assert s.get("n4") == "0"
+        s.apply({"g": 0})
+        s.apply({"a": 1})
+        assert s.get("n4") == "0"  # isolated chain holds charge
+
+
+class TestSolverIdempotence:
+    def test_second_settle_changes_nothing(self, builder):
+        builder.input("a")
+        builder.node("out")
+        builder.dtrans("out", "vdd", "out", strength="weak")
+        builder.ntrans("a", "out", "gnd", strength="strong")
+        s = sim(builder)
+        s.apply({"a": 1})
+        before = s.states_by_name()
+        # Re-perturb everything and settle again: states must not move.
+        for node in range(s.net.n_nodes):
+            if not s.net.node_is_input[node]:
+                s.engine.perturb(node)
+        s.settle()
+        assert s.states_by_name() == before

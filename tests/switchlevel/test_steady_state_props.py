@@ -1,0 +1,204 @@
+"""Property-based tests of the switch-level simulation semantics.
+
+Three invariants pin the solver and scheduler down on *random* networks:
+
+* **X-monotonicity**: refining X inputs to definite values can only
+  refine node states (never flip a definite result) -- the soundness
+  property of ternary simulation.
+* **Event-driven == eager**: settling only perturbed vicinities reaches
+  exactly the same states as recomputing every vicinity every round --
+  this is what validates the perturbation/vicinity rules.
+* **Idempotence**: a settled network re-settles to itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.netlist.builder import NetworkBuilder
+from repro.switchlevel.logic import X, refines
+from repro.switchlevel.network import Network
+from repro.switchlevel.scheduler import Engine
+from repro.switchlevel.steady_state import solve_vicinity
+from repro.switchlevel.vicinity import explore
+
+PROP_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def random_network(draw) -> Network:
+    """A small random switch-level network (rails + inputs + storage)."""
+    n_inputs = draw(st.integers(1, 3))
+    n_storage = draw(st.integers(2, 7))
+    b = NetworkBuilder()
+    names = [b.vdd, b.gnd]
+    for k in range(n_inputs):
+        names.append(b.input(f"i{k}"))
+    for k in range(n_storage):
+        names.append(b.node(f"s{k}", size=draw(st.integers(1, 2))))
+    n_transistors = draw(st.integers(1, 12))
+    for t in range(n_transistors):
+        kind = draw(st.sampled_from(["ntrans", "ptrans", "dtrans"]))
+        gate = draw(st.sampled_from(names))
+        source = draw(st.sampled_from(names))
+        drain = draw(
+            st.sampled_from([n for n in names if n != source])
+        )
+        strength = draw(st.integers(1, 3))
+        getattr(b, kind)(gate, source, drain, strength=strength)
+    return b.build()
+
+
+@st.composite
+def network_and_stimulus(draw, allow_x: bool = False):
+    net = draw(random_network())
+    input_names = [
+        net.node_names[i]
+        for i in net.input_nodes()
+        if net.node_names[i] not in ("vdd", "gnd")
+    ]
+    states = (0, 1, 2) if allow_x else (0, 1)
+    n_steps = draw(st.integers(1, 4))
+    stimulus = []
+    for _ in range(n_steps):
+        setting = {
+            name: draw(st.sampled_from(states))
+            for name in input_names
+            if draw(st.booleans())
+        }
+        stimulus.append(setting)
+    return net, stimulus
+
+
+def drive_rails(engine: Engine) -> None:
+    net = engine.net
+    engine.drive(net.node("vdd"), 1)
+    engine.drive(net.node("gnd"), 0)
+    engine.settle()
+
+
+def run_event_driven(net: Network, stimulus) -> list[int] | None:
+    """Final states via the production engine; None if it oscillated."""
+    engine = Engine(net, max_rounds=80)
+    drive_rails(engine)
+    for setting in stimulus:
+        for name, state in setting.items():
+            engine.drive(net.node(name), state)
+        stats = engine.settle()
+        if stats.oscillated:
+            return None
+    return list(engine.states)
+
+
+def run_eager(net: Network, stimulus) -> list[int] | None:
+    """Final states via eager whole-network rounds; None on oscillation."""
+    states = net.initial_node_states()
+    states[net.node("vdd")] = 1
+    states[net.node("gnd")] = 0
+
+    def settle() -> bool:
+        for _round in range(120):
+            tstates = net.compute_transistor_states(states)
+            covered: set[int] = set()
+            changes: list[tuple[int, int]] = []
+            for node in net.storage_nodes():
+                if node in covered:
+                    continue
+                members, boundary, adjacency = explore(net, tstates, [node])
+                covered.update(members)
+                changes.extend(
+                    solve_vicinity(net, states, members, boundary, adjacency)
+                )
+            if not changes:
+                return True
+            for node, state in changes:
+                states[node] = state
+        return False
+
+    if not settle():
+        return None
+    for setting in stimulus:
+        for name, state in setting.items():
+            states[net.node(name)] = state
+        if not settle():
+            return None
+    return states
+
+
+class TestEventDrivenEqualsEager:
+    @PROP_SETTINGS
+    @given(network_and_stimulus())
+    def test_final_states_match(self, case):
+        net, stimulus = case
+        eager = run_eager(net, stimulus)
+        event = run_event_driven(net, stimulus)
+        if eager is None or event is None:
+            return  # oscillating example: trajectories may differ
+        mismatches = {
+            net.node_names[i]: (event[i], eager[i])
+            for i in range(net.n_nodes)
+            if event[i] != eager[i]
+        }
+        assert not mismatches
+
+    @PROP_SETTINGS
+    @given(network_and_stimulus(allow_x=True))
+    def test_final_states_match_with_x_inputs(self, case):
+        net, stimulus = case
+        eager = run_eager(net, stimulus)
+        event = run_event_driven(net, stimulus)
+        if eager is None or event is None:
+            return
+        assert event == eager
+
+
+class TestXMonotonicity:
+    @PROP_SETTINGS
+    @given(network_and_stimulus(allow_x=True), st.randoms())
+    def test_refining_inputs_refines_outputs(self, case, rng):
+        net, stimulus = case
+        refined_stimulus = [
+            {
+                name: (rng.choice((0, 1)) if state == X else state)
+                for name, state in setting.items()
+            }
+            for setting in stimulus
+        ]
+        abstract = run_event_driven(net, stimulus)
+        concrete = run_event_driven(net, refined_stimulus)
+        if abstract is None or concrete is None:
+            return
+        for node in range(net.n_nodes):
+            assert refines(concrete[node], abstract[node]), (
+                f"node {net.node_names[node]}: refined run gave "
+                f"{concrete[node]}, X run gave {abstract[node]}"
+            )
+
+
+class TestIdempotence:
+    @PROP_SETTINGS
+    @given(network_and_stimulus(allow_x=True))
+    def test_settled_network_resettles_to_itself(self, case):
+        net, stimulus = case
+        engine = Engine(net, max_rounds=80)
+        drive_rails(engine)
+        oscillated = False
+        for setting in stimulus:
+            for name, state in setting.items():
+                engine.drive(net.node(name), state)
+            if engine.settle().oscillated:
+                oscillated = True
+        if oscillated:
+            return
+        before = list(engine.states)
+        for node in net.storage_nodes():
+            engine.perturb(node)
+        stats = engine.settle()
+        if stats.oscillated:
+            return
+        assert engine.states == before

@@ -1,0 +1,76 @@
+"""Unit tests for the strength lattice."""
+
+import pytest
+
+from repro.switchlevel.strength import (
+    DEFAULT_STRENGTHS,
+    NO_SIGNAL,
+    StrengthSystem,
+)
+
+
+class TestDefaultSystem:
+    def test_total_order(self):
+        ss = DEFAULT_STRENGTHS
+        levels = [ss.size(1), ss.size(2), ss.gamma(1), ss.gamma(2),
+                  ss.gamma(3), ss.omega]
+        assert levels == sorted(levels)
+        assert len(set(levels)) == len(levels)
+
+    def test_every_size_below_every_gamma(self):
+        ss = DEFAULT_STRENGTHS
+        assert ss.max_size < ss.min_gamma
+
+    def test_every_gamma_below_omega(self):
+        ss = DEFAULT_STRENGTHS
+        assert ss.max_gamma < ss.omega
+
+    def test_no_signal_below_everything(self):
+        assert NO_SIGNAL < DEFAULT_STRENGTHS.size(1)
+
+    def test_classification(self):
+        ss = DEFAULT_STRENGTHS
+        assert ss.is_size(ss.size(1)) and ss.is_size(ss.size(2))
+        assert not ss.is_size(ss.gamma(1))
+        assert ss.is_gamma(ss.gamma(3))
+        assert not ss.is_gamma(ss.omega)
+        assert not ss.is_gamma(ss.size(2))
+
+    def test_names(self):
+        ss = DEFAULT_STRENGTHS
+        assert ss.name(ss.size(2)) == "size:large"
+        assert ss.name(ss.gamma(1)) == "drive:weak"
+        assert ss.name(ss.omega) == "input:omega"
+        assert ss.name(NO_SIGNAL) == "none"
+
+    def test_name_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            DEFAULT_STRENGTHS.name(99)
+
+
+class TestCustomSystems:
+    def test_single_size_single_gamma(self):
+        ss = StrengthSystem(n_sizes=1, n_strengths=1)
+        assert ss.omega == 3
+        assert ss.size(1) == 1
+        assert ss.gamma(1) == 2
+
+    def test_generated_names_when_mismatched(self):
+        ss = StrengthSystem(n_sizes=3, n_strengths=2)
+        assert len(ss.size_names) == 3
+        assert len(ss.strength_names) == 2
+
+    def test_rank_bounds_checked(self):
+        ss = StrengthSystem()
+        with pytest.raises(ValueError):
+            ss.size(0)
+        with pytest.raises(ValueError):
+            ss.size(3)
+        with pytest.raises(ValueError):
+            ss.gamma(4)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            StrengthSystem(n_sizes=0)
+        with pytest.raises(ValueError):
+            StrengthSystem(n_strengths=0)

