@@ -18,6 +18,10 @@ SCALES = {
     "ci": {
         "fig1": (4, 4, None),
         "fig2": (4, 4, None),
+        # (rows, cols, n_faults) for the cross-backend comparison; the
+        # serial baseline runs the same sample, so keep it modest at CI
+        # scale (serial cost is faults x patterns x circuit).
+        "backends": (4, 4, 48),
         "scaling_small": (2, 2, None),
         "scaling_large": (4, 4, None),
         "fig3_circuit": (4, 4),
@@ -31,6 +35,7 @@ SCALES = {
     "paper": {
         "fig1": (8, 8, 428),
         "fig2": (8, 8, 428),
+        "backends": (8, 8, 428),
         "scaling_small": (8, 8, 428),
         "scaling_large": (16, 16, None),
         "fig3_circuit": (16, 16),

@@ -11,6 +11,7 @@ Budget roughly an hour of CPU in pure Python.  Results (rendered text,
 JSON and per-pattern CSV) land in ``results/paper_scale/``.
 
 Run:  python scripts/run_paper_experiments.py [--out DIR] [--skip-256]
+                                              [--backend NAME]
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ import argparse
 import os
 import sys
 
+from repro.core.backends import available_backends
 from repro.harness import experiments
 from repro.harness.results import (
     write_curve_csv,
@@ -56,30 +58,47 @@ def main() -> int:
         action="store_true",
         help="skip the RAM256 experiments (TAB1 large half and FIG3)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="concurrent",
+        help="fault-simulation strategy; recorded in every emitted "
+        "result row so the perf trajectory stays attributable "
+        "(default: concurrent)",
+    )
     args = parser.parse_args()
     os.makedirs(args.out, exist_ok=True)
     policy = args.policy
+    backend = args.backend
 
-    print("FIG1: RAM64 / sequence 1 / 428 faults ...", flush=True)
-    fig1 = experiments.run_fig1(8, 8, n_faults=428, detection_policy=policy)
+    print(
+        f"FIG1: RAM64 / sequence 1 / 428 faults / {backend} ...", flush=True
+    )
+    fig1 = experiments.run_fig1(
+        8, 8, n_faults=428, detection_policy=policy, backend=backend
+    )
     save(fig1, args.out, "fig1_ram64_seq1", write_curve_csv)
 
-    print("FIG2: RAM64 / sequence 2 / 428 faults ...", flush=True)
-    fig2 = experiments.run_fig2(8, 8, n_faults=428, detection_policy=policy)
+    print(
+        f"FIG2: RAM64 / sequence 2 / 428 faults / {backend} ...", flush=True
+    )
+    fig2 = experiments.run_fig2(
+        8, 8, n_faults=428, detection_policy=policy, backend=backend
+    )
     save(fig2, args.out, "fig2_ram64_seq2", write_curve_csv)
 
     if not args.skip_256:
         print("TAB1: RAM64 vs RAM256 scaling (slow) ...", flush=True)
         scaling = experiments.run_scaling(
             small=(8, 8), large=(16, 16), n_faults=None,
-            detection_policy=policy,
+            detection_policy=policy, backend=backend,
         )
         save(scaling, args.out, "tab1_scaling")
 
         print("FIG3: RAM256 fault-sample sweep (slow) ...", flush=True)
         fig3 = experiments.run_fig3(
             16, 16, fault_counts=(100, 400, 800, 1382),
-            detection_policy=policy,
+            detection_policy=policy, backend=backend,
         )
         save(fig3, args.out, "fig3_ram256", write_fig3_csv)
 

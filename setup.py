@@ -1,10 +1,10 @@
 """Legacy setup shim.
 
-The environment this reproduction targets has no ``wheel`` package, so
-PEP 517 editable installs fail with "invalid command 'bdist_wheel'".
-This shim lets ``pip install -e . --no-build-isolation --no-use-pep517``
-(and plain ``pip install -e .`` on modern toolchains) work everywhere.
-All metadata lives in pyproject.toml.
+The offline environments this reproduction targets have no ``wheel``
+package, so PEP 517 editable installs fail with "invalid command
+'bdist_wheel'".  This shim lets ``pip install -e . --no-build-isolation
+--no-use-pep517`` work there.  All metadata lives in pyproject.toml;
+modern toolchains should use plain ``pip install -e .``.
 """
 
 from setuptools import setup

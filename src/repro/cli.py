@@ -6,9 +6,11 @@ Subcommands::
         Logic-simulate a netlist for a sequence of input settings.
 
     fmossim faultsim NETLIST --observe OUT [--faults stuck|all] [--limit N]
-        Concurrent fault simulation with randomly ordered input settings
-        or a pattern file (one "name=value name=value ..." line per
-        setting, blank line between patterns).
+                             [--backend serial|concurrent|batch]
+        Fault simulation (strategy selected from the backend registry)
+        with randomly ordered input settings or a pattern file (one
+        "name=value name=value ..." line per setting, blank line
+        between patterns).
 
     fmossim validate NETLIST
         Run the netlist lints.
@@ -25,7 +27,7 @@ import argparse
 import sys
 
 from . import __version__
-from .core.concurrent import ConcurrentFaultSimulator
+from .core.backends import SimPolicy, available_backends, run_backend
 from .core.faults import (
     node_stuck_universe,
     sample_faults,
@@ -105,6 +107,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="randomly sample at most this many faults",
     )
     faultsim.add_argument("--seed", type=int, default=0)
+    faultsim.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="concurrent",
+        help="fault-simulation strategy (default: concurrent)",
+    )
     faultsim.set_defaults(handler=cmd_faultsim)
 
     validate_cmd = commands.add_parser(
@@ -123,6 +131,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--cols", type=int, default=4)
     experiment.add_argument("--faults", type=int, default=None)
     experiment.add_argument("--seed", type=int, default=experiments.DEFAULT_SEED)
+    experiment.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="concurrent",
+        help="fault-simulation strategy (default: concurrent)",
+    )
     experiment.set_defaults(handler=cmd_experiment)
     return parser
 
@@ -193,12 +207,13 @@ def cmd_faultsim(args) -> int:
         from .patterns.random_patterns import random_patterns
 
         patterns = random_patterns(net, 20, seed=args.seed)
-    simulator = ConcurrentFaultSimulator(net, faults, args.observe)
-    report = simulator.run(patterns)
+    report = run_backend(
+        args.backend, net, faults, args.observe, patterns, SimPolicy()
+    )
     print(
         f"{report.detected}/{report.n_faults} faults detected "
         f"({report.coverage:.1%}) over {report.n_patterns} patterns "
-        f"in {report.total_seconds:.2f}s CPU"
+        f"in {report.total_seconds:.2f}s CPU ({report.backend} backend)"
     )
     for detection in report.log.detections:
         print(f"  {detection}")
@@ -222,20 +237,25 @@ def cmd_validate(args) -> int:
 def cmd_experiment(args) -> int:
     if args.which == "fig1":
         result = experiments.run_fig1(
-            args.rows, args.cols, n_faults=args.faults, seed=args.seed
+            args.rows, args.cols, n_faults=args.faults, seed=args.seed,
+            backend=args.backend,
         )
     elif args.which == "fig2":
         result = experiments.run_fig2(
-            args.rows, args.cols, n_faults=args.faults, seed=args.seed
+            args.rows, args.cols, n_faults=args.faults, seed=args.seed,
+            backend=args.backend,
         )
     elif args.which == "fig3":
-        result = experiments.run_fig3(args.rows, args.cols, seed=args.seed)
+        result = experiments.run_fig3(
+            args.rows, args.cols, seed=args.seed, backend=args.backend
+        )
     else:
         result = experiments.run_scaling(
             small=(args.rows // 2 or 2, args.cols),
             large=(args.rows, args.cols),
             n_faults=args.faults,
             seed=args.seed,
+            backend=args.backend,
         )
     print(result.render())
     return 0

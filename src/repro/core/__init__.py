@@ -1,5 +1,16 @@
-"""The paper's contribution: concurrent switch-level fault simulation."""
+"""The paper's contribution: concurrent switch-level fault simulation,
+plus the pluggable backend registry it is benchmarked through."""
 
+from .backends import (
+    DEFAULT_POLICY,
+    FaultSimBackend,
+    SimPolicy,
+    available_backends,
+    get_backend,
+    register_backend,
+    run_backend,
+)
+from .batch import BatchFaultSimulator
 from .concurrent import ConcurrentFaultSimulator
 from .detection import POLICY_ANY, POLICY_HARD, Detection, DetectionLog
 from .faults import (
@@ -19,6 +30,14 @@ from .serial import SerialFaultSimulator, estimate_serial_seconds
 from .statelist import StateList
 
 __all__ = [
+    "FaultSimBackend",
+    "SimPolicy",
+    "DEFAULT_POLICY",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "run_backend",
+    "BatchFaultSimulator",
     "ConcurrentFaultSimulator",
     "SerialFaultSimulator",
     "estimate_serial_seconds",

@@ -1,0 +1,254 @@
+"""The fault-simulation backend registry.
+
+The paper is a *performance comparison between fault-simulation
+strategies* on one switch-level model; this module makes the strategy a
+first-class, pluggable axis.  Every backend implements the same
+contract::
+
+    backend.run(net, faults, observed, patterns, policy) -> RunReport
+
+where ``policy`` is a :class:`SimPolicy` (detection rule, fault
+dropping, round budget, clock source) and the returned
+:class:`~repro.core.report.RunReport` carries the per-pattern
+measurements every consumer layer understands -- the experiment
+harness, the CLI, the benchmark suite and the archived result rows all
+select a backend by name and stay agnostic of its mechanics.
+
+Registered backends:
+
+``serial``
+    One circuit at a time, from scratch
+    (:class:`~repro.core.serial.SerialFaultSimulator`) -- the paper's
+    baseline and the correctness reference.
+``concurrent``
+    The paper's algorithm: one good circuit plus divergence records
+    (:class:`~repro.core.concurrent.ConcurrentFaultSimulator`).
+``batch``
+    Bit-parallel lockstep simulation of ``lane_width`` circuits per
+    pass (:class:`~repro.core.batch.BatchFaultSimulator`).
+
+All three run on the shared settle kernel
+(:mod:`repro.switchlevel.kernel`) and are held to byte-identical
+detections and final states by the cross-backend parity suite
+(``tests/core/test_backends.py``).
+
+Third-party strategies register with the :func:`register_backend`
+decorator::
+
+    @register_backend
+    class MyBackend(FaultSimBackend):
+        name = "mine"
+        def run(self, net, faults, observed, patterns, policy=SimPolicy()):
+            ...
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import ClassVar, Iterable, Sequence, Type
+
+from ..errors import SimulationError
+from ..switchlevel.kernel import DEFAULT_MAX_ROUNDS
+from ..switchlevel.network import Network
+from ..patterns.clocking import TestPattern
+from .batch import DEFAULT_LANE_WIDTH, BatchFaultSimulator
+from .concurrent import ConcurrentFaultSimulator
+from .detection import POLICY_HARD, POLICIES
+from .faults import Fault
+from .report import RunReport
+from .serial import SerialFaultSimulator, serial_run_report
+
+__all__ = [
+    "DEFAULT_MAX_ROUNDS",
+    "DEFAULT_POLICY",
+    "FaultSimBackend",
+    "SimPolicy",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "run_backend",
+]
+
+
+@dataclass(frozen=True)
+class SimPolicy:
+    """Strategy-independent knobs of a fault-simulation run."""
+
+    detection_policy: str = POLICY_HARD
+    drop_on_detect: bool = True
+    max_rounds: int = DEFAULT_MAX_ROUNDS
+    #: ``process`` (CPU seconds, as the paper measured) or ``perf``
+    #: (wall clock).
+    clock: str = "process"
+
+    def __post_init__(self) -> None:
+        if self.detection_policy not in POLICIES:
+            raise SimulationError(
+                f"unknown detection policy {self.detection_policy!r}"
+            )
+        if self.clock not in ("process", "perf"):
+            raise SimulationError(f"unknown clock {self.clock!r}")
+
+
+#: The default policy instance (hard detections, dropping on).
+DEFAULT_POLICY = SimPolicy()
+
+
+class FaultSimBackend(ABC):
+    """One fault-simulation strategy behind the common contract."""
+
+    #: Registry key; subclasses must set it.
+    name: ClassVar[str] = ""
+
+    @abstractmethod
+    def run(
+        self,
+        net: Network,
+        faults: Sequence[Fault],
+        observed: Sequence[str],
+        patterns: Iterable[TestPattern],
+        policy: SimPolicy = DEFAULT_POLICY,
+    ) -> RunReport:
+        """Fault-simulate ``patterns`` and report the measurements."""
+
+
+_REGISTRY: dict[str, Type[FaultSimBackend]] = {}
+
+
+def register_backend(cls: Type[FaultSimBackend]) -> Type[FaultSimBackend]:
+    """Class decorator adding a backend to the registry (by its name)."""
+    if not cls.name:
+        raise SimulationError(f"backend {cls.__name__} has no name")
+    if cls.name in _REGISTRY:
+        raise SimulationError(f"backend {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_backends() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_backend(name: str, **options) -> FaultSimBackend:
+    """Instantiate the backend registered as ``name``.
+
+    ``options`` are forwarded to the backend constructor (e.g.
+    ``lane_width`` for ``batch``).
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown backend {name!r}; available: "
+            + ", ".join(available_backends())
+        ) from None
+    return cls(**options)
+
+
+def run_backend(
+    name: str,
+    net: Network,
+    faults: Sequence[Fault],
+    observed: Sequence[str],
+    patterns: Iterable[TestPattern],
+    policy: SimPolicy = DEFAULT_POLICY,
+    **options,
+) -> RunReport:
+    """One-shot convenience: resolve ``name``, run, return the report."""
+    return get_backend(name, **options).run(
+        net, faults, observed, patterns, policy
+    )
+
+
+# ---------------------------------------------------------------------------
+# the three built-in strategies
+# ---------------------------------------------------------------------------
+
+
+@register_backend
+class SerialBackend(FaultSimBackend):
+    """Every faulty circuit simulated individually (the baseline)."""
+
+    name = "serial"
+
+    def run(
+        self,
+        net: Network,
+        faults: Sequence[Fault],
+        observed: Sequence[str],
+        patterns: Iterable[TestPattern],
+        policy: SimPolicy = DEFAULT_POLICY,
+    ) -> RunReport:
+        pattern_list = list(patterns)
+        simulator = SerialFaultSimulator(
+            net,
+            faults,
+            observed,
+            detection_policy=policy.detection_policy,
+            drop_on_detect=policy.drop_on_detect,
+            max_rounds=policy.max_rounds,
+        )
+        serial_report = simulator.run(pattern_list, clock=policy.clock)
+        report = serial_run_report(
+            serial_report,
+            pattern_list,
+            drop_on_detect=policy.drop_on_detect,
+        )
+        report.oscillation_events = simulator.oscillation_events
+        return report
+
+
+@register_backend
+class ConcurrentBackend(FaultSimBackend):
+    """The paper's algorithm: good circuit + divergence records."""
+
+    name = "concurrent"
+
+    def run(
+        self,
+        net: Network,
+        faults: Sequence[Fault],
+        observed: Sequence[str],
+        patterns: Iterable[TestPattern],
+        policy: SimPolicy = DEFAULT_POLICY,
+    ) -> RunReport:
+        simulator = ConcurrentFaultSimulator(
+            net,
+            faults,
+            observed,
+            detection_policy=policy.detection_policy,
+            drop_on_detect=policy.drop_on_detect,
+            max_rounds=policy.max_rounds,
+        )
+        return simulator.run(patterns, clock=policy.clock)
+
+
+@register_backend
+class BatchBackend(FaultSimBackend):
+    """Bit-parallel lockstep simulation, ``lane_width`` circuits a pass."""
+
+    name = "batch"
+
+    def __init__(self, lane_width: int = DEFAULT_LANE_WIDTH):
+        self.lane_width = lane_width
+
+    def run(
+        self,
+        net: Network,
+        faults: Sequence[Fault],
+        observed: Sequence[str],
+        patterns: Iterable[TestPattern],
+        policy: SimPolicy = DEFAULT_POLICY,
+    ) -> RunReport:
+        simulator = BatchFaultSimulator(
+            net,
+            faults,
+            observed,
+            detection_policy=policy.detection_policy,
+            drop_on_detect=policy.drop_on_detect,
+            max_rounds=policy.max_rounds,
+            lane_width=self.lane_width,
+        )
+        return simulator.run(patterns, clock=policy.clock)

@@ -1,0 +1,366 @@
+"""Batch (bit-parallel) fault simulation: W faulty circuits per pass.
+
+The third strategy next to serial and concurrent simulation: pack up to
+``lane_width`` faulty circuits into the bit lanes of a
+:class:`~repro.switchlevel.bitplane.LaneSimulator` and advance them in
+lockstep.  Each lane is a *complete* faulty circuit (no good-circuit
+tracking, unlike the concurrent algorithm), but the work of a round is
+shared across lanes: gate evaluation, conduction updates and the
+steady-state relaxation all run once per union vicinity with lane masks
+instead of once per circuit (the approach of batch RTL fault simulators,
+arXiv:2505.06687, transplanted to the switch-level model).
+
+Faults whose circuits agree keep their planes identical, so packed
+simulation costs roughly one circuit's work until faults actually
+diverge; detected circuits are dropped from the ``active`` lane mask
+immediately and the planes are *compacted* onto the surviving lanes
+once at most half a chunk is alive -- fault dropping trims the bit
+width itself, which is this backend's analogue of the concurrent
+simulator's record purge (and of ERASER-style redundancy pruning,
+arXiv:2504.16473).
+
+The good circuit runs alongside as a scalar
+:class:`~repro.switchlevel.scheduler.Engine` and supplies the reference
+values for detection.  Lanes that blow the round budget are handed to a
+scalar engine finished by the shared
+:class:`~repro.switchlevel.kernel.SettleKernel`, so oscillation
+fallback semantics match the other backends; cross-backend parity is
+property-tested in ``tests/core/test_backends.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import FaultError, SimulationError
+from ..switchlevel.bitplane import LaneSimulator
+from ..switchlevel.kernel import DEFAULT_MAX_ROUNDS, SettleStats
+from ..switchlevel.network import GND_NAME, VDD_NAME, Network
+from ..switchlevel.scheduler import Engine
+from ..patterns.clocking import TestPattern
+from .detection import POLICY_HARD, POLICIES, Detection, DetectionLog
+from .faults import Fault
+from .inject import CLOSED_STATE, Instrumented, PreparedFault, prepare
+from .report import PatternRecord, RunReport
+
+#: Default number of faulty circuits packed per integer bit-plane.
+DEFAULT_LANE_WIDTH = 64
+
+#: Compaction threshold: repack once at most this fraction is alive.
+_COMPACT_FRACTION = 0.5
+
+#: Never compact chunks narrower than this (repacking costs more than
+#: the dead lanes do).
+_COMPACT_MIN_WIDTH = 8
+
+
+class _Chunk:
+    """Up to ``lane_width`` prepared faults packed into one lane plane."""
+
+    __slots__ = ("pfs", "lanes")
+
+    def __init__(self, sim: "BatchFaultSimulator", pfs: list[PreparedFault]):
+        self.pfs = pfs
+        net = sim.network
+        full = (1 << len(pfs)) - 1
+        node_force_mask: dict[int, int] = {}
+        node_force_values: dict[int, tuple[int, int]] = {}
+        t_on: dict[int, int] = {}
+        t_off: dict[int, int] = {}
+        # Inserted fault devices default to their good-circuit forcing
+        # in every lane; each fault's own lane then overrides.
+        for t, state in sim.good_forced_transistors.items():
+            if state == CLOSED_STATE:
+                t_on[t] = full
+            else:
+                t_off[t] = full
+        for index, pf in enumerate(pfs):
+            bit = 1 << index
+            for node, value in pf.forced_nodes.items():
+                node_force_mask[node] = node_force_mask.get(node, 0) | bit
+                f0, f1 = node_force_values.get(node, (0, 0))
+                if value != 1:
+                    f0 |= bit
+                if value != 0:
+                    f1 |= bit
+                node_force_values[node] = (f0, f1)
+            for t, state in pf.forced_transistors.items():
+                t_on[t] = t_on.get(t, 0) & ~bit
+                t_off[t] = t_off.get(t, 0) & ~bit
+                if state == CLOSED_STATE:
+                    t_on[t] |= bit
+                else:
+                    t_off[t] |= bit
+        self.lanes = LaneSimulator(
+            net,
+            len(pfs),
+            node_force_mask=node_force_mask,
+            node_force_values=node_force_values,
+            t_force_on={t: m for t, m in t_on.items() if m},
+            t_force_off={t: m for t, m in t_off.items() if m},
+        )
+        # Rails, then fault activation, then one settle -- the same
+        # initialization order as a standalone engine per fault.
+        for name, state in ((VDD_NAME, 1), (GND_NAME, 0)):
+            if name in net.node_index:
+                node = net.node_index[name]
+                if net.node_is_input[node]:
+                    self.lanes.drive(node, state)
+        for index, pf in enumerate(pfs):
+            bit = 1 << index
+            for seed in pf.seeds:
+                self.lanes.perturb(seed, bit)
+            for node in pf.forced_nodes:
+                for t in net.node_gates[node]:
+                    for terminal in (net.t_source[t], net.t_drain[t]):
+                        if not net.node_is_input[terminal]:
+                            self.lanes.perturb(terminal, bit)
+
+    def merged_forced_transistors(
+        self, sim: "BatchFaultSimulator", pf: PreparedFault
+    ) -> Mapping[int, int]:
+        if not pf.forced_transistors:
+            return sim.good_forced_transistors
+        merged = dict(sim.good_forced_transistors)
+        merged.update(pf.forced_transistors)
+        return merged
+
+
+class BatchFaultSimulator:
+    """Bit-parallel fault simulation of one network under a fault list.
+
+    The constructor mirrors :class:`~repro.core.concurrent.
+    ConcurrentFaultSimulator`; ``lane_width`` bounds how many circuits
+    share one set of bit planes.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        faults: Sequence[Fault],
+        observed: Sequence[str],
+        *,
+        detection_policy: str = POLICY_HARD,
+        drop_on_detect: bool = True,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        lane_width: int = DEFAULT_LANE_WIDTH,
+    ):
+        if detection_policy not in POLICIES:
+            raise SimulationError(
+                f"unknown detection policy {detection_policy!r}"
+            )
+        if lane_width < 1:
+            raise SimulationError("lane_width must be positive")
+        instrumented: Instrumented = prepare(net, list(faults))
+        self.network = instrumented.net
+        self.good_forced_transistors = instrumented.good_forced_transistors
+        self.detection_policy = detection_policy
+        self.drop_on_detect = drop_on_detect
+        self.max_rounds = max_rounds
+        self.lane_width = lane_width
+        self.oscillation_events = 0
+        if not observed:
+            raise SimulationError("at least one observed node is required")
+        self.observed = [self.network.node(name) for name in observed]
+
+        self.good = Engine(
+            self.network,
+            forced_transistors=self.good_forced_transistors,
+            max_rounds=max_rounds,
+        )
+        net_ = self.network
+        for name, state in ((VDD_NAME, 1), (GND_NAME, 0)):
+            if name in net_.node_index:
+                node = net_.node_index[name]
+                if net_.node_is_input[node]:
+                    self.good.drive(node, state)
+        self.good.settle()
+
+        prepared = list(instrumented.prepared)
+        self.live: set[int] = {pf.circuit_id for pf in prepared}
+        self.n_faults = len(prepared)
+        self.chunks: list[_Chunk] = []
+        for start in range(0, len(prepared), lane_width):
+            chunk = _Chunk(self, prepared[start:start + lane_width])
+            self.chunks.append(chunk)
+            self._settle_chunk(chunk)
+
+        self.log = DetectionLog()
+        self._pattern_index = 0
+        self._phase_index = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        patterns: Iterable[TestPattern],
+        *,
+        clock: str = "process",
+    ) -> RunReport:
+        """Simulate a pattern sequence; returns the measurement report."""
+        timer = time.process_time if clock == "process" else time.perf_counter
+        report = RunReport(n_faults=self.n_faults, backend="batch")
+        start_total = timer()
+        for pattern in patterns:
+            detected_before = len(self.log.detected_circuits())
+            start = timer()
+            self.apply_pattern(pattern)
+            elapsed = timer() - start
+            report.patterns.append(
+                PatternRecord(
+                    index=self._pattern_index - 1,
+                    label=pattern.label,
+                    seconds=elapsed,
+                    detections=(
+                        len(self.log.detected_circuits()) - detected_before
+                    ),
+                    live_after=len(self.live),
+                )
+            )
+        report.total_seconds = timer() - start_total
+        report.log = self.log
+        report.oscillation_events = (
+            self.oscillation_events + self.good.oscillation_events
+        )
+        return report
+
+    def apply_pattern(self, pattern: TestPattern) -> None:
+        """Simulate one pattern (all its phases, with observations)."""
+        for phase_index, phase in enumerate(pattern.phases):
+            self._phase_index = phase_index
+            self.apply_phase(phase.settings)
+            if phase.observe:
+                self._observe()
+        self._pattern_index += 1
+        if self.drop_on_detect:
+            self._maybe_compact()
+
+    def apply_phase(self, settings: Mapping[str, int]) -> None:
+        """Apply one input setting and settle every lane."""
+        net = self.network
+        for name, state in settings.items():
+            node = net.node(name)
+            # The good engine validates (input-ness, state range) for
+            # every circuit; lanes share the same inputs.
+            self.good.drive(node, state)
+            for chunk in self.chunks:
+                chunk.lanes.drive(node, state)
+        self.good.settle()
+        for chunk in self.chunks:
+            self._settle_chunk(chunk)
+
+    def circuit_state_of(self, circuit_id: int, name: str) -> int:
+        """A faulty circuit's state of a node, by name."""
+        node = self.network.node(name)
+        for chunk in self.chunks:
+            for index, pf in enumerate(chunk.pfs):
+                if pf.circuit_id == circuit_id:
+                    return chunk.lanes.lane_state(node, index)
+        raise FaultError(f"no circuit {circuit_id} (compacted away or unknown)")
+
+    @property
+    def live_circuits(self) -> set[int]:
+        """Ids of faulty circuits still being simulated."""
+        return set(self.live)
+
+    def total_lane_bits(self) -> int:
+        """Current packed width across chunks (memory footprint proxy)."""
+        return sum(chunk.lanes.lane_count for chunk in self.chunks)
+
+    # ------------------------------------------------------------------
+    # settling with the scalar oscillation fallback
+    # ------------------------------------------------------------------
+    def _settle_chunk(self, chunk: _Chunk) -> None:
+        pending_lanes = chunk.lanes.settle(self.max_rounds)
+        while pending_lanes:
+            lane = (pending_lanes & -pending_lanes).bit_length() - 1
+            pending_lanes &= pending_lanes - 1
+            self._finish_lane(chunk, lane)
+
+    def _finish_lane(self, chunk: _Chunk, lane: int) -> None:
+        """Hand one oscillating lane to a scalar engine to finish.
+
+        The engine continues from the lane's mid-settle state with the
+        round budget already marked spent, so the kernel goes straight
+        to its force-to-X attempts -- byte-for-byte what a standalone
+        simulation of this circuit would do at this point.
+        """
+        pf = chunk.pfs[lane]
+        states, tstates = chunk.lanes.extract_lane(lane)
+        engine = Engine(
+            self.network,
+            forced_nodes=pf.forced_nodes,
+            forced_transistors=chunk.merged_forced_transistors(self, pf),
+            max_rounds=self.max_rounds,
+        )
+        engine.states[:] = states
+        engine.tstates[:] = tstates
+        engine.pending = chunk.lanes.pending_lane_nodes(lane)
+        stats = SettleStats(rounds=self.max_rounds)
+        engine.kernel.settle(engine, stats)
+        self.oscillation_events += stats.x_fallbacks
+        chunk.lanes.writeback_lane(lane, engine.states)
+
+    # ------------------------------------------------------------------
+    # detection and lane compaction
+    # ------------------------------------------------------------------
+    def _observe(self) -> None:
+        policy = self.detection_policy
+        good_states = self.good.states
+        names = self.network.node_names
+        for node in self.observed:
+            good_state = good_states[node]
+            for chunk in self.chunks:
+                lanes = chunk.lanes
+                p0, p1 = lanes.p0[node], lanes.p1[node]
+                if policy == POLICY_HARD:
+                    if good_state == 1:
+                        detected = p0 & ~p1
+                    elif good_state == 0:
+                        detected = p1 & ~p0
+                    else:
+                        detected = 0
+                else:  # POLICY_ANY: any state difference, X included
+                    if good_state == 1:
+                        detected = p0
+                    elif good_state == 0:
+                        detected = p1
+                    else:
+                        detected = ~(p0 & p1) & lanes.full
+                detected &= lanes.active
+                while detected:
+                    lane = (detected & -detected).bit_length() - 1
+                    detected &= detected - 1
+                    pf = chunk.pfs[lane]
+                    self.log.record(
+                        Detection(
+                            circuit_id=pf.circuit_id,
+                            description=pf.fault.describe(),
+                            pattern_index=self._pattern_index,
+                            phase_index=self._phase_index,
+                            node=names[node],
+                            good_state=good_state,
+                            faulty_state=lanes.lane_state(node, lane),
+                        )
+                    )
+                    if self.drop_on_detect:
+                        lanes.active &= ~(1 << lane)
+                        self.live.discard(pf.circuit_id)
+
+    def _maybe_compact(self) -> None:
+        """Repack chunks whose live fraction dropped below the threshold."""
+        for chunk in self.chunks:
+            lanes = chunk.lanes
+            if lanes.lane_count < _COMPACT_MIN_WIDTH:
+                continue
+            alive = bin(lanes.active).count("1")
+            if alive <= lanes.lane_count * _COMPACT_FRACTION:
+                keep = [
+                    index
+                    for index in range(lanes.lane_count)
+                    if (lanes.active >> index) & 1
+                ]
+                chunk.pfs = [chunk.pfs[index] for index in keep]
+                lanes.compact(keep)

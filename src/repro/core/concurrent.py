@@ -14,6 +14,13 @@ circuit is represented *only* by its divergences:
 Events are (node, circuit) pairs.  Each input setting is simulated by
 first running the good circuit to quiescence and then each pending
 faulty circuit in ascending circuit-id order (the paper's discipline).
+All of the round mechanics -- seed grouping, vicinity exploration,
+steady-state solving, the force-to-X oscillation fallback -- come from
+the shared :mod:`repro.switchlevel.kernel`; this module supplies the
+two circuit adapters (good and faulty) whose ``apply_round`` methods do
+the concurrent-specific work: trigger scanning and divergence-record
+maintenance.
+
 While the good circuit settles, every solved vicinity is scanned to
 *trigger* events for exactly those circuits whose behavior there can
 differ:
@@ -28,9 +35,26 @@ differ:
   transistor.
 
 Everything else tracks the good circuit implicitly, which is where the
-concurrent speedup comes from.  Good-circuit node changes also maintain
-the records: a record equal to the new good state is deleted
-(reconvergence), and forced-node records are refreshed.
+concurrent speedup comes from.
+
+**Round alignment.**  A faulty circuit's round r must be computed from
+round r-1 states -- exactly what a standalone simulation of that
+circuit would see -- but the good circuit's round r has already been
+applied by the time the faulty circuits run.  The overlay views
+therefore resolve reads as records -> forced nodes -> a *round-start
+snapshot* of the good states (a standing list, resynced after each
+round's faulty circuits have run).  For the same reason, divergence
+records that *reconverge* (become equal to the new good state) are only
+deleted after the round's faulty circuits have run: until then the
+record is the faulty circuit's round r-1 state.  An earlier version
+instead pinned pre-change values as records during the trigger scan,
+which missed changes outside the triggering vicinity (e.g. a gate node
+solved in a sibling vicinity) and made the concurrent simulator
+disagree with the serial one.
+
+Good-circuit node changes also maintain the records: a record equal to
+the new good state is deleted (reconvergence, deferred as above), and
+forced-node records are refreshed.
 
 Detection compares observed output nodes after any phase marked
 ``observe``; by default a detected circuit is *dropped*: its records and
@@ -44,10 +68,15 @@ import time
 from typing import Iterable, Mapping, Sequence
 
 from ..errors import FaultError, SimulationError
-from ..switchlevel.logic import STATES, X
+from ..switchlevel.kernel import (
+    DEFAULT_MAX_ROUNDS,
+    SettleKernel,
+    SettleStats,
+    VicinitySolution,
+)
+from ..switchlevel.logic import STATES
 from ..switchlevel.network import GND_NAME, TRANS_TABLE, VDD_NAME, Network
-from ..switchlevel.steady_state import solve_vicinity
-from ..switchlevel.vicinity import compute_vicinity, expand_seed, explore
+from ..switchlevel.vicinity import expand_seed
 from ..patterns.clocking import TestPattern
 from .detection import (
     POLICY_HARD,
@@ -61,24 +90,56 @@ from .inject import Instrumented, PreparedFault, prepare
 from .report import PatternRecord, RunReport
 from .statelist import StateList
 
-#: Round limit per input setting before the oscillation fallback.
-DEFAULT_MAX_ROUNDS = 200
-
 
 class _OverlayStates:
-    """Node-state view of one faulty circuit: records over good states."""
+    """Node-state view of one faulty circuit.
 
-    __slots__ = ("good", "records")
+    Reads resolve records -> forced nodes -> ``base``, where ``base``
+    is the simulator's *round-start* good states (see the module
+    docstring on round alignment) -- a plain list, so the common
+    tracks-the-good-circuit case costs one dict miss and one index.
+    """
 
-    def __init__(self, good: list[int], records: dict[int, int]):
-        self.good = good
+    __slots__ = ("base", "records")
+
+    def __init__(self, base: list[int], records: dict[int, int]):
+        self.base = base
         self.records = records
 
     def __getitem__(self, node: int) -> int:
         state = self.records.get(node)
         if state is None:
-            return self.good[node]
+            return self.base[node]
         return state
+
+
+class _OverlayStatesForced(_OverlayStates):
+    """Overlay for circuits with pinned pseudo-inputs (node faults).
+
+    The forced layer matters only in the window where a forced node's
+    record has been removed (forced value caught up with the *new* good
+    state) while the round-start snapshot still holds the old one.
+    """
+
+    __slots__ = ("forced",)
+
+    def __init__(
+        self,
+        base: list[int],
+        records: dict[int, int],
+        forced: Mapping[int, int],
+    ):
+        super().__init__(base, records)
+        self.forced = forced
+
+    def __getitem__(self, node: int) -> int:
+        state = self.records.get(node)
+        if state is not None:
+            return state
+        state = self.forced.get(node)
+        if state is not None:
+            return state
+        return self.base[node]
 
 
 class _OverlayTransistors:
@@ -103,10 +164,113 @@ class _OverlayTransistors:
         self.forced = forced
 
     def __getitem__(self, t: int) -> int:
-        state = self.forced.get(t)
-        if state is None:
-            return TRANS_TABLE[self.kinds[t]][self.states[self.gates[t]]]
-        return state
+        forced = self.forced
+        if forced:
+            state = forced.get(t)
+            if state is not None:
+                return state
+        return TRANS_TABLE[self.kinds[t]][self.states[self.gates[t]]]
+
+
+class _GoodCircuit:
+    """The good circuit as a kernel :class:`RoundCircuit`."""
+
+    __slots__ = ("sim", "forced_nodes")
+
+    def __init__(self, sim: "ConcurrentFaultSimulator"):
+        self.sim = sim
+        self.forced_nodes: Mapping[int, int] = {}
+
+    @property
+    def states(self):
+        return self.sim.states
+
+    @property
+    def tstates(self):
+        return self.sim.tstates
+
+    def take_seeds(self) -> set[int]:
+        seeds = self.sim._good_pending
+        self.sim._good_pending = set()
+        return seeds
+
+    def has_pending(self) -> bool:
+        return bool(self.sim._good_pending)
+
+    def apply_round(
+        self,
+        solutions: list[VicinitySolution],
+        stats: SettleStats | None,
+    ) -> None:
+        self.sim._apply_good_round(solutions)
+
+
+class _FaultyCircuit:
+    """One faulty circuit's overlay views as a kernel ``RoundCircuit``."""
+
+    __slots__ = (
+        "sim", "cid", "states", "tstates", "forced_nodes", "_seeds",
+        "applied_changes",
+    )
+
+    def __init__(self, sim: "ConcurrentFaultSimulator", cid: int):
+        self.sim = sim
+        self.cid = cid
+        self._seeds: set[int] = set()
+        #: Whether this round's solver produced real changes (synthesized
+        #: record-maintenance entries do not count); drives the per-circuit
+        #: oscillation budget in ``_settle_all``.
+        self.applied_changes = False
+        pf = sim.prepared[cid]
+        self.forced_nodes = pf.forced_nodes
+        if pf.forced_nodes:
+            self.states = _OverlayStatesForced(
+                sim._prev_states, sim.circuit_records[cid], pf.forced_nodes
+            )
+        else:
+            self.states = _OverlayStates(
+                sim._prev_states, sim.circuit_records[cid]
+            )
+        self.tstates = _OverlayTransistors(
+            sim.network, self.states, sim._merged_forced_t[cid]
+        )
+
+    def take_seeds(self) -> set[int]:
+        expanded: set[int] = set()
+        net = self.sim.network
+        for raw_seed in self._seeds:
+            expanded.update(
+                expand_seed(net, self.tstates, raw_seed, self.forced_nodes)
+            )
+        self._seeds = set()
+        return expanded
+
+    def has_pending(self) -> bool:
+        return bool(self._seeds)
+
+    def apply_round(
+        self,
+        solutions: list[VicinitySolution],
+        stats: SettleStats | None,
+    ) -> None:
+        changes = [
+            change for solution in solutions for change in solution.changes
+        ]
+        self.applied_changes = bool(changes)
+        # A member the good circuit changed this round but this circuit
+        # kept at its old value produced no change entry, yet it now
+        # *diverges from the new good state*.  Synthesize an entry at
+        # the retained value so record maintenance sees it (the derived
+        # next-round seeds are unaffected: old == new).
+        old_good = self.sim._old_good
+        if old_good:
+            recomputed = {node for node, _state in changes}
+            for solution in solutions:
+                for node in solution.members:
+                    if node in old_good and node not in recomputed:
+                        changes.append((node, self.states[node]))
+        if changes:
+            self.sim._apply_circuit_changes(self.cid, changes, self.states)
 
 
 class ConcurrentFaultSimulator:
@@ -145,6 +309,7 @@ class ConcurrentFaultSimulator:
         self.drop_on_detect = drop_on_detect
         self.max_rounds = max_rounds
         self.oscillation_events = 0
+        self._kernel = SettleKernel(self.network, max_rounds=max_rounds)
 
         if not observed:
             raise SimulationError("at least one observed node is required")
@@ -157,6 +322,18 @@ class ConcurrentFaultSimulator:
         for t, state in self.good_forced_transistors.items():
             self.tstates[t] = state
         self._good_pending: set[int] = set()
+        self._good = _GoodCircuit(self)
+        #: Round-start good states: identical to ``states`` except while
+        #: a round's faulty circuits run, when nodes the good round just
+        #: changed still hold their previous value (round alignment).
+        self._prev_states: list[int] = list(self.states)
+        #: Nodes (-> old value) the current round's good changes
+        #: overwrote; drives ``_prev_states`` resync and the faulty
+        #: adapters' synthesized record-maintenance entries.
+        self._old_good: dict[int, int] = {}
+        #: (node, circuit) records that reconverged this round; removal
+        #: is deferred until the round's faulty circuits have run.
+        self._stale_records: set[tuple[int, int]] = set()
 
         # --- faulty circuit state ---
         self.prepared: dict[int, PreparedFault] = {
@@ -189,6 +366,9 @@ class ConcurrentFaultSimulator:
                         (cid, t, state)
                     )
         self._fault_pending: dict[int, set[int]] = {}
+        #: Reusable per-circuit round adapters (their overlay views hold
+        #: only stable references: records dict, forced map, snapshot).
+        self._adapters: dict[int, _FaultyCircuit] = {}
 
         # Static topology tables used by the trigger scan: the gate nodes
         # controlling transistors whose channel touches a node, and the
@@ -229,7 +409,7 @@ class ConcurrentFaultSimulator:
         measured) or ``perf`` (wall clock) for per-pattern timing.
         """
         timer = time.process_time if clock == "process" else time.perf_counter
-        report = RunReport(n_faults=len(self.prepared))
+        report = RunReport(n_faults=len(self.prepared), backend="concurrent")
         start_total = timer()
         for pattern in patterns:
             detected_before = len(self.log.detected_circuits())
@@ -273,6 +453,10 @@ class ConcurrentFaultSimulator:
             if self.states[node] == state:
                 continue
             self.states[node] = state
+            # Inputs change for every circuit at once; the round-start
+            # snapshot follows immediately (standalone simulations see
+            # new inputs before their first round too).
+            self._prev_states[node] = state
             self._good_node_changed(node)
             self._good_pending.update(
                 expand_seed(net, self.tstates, node)
@@ -369,6 +553,21 @@ class ConcurrentFaultSimulator:
             state_list.remove(cid)
         self.circuit_records[cid].pop(node, None)
 
+    def _flush_stale_records(self) -> None:
+        """Delete reconverged records once the round's circuits have run.
+
+        A record marked stale may have been rewritten by its circuit's
+        own round in the meantime; only records still equal to the
+        current good state are deleted.
+        """
+        if not self._stale_records:
+            return
+        states = self.states
+        for node, cid in self._stale_records:
+            if self.circuit_records[cid].get(node) == states[node]:
+                self._remove_record(node, cid)
+        self._stale_records.clear()
+
     # ------------------------------------------------------------------
     # good-circuit simulation
     # ------------------------------------------------------------------
@@ -387,15 +586,16 @@ class ConcurrentFaultSimulator:
                 for terminal in (net.t_source[t], net.t_drain[t]):
                     if not net.node_is_input[terminal]:
                         self._good_pending.add(terminal)
-        # Reconvergence: records equal to the new good state vanish.
+        # Reconvergence: records equal to the new good state vanish --
+        # but only after the round's faulty circuits have consumed them
+        # (the record *is* the circuit's round r-1 state until then).
         state_list = self.node_records[node]
         if state_list:
-            stale = [
-                cid for cid, s in state_list.items() if s == new_state
-            ]
-            for cid in stale:
-                self._remove_record(node, cid)
-        # Forced-node records must reflect divergence from the new state.
+            for cid, state in state_list.items():
+                if state == new_state:
+                    self._stale_records.add((node, cid))
+        # Forced-node records must reflect divergence from the new state
+        # (reads fall through to the forced layer once removed).
         for cid, value in self._node_fault_sites.get(node, ()):
             if cid in self.live:
                 if value == new_state:
@@ -412,8 +612,10 @@ class ConcurrentFaultSimulator:
         per input setting -- matters: switching transients (e.g. decoder
         hazards) are real events in the unit-delay model, and faulty
         circuits must see the same intermediate states a standalone
-        simulation of them would.
+        simulation of them would.  The kernel supplies the rounds; the
+        round budget and the good/faulty interleave live here.
         """
+        kernel = self._kernel
         circuit_rounds: dict[int, int] = {}
         good_rounds = 0
         total_rounds = 0
@@ -426,92 +628,89 @@ class ConcurrentFaultSimulator:
                 self.oscillation_events += 1
                 self._good_pending.clear()
                 self._fault_pending.clear()
+                self._sync_prev_states()
+                self._stale_records.clear()
                 return
             if self._good_pending:
                 good_rounds += 1
                 if good_rounds > self.max_rounds:
-                    self._force_good_x()
+                    self.oscillation_events += 1
+                    kernel.force_x(self._good)
                 else:
-                    self._good_round()
+                    kernel.step(self._good)
             if self._fault_pending:
                 pending = self._fault_pending
                 self._fault_pending = {}
+                adapters = self._adapters
                 for cid in sorted(pending):
                     if cid not in self.live:
                         continue
                     count = circuit_rounds.get(cid, 0) + 1
-                    circuit_rounds[cid] = count
+                    circuit = adapters.get(cid)
+                    if circuit is None:
+                        circuit = adapters[cid] = _FaultyCircuit(self, cid)
+                    circuit._seeds = pending[cid]
+                    # Reset per round: kernel.step never reaches
+                    # apply_round when the seeds expand to nothing, and
+                    # a stale True would bill that no-op round to the
+                    # circuit's oscillation budget.
+                    circuit.applied_changes = False
                     if count > self.max_rounds:
-                        self._force_circuit_x(cid, pending[cid])
+                        self.oscillation_events += 1
+                        kernel.force_x(circuit, batch_apply=True)
+                        circuit_rounds[cid] = 0
                     else:
-                        self._simulate_circuit(cid, pending[cid])
+                        kernel.step(circuit, batch=True)
+                        # Only rounds that actually changed the circuit
+                        # count toward its oscillation budget: a stable
+                        # circuit re-triggered by good-circuit churn
+                        # (e.g. an oscillating good region scanning its
+                        # records every round) is responding to fresh
+                        # stimuli, not oscillating -- a standalone
+                        # simulation of it would be quiescent.
+                        circuit_rounds[cid] = (
+                            count if circuit.applied_changes else 0
+                        )
+            # The round is over: the faulty circuits have seen the good
+            # circuit's round r-1 states where they needed them.
+            self._flush_stale_records()
+            self._sync_prev_states()
 
-    def _good_round(self) -> None:
-        net = self.network
+    def _sync_prev_states(self) -> None:
+        """Fold the round's good changes into the round-start snapshot."""
+        old_good = self._old_good
+        if old_good:
+            states = self.states
+            prev = self._prev_states
+            for node in old_good:
+                prev[node] = states[node]
+            old_good.clear()
+
+    def _apply_good_round(self, solutions: list[VicinitySolution]) -> None:
+        """Apply one good round: states, trigger scans, then fan-out.
+
+        Trigger scans run *before* transistor updates and record
+        maintenance so they see start-of-round transistor states, and
+        before the old states are forgotten.
+        """
         states = self.states
-        tstates = self.tstates
-        seeds = self._good_pending
-        self._good_pending = set()
-
-        member_owner: dict[int, int] = {}
-        solved: list[
-            tuple[list[int], list[tuple[int, int, int]], list[int]]
-        ] = []
-        for seed in seeds:
-            if seed in member_owner:
-                continue
-            members, boundary, adjacency = explore(net, tstates, [seed])
-            index = len(solved)
-            for member in members:
-                member_owner[member] = index
+        old_good = self._old_good
+        detailed: list[list[tuple[int, int, int]]] = []
+        for solution in solutions:
             changes = [
                 (node, states[node], new_state)
-                for node, new_state in solve_vicinity(
-                    net, states, members, boundary, adjacency
-                )
+                for node, new_state in solution.changes
             ]
-            solved.append((members, changes, []))
-        for seed in seeds:
-            owner = member_owner.get(seed)
-            if owner is not None:
-                solved[owner][2].append(seed)
-
-        # Synchronous application; trigger scans *before* record
-        # maintenance so triggered circuits can pin pre-change values;
-        # then transistor updates and record maintenance.
-        for _members, changes, _vic_seeds in solved:
-            for node, _old_state, new_state in changes:
+            detailed.append(changes)
+            for node, old_state, new_state in changes:
+                if node not in old_good:
+                    old_good[node] = old_state
                 states[node] = new_state
-        for members, changes, vic_seeds in solved:
-            self._trigger_scan(members, changes, vic_seeds)
-        for _members, changes, _vic_seeds in solved:
+        for solution, changes in zip(solutions, detailed):
+            self._trigger_scan(solution.members, changes, solution.seeds)
+        for changes in detailed:
             for node, _old_state, _new_state in changes:
                 self._good_node_changed(node)
-
-    def _force_good_x(self) -> None:
-        """Oscillation fallback: set the active region to X."""
-        self.oscillation_events += 1
-        net = self.network
-        seeds = self._good_pending
-        self._good_pending = set()
-        covered: set[int] = set()
-        for seed in seeds:
-            if seed in covered:
-                continue
-            members, _boundary = compute_vicinity(net, self.tstates, [seed])
-            covered.update(members)
-            changes = [
-                (node, self.states[node], X)
-                for node in members
-                if self.states[node] != X
-            ]
-            for node, _old_state, new_state in changes:
-                self.states[node] = new_state
-            self._trigger_scan(members, changes, list(seeds & set(members)))
-            for node, _old_state, _new_state in changes:
-                self._good_node_changed(node)
-        # Fallout (the forced X propagating through gates) settles in the
-        # following rounds of _settle_all, bounded by its hard cap.
 
     # ------------------------------------------------------------------
     # trigger scanning (good -> faulty event creation)
@@ -524,16 +723,16 @@ class ConcurrentFaultSimulator:
     ) -> None:
         """Schedule faulty-circuit events for one solved good vicinity.
 
-        ``changes`` carries (node, old_state, new_state).  For every
-        triggered circuit without an explicit record on a changed node,
-        the *old* state is pinned as a divergence record first: the
-        circuit was tracking the good circuit implicitly, and until its
-        own recomputation says otherwise its state remains the
-        pre-change one (this is the event-creation rule of the paper:
-        "a node in a faulty circuit that previously had the same state
-        as the good circuit may now be different").  Untriggered
-        circuits adopt the new value implicitly, which is sound because
-        nothing in their fault or divergence set touches this vicinity.
+        ``changes`` carries (node, old_state, new_state).  Triggered
+        circuits are rescheduled on the vicinity's seeds and changed
+        nodes; their reads of any good state this round overwrote
+        resolve through the ``old_good`` layer, so their recomputation
+        sees the same round r-1 values a standalone simulation would
+        (the paper's event-creation rule: "a node in a faulty circuit
+        that previously had the same state as the good circuit may now
+        be different").  Untriggered circuits adopt the new value
+        implicitly, which is sound because nothing in their fault or
+        divergence set touches this vicinity.
         """
         if not self.live:
             return
@@ -577,14 +776,8 @@ class ConcurrentFaultSimulator:
             return
         live = self.live
         for cid, extra in triggered.items():
-            if cid not in live:
-                continue
-            records = self.circuit_records[cid]
-            forced_nodes = self.prepared[cid].forced_nodes
-            for node, old_state, _new_state in changes:
-                if node not in records and node not in forced_nodes:
-                    self._set_record(node, cid, old_state)
-            self._schedule(cid, base | extra)
+            if cid in live:
+                self._schedule(cid, base | extra)
 
     def _schedule(self, cid: int, seeds: Iterable[int]) -> None:
         self._fault_pending.setdefault(cid, set()).update(seeds)
@@ -592,44 +785,22 @@ class ConcurrentFaultSimulator:
     # ------------------------------------------------------------------
     # faulty-circuit simulation
     # ------------------------------------------------------------------
-    def _simulate_circuit(self, cid: int, seeds: set[int]) -> None:
-        """One synchronous round of one faulty circuit."""
-        net = self.network
-        pf = self.prepared[cid]
-        records = self.circuit_records[cid]
-        view = _OverlayStates(self.states, records)
-        tview = _OverlayTransistors(net, view, self._merged_forced_t[cid])
-        forced_nodes = pf.forced_nodes
-
-        expanded: set[int] = set()
-        for raw_seed in seeds:
-            expanded.update(expand_seed(net, tview, raw_seed, forced_nodes))
-        if not expanded:
-            return
-        # One exploration covers all seeds (possibly several disconnected
-        # components; the solver handles them independently).
-        members, boundary, adjacency = explore(
-            net, tview, list(expanded), forced_nodes
-        )
-        all_changes = solve_vicinity(
-            net, view, members, boundary, adjacency, forced_nodes
-        )
-        if not all_changes:
-            return
-        self._apply_circuit_changes(cid, all_changes)
-
     def _apply_circuit_changes(
-        self, cid: int, changes: list[tuple[int, int]]
+        self,
+        cid: int,
+        changes: list[tuple[int, int]],
+        view: _OverlayStates,
     ) -> None:
-        """Update records and derive next-round events for circuit cid."""
+        """Update records and derive next-round events for circuit cid.
+
+        ``view`` is the overlay the changes were computed against; it
+        supplies the circuit's pre-change states (which may live in the
+        ``old_good`` layer rather than in records).
+        """
         net = self.network
-        records = self.circuit_records[cid]
         good_states = self.states
         merged_forced = self._merged_forced_t[cid]
-        old_states = {
-            node: records.get(node, good_states[node])
-            for node, _state in changes
-        }
+        old_states = {node: view[node] for node, _state in changes}
         for node, state in changes:
             if state == good_states[node]:
                 self._remove_record(node, cid)
@@ -647,30 +818,6 @@ class ConcurrentFaultSimulator:
                     next_seeds.add(net.t_drain[t])
         if next_seeds:
             self._schedule(cid, next_seeds)
-
-    def _force_circuit_x(self, cid: int, seeds: set[int]) -> None:
-        """Oscillation fallback for one faulty circuit."""
-        self.oscillation_events += 1
-        net = self.network
-        pf = self.prepared[cid]
-        records = self.circuit_records[cid]
-        view = _OverlayStates(self.states, records)
-        tview = _OverlayTransistors(net, view, self._merged_forced_t[cid])
-        covered: set[int] = set()
-        changes: list[tuple[int, int]] = []
-        for raw_seed in seeds:
-            for seed in expand_seed(net, tview, raw_seed, pf.forced_nodes):
-                if seed in covered:
-                    continue
-                members, _boundary = compute_vicinity(
-                    net, tview, [seed], pf.forced_nodes
-                )
-                covered.update(members)
-                changes.extend(
-                    (node, X) for node in members if view[node] != X
-                )
-        if changes:
-            self._apply_circuit_changes(cid, changes)
 
     # ------------------------------------------------------------------
     # detection

@@ -27,13 +27,19 @@ class PatternRecord:
 
 @dataclass
 class RunReport:
-    """Result of a concurrent fault-simulation (or good-only) run."""
+    """Result of a fault-simulation (or good-only) run.
+
+    Every registered backend (see :mod:`repro.core.backends`) returns
+    this shape; ``backend`` records which one produced it so archived
+    measurements stay attributable.
+    """
 
     n_faults: int
     patterns: list[PatternRecord] = field(default_factory=list)
     log: DetectionLog = field(default_factory=DetectionLog)
     total_seconds: float = 0.0
     oscillation_events: int = 0
+    backend: str = "concurrent"
 
     @property
     def n_patterns(self) -> int:
@@ -79,12 +85,19 @@ class FaultRecord:
 
 @dataclass
 class SerialRunReport:
-    """Result of a serial (one-circuit-at-a-time) fault-simulation run."""
+    """Result of a serial (one-circuit-at-a-time) fault-simulation run.
+
+    ``log`` and ``pattern_seconds`` carry the same measurements the
+    other backends produce, so a serial run can be flattened into a
+    :class:`RunReport` (see :func:`repro.core.serial.serial_run_report`).
+    """
 
     n_patterns: int
     reference_seconds: float = 0.0
     faults: list[FaultRecord] = field(default_factory=list)
     total_seconds: float = 0.0
+    log: DetectionLog = field(default_factory=DetectionLog)
+    pattern_seconds: list[float] = field(default_factory=list)
 
     @property
     def n_faults(self) -> int:

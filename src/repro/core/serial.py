@@ -9,13 +9,19 @@ patterns (for fault counts proportional to circuit size).
 Two serial numbers are provided:
 
 * :class:`SerialFaultSimulator` actually runs each circuit (used for
-  small-scale measurements and for the concurrent-equals-serial
-  equivalence tests);
+  small-scale measurements and for the cross-backend equivalence
+  tests);
 * :func:`estimate_serial_seconds` reproduces the paper's estimator
   (footnote **): "summing over all faults the number of patterns
   required to detect the fault times the average time to simulate the
   good circuit for 1 pattern" -- undetected faults cost the full
   sequence.
+
+Besides the per-fault :class:`~repro.core.report.SerialRunReport`, a
+run accumulates a :class:`~repro.core.report.DetectionLog` and
+per-pattern seconds, so the ``serial`` entry of the backend registry
+(:mod:`repro.core.backends`) can publish the same
+:class:`~repro.core.report.RunReport` shape as the other strategies.
 """
 
 from __future__ import annotations
@@ -26,15 +32,21 @@ from typing import Iterable, Sequence
 from ..switchlevel.network import Network
 from ..switchlevel.scheduler import Engine
 from ..patterns.clocking import TestPattern
-from .detection import POLICY_HARD, POLICIES, differs
+from .detection import POLICY_HARD, POLICIES, Detection, differs
 from .faults import Fault
 from .inject import Instrumented, PreparedFault, prepare
-from .report import FaultRecord, RunReport, SerialRunReport
+from .report import FaultRecord, PatternRecord, RunReport, SerialRunReport
 from ..errors import SimulationError
 
 
 class SerialFaultSimulator:
-    """One-circuit-at-a-time fault simulation over a pattern sequence."""
+    """One-circuit-at-a-time fault simulation over a pattern sequence.
+
+    With ``drop_on_detect`` (the default) a faulty circuit's simulation
+    stops at its first detection, mirroring the paper's fault dropping;
+    disable it to simulate every circuit through the whole sequence
+    (used by the final-state equivalence tests).
+    """
 
     def __init__(
         self,
@@ -43,6 +55,7 @@ class SerialFaultSimulator:
         observed: Sequence[str],
         *,
         detection_policy: str = POLICY_HARD,
+        drop_on_detect: bool = True,
         max_rounds: int = 200,
     ):
         if detection_policy not in POLICIES:
@@ -55,7 +68,9 @@ class SerialFaultSimulator:
             raise SimulationError("at least one observed node is required")
         self.observed = [self.network.node(name) for name in observed]
         self.detection_policy = detection_policy
+        self.drop_on_detect = drop_on_detect
         self.max_rounds = max_rounds
+        self.oscillation_events = 0
 
     # ------------------------------------------------------------------
     def run(
@@ -75,17 +90,24 @@ class SerialFaultSimulator:
             n_patterns=len(pattern_list),
             reference_seconds=reference_seconds,
         )
+        report.pattern_seconds = [0.0] * len(pattern_list)
         start_total = timer()
         for pf in self._instrumented.prepared:
             start = timer()
-            detected = self._simulate_fault(pf, pattern_list, reference)
+            detected = self._simulate_fault(
+                pf, pattern_list, reference, report, timer
+            )
             elapsed = timer() - start
             if detected is None:
                 pattern_index, phase_index = None, None
                 simulated = len(pattern_list)
             else:
                 pattern_index, phase_index = detected
-                simulated = pattern_index + 1
+                simulated = (
+                    pattern_index + 1
+                    if self.drop_on_detect
+                    else len(pattern_list)
+                )
             report.faults.append(
                 FaultRecord(
                     circuit_id=pf.circuit_id,
@@ -147,6 +169,7 @@ class SerialFaultSimulator:
                         [engine.states[node] for node in self.observed]
                     )
             trace.append(pattern_trace)
+        self.oscillation_events += engine.oscillation_events
         return trace
 
     def _simulate_fault(
@@ -154,24 +177,104 @@ class SerialFaultSimulator:
         pf: PreparedFault,
         patterns: list[TestPattern],
         reference: list[list[list[int]]],
+        report: SerialRunReport,
+        timer,
     ) -> tuple[int, int] | None:
-        """Run one faulty circuit until detection; returns (pattern,
+        """Run one faulty circuit, logging detections; returns (pattern,
         phase) of the first detection or None."""
         engine = self._make_engine(pf)
-        for pattern_index, pattern in enumerate(patterns):
-            observation = 0
-            for phase_index, phase in enumerate(pattern.phases):
-                self._drive_phase(engine, phase.settings)
-                if not phase.observe:
-                    continue
-                good_states = reference[pattern_index][observation]
-                observation += 1
-                for node, good_state in zip(self.observed, good_states):
-                    if differs(
-                        good_state, engine.states[node], self.detection_policy
-                    ):
-                        return pattern_index, phase_index
-        return None
+        names = self.network.node_names
+        first: tuple[int, int] | None = None
+        try:
+            for pattern_index, pattern in enumerate(patterns):
+                pattern_start = timer()
+                observation = 0
+                for phase_index, phase in enumerate(pattern.phases):
+                    self._drive_phase(engine, phase.settings)
+                    if not phase.observe:
+                        continue
+                    good_states = reference[pattern_index][observation]
+                    observation += 1
+                    # Every differing observed node is logged, exactly
+                    # like the concurrent and batch observers; with
+                    # dropping on, the first one ends this circuit.
+                    for node, good_state in zip(self.observed, good_states):
+                        faulty_state = engine.states[node]
+                        if not differs(
+                            good_state, faulty_state, self.detection_policy
+                        ):
+                            continue
+                        report.log.record(
+                            Detection(
+                                circuit_id=pf.circuit_id,
+                                description=pf.fault.describe(),
+                                pattern_index=pattern_index,
+                                phase_index=phase_index,
+                                node=names[node],
+                                good_state=good_state,
+                                faulty_state=faulty_state,
+                            )
+                        )
+                        if first is None:
+                            first = (pattern_index, phase_index)
+                        if self.drop_on_detect:
+                            report.pattern_seconds[pattern_index] += (
+                                timer() - pattern_start
+                            )
+                            return first
+                report.pattern_seconds[pattern_index] += (
+                    timer() - pattern_start
+                )
+            return first
+        finally:
+            self.oscillation_events += engine.oscillation_events
+
+
+def serial_run_report(
+    serial_report: SerialRunReport,
+    patterns: Sequence[TestPattern],
+    *,
+    drop_on_detect: bool = True,
+    include_reference: bool = True,
+) -> RunReport:
+    """Flatten a serial run into the cross-backend ``RunReport`` shape.
+
+    Per-pattern seconds are summed across faults (pattern ``p``'s cost
+    is whatever every faulty circuit spent simulating it); the good
+    reference trace is included in ``total_seconds`` by default since
+    the other backends simulate their reference inline.
+    ``drop_on_detect`` must mirror the run's setting: without dropping
+    every circuit stays live (as the other backends report it).
+    """
+    report = RunReport(
+        n_faults=serial_report.n_faults,
+        log=serial_report.log,
+        backend="serial",
+    )
+    n_patterns = len(patterns)
+    cumulative = serial_report.log.cumulative_by_pattern(n_patterns)
+    seconds = serial_report.pattern_seconds or [0.0] * n_patterns
+    for index, pattern in enumerate(patterns):
+        detected_here = cumulative[index] - (
+            cumulative[index - 1] if index else 0
+        )
+        report.patterns.append(
+            PatternRecord(
+                index=index,
+                label=pattern.label,
+                seconds=seconds[index],
+                detections=detected_here,
+                live_after=(
+                    serial_report.n_faults - cumulative[index]
+                    if drop_on_detect
+                    else serial_report.n_faults
+                ),
+            )
+        )
+    report.total_seconds = serial_report.total_seconds
+    if include_reference:
+        report.total_seconds += serial_report.reference_seconds
+    return report
 
 
 def estimate_serial_seconds(

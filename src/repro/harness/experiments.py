@@ -20,6 +20,7 @@ import statistics
 from dataclasses import dataclass, field
 
 from ..circuits.ram import Ram, build_ram
+from ..core.backends import SimPolicy, run_backend
 from ..core.concurrent import ConcurrentFaultSimulator
 from ..core.detection import POLICY_ANY
 from ..core.faults import Fault, ram_fault_universe, sample_faults
@@ -58,17 +59,24 @@ def _pick_faults(
 
 @dataclass
 class CurveResult:
-    """Everything Figures 1/2 plot, plus the totals quoted in the text."""
+    """Everything Figures 1/2 plot, plus the totals quoted in the text.
+
+    ``sim_seconds`` is the fault simulation's cost under whichever
+    ``backend`` ran it (archived rows would lie if a serial run's time
+    were stored under a concurrent-named key); ``concurrent_seconds``
+    remains as a read-only alias for existing consumers.
+    """
 
     experiment: str
     circuit: str
     sequence_name: str
+    backend: str
     n_patterns: int
     n_faults: int
     detected: int
     coverage: float
     good_seconds: float
-    concurrent_seconds: float
+    sim_seconds: float
     serial_estimate_seconds: float
     head_patterns: int
     head_seconds: float
@@ -76,6 +84,11 @@ class CurveResult:
     cumulative_detections: list[int] = field(default_factory=list)
     live_after_pattern: list[int] = field(default_factory=list)
     report: RunReport | None = field(default=None, repr=False)
+
+    @property
+    def concurrent_seconds(self) -> float:
+        """Alias of :attr:`sim_seconds` (pre-registry consumers)."""
+        return self.sim_seconds
 
     @property
     def concurrent_vs_serial_ratio(self) -> float:
@@ -110,13 +123,17 @@ class CurveResult:
             self.seconds_per_pattern,
             title=(
                 f"{self.experiment}: {self.circuit}, {self.sequence_name} "
-                f"({self.n_patterns} patterns, {self.n_faults} faults)"
+                f"({self.n_patterns} patterns, {self.n_faults} faults, "
+                f"{self.backend} backend)"
             ),
         )
         rows = [
             ("faults detected", f"{self.detected} ({self.coverage:.1%})"),
             ("good circuit alone", format_seconds(self.good_seconds)),
-            ("concurrent fault sim", format_seconds(self.concurrent_seconds)),
+            (
+                f"{self.backend} fault sim",
+                format_seconds(self.concurrent_seconds),
+            ),
             (
                 "serial estimate (paper method)",
                 format_seconds(self.serial_estimate_seconds),
@@ -147,7 +164,15 @@ def run_curve_experiment(
     n_faults: int | None,
     seed: int,
     detection_policy: str = DEFAULT_POLICY,
+    backend: str = "concurrent",
+    backend_options: dict | None = None,
 ) -> CurveResult:
+    """One Figure-1/2-shaped run of any registered backend.
+
+    The good-circuit reference is always measured with the concurrent
+    machinery (with no faults it *is* a plain good-circuit simulation);
+    the fault simulation itself goes through the backend registry.
+    """
     ram = build_ram(rows, cols)
     sequence: RamSequence = sequence_builder(ram)
     faults = _pick_faults(ram, n_faults, seed)
@@ -155,11 +180,15 @@ def run_curve_experiment(
     good = ConcurrentFaultSimulator(ram.net, [], observed=[ram.dout])
     good_report = good.run(sequence.patterns)
 
-    concurrent = ConcurrentFaultSimulator(
-        ram.net, faults, observed=[ram.dout],
-        detection_policy=detection_policy,
+    report = run_backend(
+        backend,
+        ram.net,
+        faults,
+        [ram.dout],
+        list(sequence.patterns),
+        SimPolicy(detection_policy=detection_policy),
+        **(backend_options or {}),
     )
-    report = concurrent.run(sequence.patterns)
 
     serial_estimate = estimate_serial_seconds(
         report, good_report.average_seconds_per_pattern()
@@ -169,12 +198,13 @@ def run_curve_experiment(
         experiment=experiment,
         circuit=ram.name,
         sequence_name=sequence.name,
+        backend=backend,
         n_patterns=len(sequence),
         n_faults=len(faults),
         detected=report.detected,
         coverage=report.coverage,
         good_seconds=good_report.total_seconds,
-        concurrent_seconds=report.total_seconds,
+        sim_seconds=report.total_seconds,
         serial_estimate_seconds=serial_estimate,
         head_patterns=head,
         head_seconds=report.section_seconds(0, head),
@@ -191,6 +221,7 @@ def run_fig1(
     n_faults: int | None = None,
     seed: int = DEFAULT_SEED,
     detection_policy: str = DEFAULT_POLICY,
+    backend: str = "concurrent",
 ) -> CurveResult:
     """Figure 1: Test Sequence 1 (control + row/col marches + array march).
 
@@ -204,6 +235,7 @@ def run_fig1(
         n_faults=n_faults,
         seed=seed,
         detection_policy=detection_policy,
+        backend=backend,
     )
 
 
@@ -213,6 +245,7 @@ def run_fig2(
     n_faults: int | None = None,
     seed: int = DEFAULT_SEED,
     detection_policy: str = DEFAULT_POLICY,
+    backend: str = "concurrent",
 ) -> CurveResult:
     """Figure 2: Test Sequence 2 (row/column marches omitted).
 
@@ -226,6 +259,7 @@ def run_fig2(
         n_faults=n_faults,
         seed=seed,
         detection_policy=detection_policy,
+        backend=backend,
     )
 
 
@@ -242,8 +276,13 @@ class ScalingEntry:
     n_patterns: int
     n_faults: int
     good_seconds: float
-    concurrent_seconds: float
+    sim_seconds: float
     serial_estimate_seconds: float
+
+    @property
+    def concurrent_seconds(self) -> float:
+        """Alias of :attr:`sim_seconds` (pre-registry consumers)."""
+        return self.sim_seconds
 
 
 @dataclass
@@ -252,6 +291,7 @@ class ScalingResult:
 
     small: ScalingEntry
     large: ScalingEntry
+    backend: str = "concurrent"
 
     def factor(self, attribute: str) -> float:
         small = getattr(self.small, attribute)
@@ -298,6 +338,7 @@ def run_scaling(
     n_faults: int | None = None,
     seed: int = DEFAULT_SEED,
     detection_policy: str = DEFAULT_POLICY,
+    backend: str = "concurrent",
 ) -> ScalingResult:
     """Time good/concurrent/serial across two circuit sizes.
 
@@ -308,7 +349,7 @@ def run_scaling(
     def entry(rows: int, cols: int) -> ScalingEntry:
         result = run_fig1(
             rows, cols, n_faults=n_faults, seed=seed,
-            detection_policy=detection_policy,
+            detection_policy=detection_policy, backend=backend,
         )
         ram = build_ram(rows, cols)
         return ScalingEntry(
@@ -318,11 +359,13 @@ def run_scaling(
             n_patterns=result.n_patterns,
             n_faults=result.n_faults,
             good_seconds=result.good_seconds,
-            concurrent_seconds=result.concurrent_seconds,
+            sim_seconds=result.sim_seconds,
             serial_estimate_seconds=result.serial_estimate_seconds,
         )
 
-    return ScalingResult(small=entry(*small), large=entry(*large))
+    return ScalingResult(
+        small=entry(*small), large=entry(*large), backend=backend
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -343,6 +386,7 @@ class Fig3Result:
     circuit: str
     n_patterns: int
     points: list[Fig3Point] = field(default_factory=list)
+    backend: str = "concurrent"
 
     def slope_ratio(self) -> float:
         """Serial slope over concurrent slope (paper: about 85)."""
@@ -401,6 +445,7 @@ def run_fig3(
     seed: int = DEFAULT_SEED,
     real_serial_limit: int = 0,
     detection_policy: str = DEFAULT_POLICY,
+    backend: str = "concurrent",
 ) -> Fig3Result:
     """Figure 3: sweep the fault-sample size, measure avg sec/pattern.
 
@@ -415,18 +460,23 @@ def run_fig3(
     good_report = good.run(sequence.patterns)
     good_avg = good_report.average_seconds_per_pattern()
 
-    result = Fig3Result(circuit=ram.name, n_patterns=len(sequence))
+    result = Fig3Result(
+        circuit=ram.name, n_patterns=len(sequence), backend=backend
+    )
     for count in fault_counts:
         if count > len(universe):
             raise ExperimentError(
                 f"sample of {count} exceeds universe of {len(universe)}"
             )
         faults = sample_faults(universe, count, seed=seed)
-        concurrent = ConcurrentFaultSimulator(
-            ram.net, faults, observed=[ram.dout],
-            detection_policy=detection_policy,
+        report = run_backend(
+            backend,
+            ram.net,
+            faults,
+            [ram.dout],
+            list(sequence.patterns),
+            SimPolicy(detection_policy=detection_policy),
         )
-        report = concurrent.run(sequence.patterns)
         estimate = estimate_serial_seconds(report, good_avg)
         real_avg = None
         if count <= real_serial_limit:

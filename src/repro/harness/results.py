@@ -37,14 +37,19 @@ def write_json(result: Any, stream: TextIO) -> None:
 
 
 def write_curve_csv(result: CurveResult, stream: TextIO) -> None:
-    """Per-pattern series of a Figure 1/2 run as CSV."""
+    """Per-pattern series of a Figure 1/2 run as CSV.
+
+    The backend column keeps archived rows attributable when runs of
+    several strategies are concatenated for comparison.
+    """
     writer = csv.writer(stream)
     writer.writerow(
-        ["pattern", "seconds", "cumulative_detected", "live_after"]
+        ["backend", "pattern", "seconds", "cumulative_detected", "live_after"]
     )
     for index in range(result.n_patterns):
         writer.writerow(
             [
+                result.backend,
                 index,
                 f"{result.seconds_per_pattern[index]:.6f}",
                 result.cumulative_detections[index],

@@ -5,16 +5,23 @@ Public surface:
 * :mod:`repro.switchlevel.logic` -- ternary states.
 * :mod:`repro.switchlevel.strength` -- the strength/size lattice.
 * :mod:`repro.switchlevel.network` -- nodes, transistors, topology.
+* :mod:`repro.switchlevel.kernel` -- the shared round-based settle kernel.
 * :class:`repro.switchlevel.simulator.Simulator` -- the logic simulator.
+* :class:`repro.switchlevel.bitplane.LaneSimulator` -- bit-parallel lanes.
 """
 
+from .bitplane import LaneSimulator
+from .kernel import SettleKernel, SettleStats, VicinitySolution
 from .logic import ONE, STATES, X, ZERO
 from .network import DTYPE, NTYPE, PTYPE, Network, transistor_state
-from .scheduler import Engine, SettleStats
+from .scheduler import Engine
 from .simulator import Simulator
 from .strength import DEFAULT_STRENGTHS, StrengthSystem
 
 __all__ = [
+    "SettleKernel",
+    "VicinitySolution",
+    "LaneSimulator",
     "ZERO",
     "ONE",
     "X",

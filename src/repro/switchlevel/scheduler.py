@@ -2,21 +2,13 @@
 
 The engine owns the mutable state of one circuit (node states, transistor
 states, pending perturbations) and advances it with MOSSIM's scheduling
-discipline: for each change of network inputs, repeatedly compute the
-steady-state response of every perturbed vicinity until the whole network
-is stable.  Each iteration is a *round*:
-
-1. take the pending perturbation seeds;
-2. group them into vicinities (computed against start-of-round transistor
-   states, so the round is synchronous and deterministic);
-3. solve each vicinity's steady state;
-4. apply all changes, update the states of transistors whose gates
-   changed, and derive the next round's seeds from those transistors'
-   channel terminals.
+discipline, which lives in the shared :mod:`repro.switchlevel.kernel`:
+for each change of network inputs, repeatedly compute the steady-state
+response of every perturbed vicinity until the whole network is stable.
 
 Circuits with level-sensitive feedback (latches) settle in a few rounds;
 genuine oscillators (e.g. a ring of inverters) would loop forever, so
-after ``max_rounds`` the engine forces the still-changing nodes to X
+after ``max_rounds`` the kernel forces the still-changing nodes to X
 (MOSSIM's policy) or raises :class:`~repro.errors.OscillationError`,
 depending on ``on_oscillation``.
 
@@ -34,51 +26,29 @@ DC-connected components (the pre-MOSSIM-II baseline, kept as an ablation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from ..errors import OscillationError, SimulationError
-from .logic import STATES, X
-from .network import Network, TRANS_TABLE
-from .steady_state import solve_vicinity
-from .vicinity import (
-    compute_vicinity,
-    expand_seed,
-    explore,
-    perturbations_from_transistor,
-    static_explore,
+from .kernel import (
+    DEFAULT_MAX_ROUNDS,
+    SettleKernel,
+    SettleStats,
+    VicinitySolution,
 )
+from .logic import STATES
+from .network import Network, TRANS_TABLE
+from .vicinity import expand_seed, perturbations_from_transistor
 
-#: Default bound on rounds per input change; real circuits settle in a
-#: handful, so hitting this means feedback oscillation.
-DEFAULT_MAX_ROUNDS = 200
-
-#: How many force-to-X attempts to make before giving up on stability.
-_MAX_X_ATTEMPTS = 3
-
-
-@dataclass
-class SettleStats:
-    """Bookkeeping returned by :meth:`Engine.settle`."""
-
-    rounds: int = 0
-    vicinities: int = 0
-    nodes_computed: int = 0
-    changes: int = 0
-    oscillated: bool = False
-    changed_nodes: set[int] = field(default_factory=set)
-
-    def merge(self, other: "SettleStats") -> None:
-        self.rounds += other.rounds
-        self.vicinities += other.vicinities
-        self.nodes_computed += other.nodes_computed
-        self.changes += other.changes
-        self.oscillated = self.oscillated or other.oscillated
-        self.changed_nodes |= other.changed_nodes
+__all__ = ["DEFAULT_MAX_ROUNDS", "Engine", "SettleStats"]
 
 
 class Engine:
-    """Mutable simulation state and stepping logic for one circuit."""
+    """Mutable simulation state and stepping logic for one circuit.
+
+    The engine is a :class:`~repro.switchlevel.kernel.RoundCircuit`: the
+    shared kernel drives its rounds, while the engine supplies seed
+    management and change application over plain state vectors.
+    """
 
     def __init__(
         self,
@@ -91,12 +61,12 @@ class Engine:
         on_oscillation: str = "x",
     ):
         net.require_finalized()
-        if locality not in ("dynamic", "static"):
-            raise SimulationError(f"unknown locality mode: {locality!r}")
-        if on_oscillation not in ("x", "raise"):
-            raise SimulationError(
-                f"unknown oscillation policy: {on_oscillation!r}"
-            )
+        self.kernel = SettleKernel(
+            net,
+            locality=locality,
+            max_rounds=max_rounds,
+            on_oscillation=on_oscillation,
+        )
         self.net = net
         self.locality = locality
         self.max_rounds = max_rounds
@@ -158,87 +128,43 @@ class Engine:
                     perturbations_from_transistor(net, t, self.forced_nodes)
                 )
 
-    # --- stepping ---------------------------------------------------------
-    def _run_round(self, stats: SettleStats) -> None:
-        """One synchronous round: solve all perturbed vicinities, apply."""
+    # --- the kernel's RoundCircuit surface ---------------------------------
+    def take_seeds(self) -> set[int]:
         seeds = self.pending
         self.pending = set()
-        covered: set[int] = set()
-        all_changes: list[tuple[int, int]] = []
-        net = self.net
-        states = self.states
-        tstates = self.tstates
-        forced = self.forced_nodes
-        for seed in seeds:
-            if seed in covered:
-                continue
-            if self.locality == "dynamic":
-                members, boundary, adjacency = explore(
-                    net, tstates, [seed], forced
-                )
-            else:
-                members, boundary, adjacency = static_explore(
-                    net, tstates, [seed], forced
-                )
-            covered.update(members)
-            stats.vicinities += 1
-            stats.nodes_computed += len(members)
-            all_changes.extend(
-                solve_vicinity(
-                    net, states, members, boundary, adjacency, forced
-                )
-            )
-        for node, state in all_changes:
-            states[node] = state
-        for node, _state in all_changes:
-            self._node_changed(node)
-            stats.changed_nodes.add(node)
-        stats.changes += len(all_changes)
+        return seeds
 
+    def has_pending(self) -> bool:
+        return bool(self.pending)
+
+    def apply_round(
+        self,
+        solutions: list[VicinitySolution],
+        stats: SettleStats | None,
+    ) -> None:
+        """Apply a round synchronously: all states first, then fan-out."""
+        states = self.states
+        for solution in solutions:
+            for node, state in solution.changes:
+                states[node] = state
+        for solution in solutions:
+            for node, _state in solution.changes:
+                self._node_changed(node)
+                if stats is not None:
+                    stats.changed_nodes.add(node)
+        if stats is not None:
+            stats.changes += sum(len(s.changes) for s in solutions)
+
+    # --- stepping ---------------------------------------------------------
     def settle(self) -> SettleStats:
         """Run rounds until the circuit is stable; handle oscillation."""
-        stats = SettleStats()
-        for _attempt in range(_MAX_X_ATTEMPTS):
-            while self.pending:
-                if stats.rounds >= self.max_rounds * (_attempt + 1):
-                    break
-                stats.rounds += 1
-                self._run_round(stats)
-            if not self.pending:
-                return stats
-            # Oscillation: either report it or force the active region to X
-            # and try to settle again (X is usually absorbing).
-            stats.oscillated = True
+        try:
+            stats = self.kernel.settle(self)
+        except OscillationError:
             self.oscillation_events += 1
-            if self.on_oscillation == "raise":
-                raise OscillationError(
-                    f"circuit failed to settle within {stats.rounds} rounds"
-                )
-            self._force_pending_to_x(stats)
-        if self.pending:
-            # Give up: drop the perturbations; the X states already applied
-            # are a sound (if weak) description of the oscillating region.
-            self.pending.clear()
+            raise
+        self.oscillation_events += stats.x_fallbacks
         return stats
-
-    def _force_pending_to_x(self, stats: SettleStats) -> None:
-        """Set every pending node's vicinity to X (oscillation fallback)."""
-        seeds = self.pending
-        self.pending = set()
-        covered: set[int] = set()
-        for seed in seeds:
-            if seed in covered:
-                continue
-            members, _boundary = compute_vicinity(
-                self.net, self.tstates, [seed], self.forced_nodes
-            )
-            covered.update(members)
-            for node in members:
-                if self.states[node] != X:
-                    self.states[node] = X
-                    self._node_changed(node)
-                    stats.changed_nodes.add(node)
-                    stats.changes += 1
 
     # --- inspection -----------------------------------------------------------
     def state_of(self, node: int) -> int:

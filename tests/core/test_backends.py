@@ -1,0 +1,209 @@
+"""The backend registry and the three-way cross-backend parity property.
+
+Every registered strategy (serial / concurrent / batch) must produce
+identical detections -- same fault, same pattern, same phase -- and,
+for undetected faults, identical final states on every node.  This is
+checked on random networks x random fault lists x random stimuli (the
+same generator as the serial-vs-concurrent flagship suite) and on the
+RAM with its real marching sequence.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(__file__))
+from test_equivalence_props import fault_sim_case  # noqa: E402
+
+from repro.circuits.ram import build_ram
+from repro.core.backends import (
+    BatchBackend,
+    FaultSimBackend,
+    SimPolicy,
+    available_backends,
+    get_backend,
+    register_backend,
+    run_backend,
+)
+from repro.core.batch import BatchFaultSimulator
+from repro.core.serial import SerialFaultSimulator
+from repro.errors import SimulationError
+from repro.patterns.sequences import sequence1
+
+PROP_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def first_detections(report, n_faults):
+    result = {}
+    for circuit_id in range(1, n_faults + 1):
+        detection = report.log.first_detection(circuit_id)
+        result[circuit_id] = (
+            (detection.pattern_index, detection.phase_index)
+            if detection
+            else None
+        )
+    return result
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert available_backends() == ["batch", "concurrent", "serial"]
+
+    def test_get_backend_unknown_name(self):
+        with pytest.raises(SimulationError, match="unknown backend"):
+            get_backend("quantum")
+
+    def test_get_backend_forwards_options(self):
+        backend = get_backend("batch", lane_width=7)
+        assert isinstance(backend, BatchBackend)
+        assert backend.lane_width == 7
+
+    def test_register_rejects_unnamed(self):
+        class Nameless(FaultSimBackend):
+            def run(self, *args, **kwargs):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(SimulationError):
+            register_backend(Nameless)
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(SimulationError):
+            register_backend(BatchBackend)
+
+    def test_policy_validation(self):
+        with pytest.raises(SimulationError):
+            SimPolicy(detection_policy="psychic")
+        with pytest.raises(SimulationError):
+            SimPolicy(clock="sundial")
+
+    def test_reports_are_tagged_with_backend(self, ram_case):
+        net, faults, observed, patterns = ram_case
+        for name in available_backends():
+            report = run_backend(name, net, faults, observed, patterns)
+            assert report.backend == name
+
+
+@pytest.fixture(scope="module")
+def ram_case():
+    from repro.core.faults import ram_fault_universe, sample_faults
+
+    ram = build_ram(2, 2)
+    sequence = sequence1(ram)
+    faults = sample_faults(ram_fault_universe(ram), 12, seed=0)
+    return ram.net, faults, [ram.dout], list(sequence.patterns)
+
+
+class TestThreeWayParity:
+    """serial == concurrent == batch, detections and final states."""
+
+    @PROP_SETTINGS
+    @given(fault_sim_case())
+    def test_detections_match_across_backends(self, case):
+        net, faults, observed, patterns = case
+        policy = SimPolicy(max_rounds=60)
+        reports = {
+            name: run_backend(name, net, faults, observed, patterns, policy)
+            for name in available_backends()
+        }
+        baseline = first_detections(reports["serial"], len(faults))
+        for name in ("concurrent", "batch"):
+            assert first_detections(reports[name], len(faults)) == baseline, (
+                name
+            )
+
+    @PROP_SETTINGS
+    @given(fault_sim_case())
+    def test_undetected_final_states_match_across_backends(self, case):
+        net, faults, observed, patterns = case
+        from repro.core.concurrent import ConcurrentFaultSimulator
+
+        concurrent = ConcurrentFaultSimulator(
+            net, faults, observed, max_rounds=60, drop_on_detect=False
+        )
+        concurrent.run(patterns)
+        batch = BatchFaultSimulator(
+            net, faults, observed, max_rounds=60, drop_on_detect=False,
+            lane_width=3,  # several chunks, to exercise chunking
+        )
+        batch.run(patterns)
+        serial = SerialFaultSimulator(net, faults, observed, max_rounds=60)
+        instrumented = serial._instrumented
+        names = instrumented.net.node_names
+        for pf in instrumented.prepared:
+            engine = serial._make_engine(pf)
+            for pattern in patterns:
+                for phase in pattern.phases:
+                    serial._drive_phase(engine, phase.settings)
+            for node in range(instrumented.net.n_nodes):
+                expected = engine.states[node]
+                got_concurrent = concurrent.circuit_records[
+                    pf.circuit_id
+                ].get(node, concurrent.states[node])
+                got_batch = batch.circuit_state_of(
+                    pf.circuit_id, names[node]
+                )
+                assert got_concurrent == expected, (
+                    "concurrent", pf.circuit_id, names[node]
+                )
+                assert got_batch == expected, (
+                    "batch", pf.circuit_id, names[node]
+                )
+
+    def test_ram_parity(self, ram_case):
+        net, faults, observed, patterns = ram_case
+        reports = {
+            name: run_backend(name, net, faults, observed, patterns)
+            for name in available_backends()
+        }
+        baseline = first_detections(reports["serial"], len(faults))
+        for name in ("concurrent", "batch"):
+            assert first_detections(reports[name], len(faults)) == baseline
+
+
+class TestBatchMechanics:
+    def test_lane_chunking_splits_faults(self, ram_case):
+        net, faults, observed, patterns = ram_case
+        simulator = BatchFaultSimulator(net, faults, observed, lane_width=5)
+        assert len(simulator.chunks) == (len(faults) + 4) // 5
+
+    def test_dropping_compacts_lanes(self):
+        from repro.core.faults import ram_fault_universe, sample_faults
+
+        ram = build_ram(2, 2)
+        patterns = list(sequence1(ram).patterns)
+        net, observed = ram.net, [ram.dout]
+        faults = sample_faults(ram_fault_universe(ram), 24, seed=1)
+        simulator = BatchFaultSimulator(net, faults, observed, lane_width=64)
+        report = simulator.run(patterns)
+        assert report.detected > len(faults) // 2
+        # Compaction shrank the planes (it stops below the minimum
+        # width, so the packed width may still exceed the live count).
+        assert simulator.total_lane_bits() < len(faults)
+        assert simulator.total_lane_bits() >= len(simulator.live_circuits)
+
+    def test_no_drop_keeps_all_lanes(self, ram_case):
+        net, faults, observed, patterns = ram_case
+        simulator = BatchFaultSimulator(
+            net, faults, observed, drop_on_detect=False
+        )
+        simulator.run(patterns)
+        assert simulator.total_lane_bits() == len(faults)
+        assert simulator.live_circuits == set(range(1, len(faults) + 1))
+
+    def test_serial_backend_run_report_shape(self, ram_case):
+        net, faults, observed, patterns = ram_case
+        report = run_backend("serial", net, faults, observed, patterns)
+        assert report.backend == "serial"
+        assert report.n_patterns == len(patterns)
+        assert report.total_seconds >= 0
+        live = [p.live_after for p in report.patterns]
+        assert live[-1] == report.n_faults - report.detected
+        assert all(b <= a for a, b in zip(live, live[1:]))

@@ -142,8 +142,14 @@ class TestResults:
         stream = io.StringIO()
         write_curve_csv(tiny_fig1, stream)
         lines = stream.getvalue().strip().splitlines()
-        assert lines[0] == "pattern,seconds,cumulative_detected,live_after"
+        assert lines[0] == (
+            "backend,pattern,seconds,cumulative_detected,live_after"
+        )
         assert len(lines) == tiny_fig1.n_patterns + 1
+        assert all(line.startswith("concurrent,") for line in lines[1:])
+
+    def test_result_to_dict_records_backend(self, tiny_fig1):
+        assert result_to_dict(tiny_fig1)["backend"] == "concurrent"
 
     def test_write_fig3_csv(self):
         result = run_fig3(rows=2, cols=2, fault_counts=(5, 10))

@@ -1,0 +1,182 @@
+"""Direct tests of the shared settle kernel.
+
+The kernel is exercised indirectly by every simulator test; these pin
+its own contract: round mechanics over a minimal circuit adapter, seed
+-> vicinity grouping, and the oscillation policies (``x`` vs ``raise``)
+with their escalating round budgets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cells import nmos
+from repro.errors import OscillationError, SimulationError
+from repro.netlist.builder import NetworkBuilder
+from repro.switchlevel.kernel import (
+    SettleKernel,
+    SettleStats,
+    force_x_solutions,
+    solve_round,
+)
+from repro.switchlevel.logic import X
+from repro.switchlevel.scheduler import Engine
+
+
+def inverter_net():
+    b = NetworkBuilder()
+    b.input("a")
+    nmos.inverter(b, "a", "out")
+    return b.build()
+
+
+def ring_net(stages: int = 3):
+    """An enabled ring oscillator (odd inversion loop when en=1)."""
+    b = NetworkBuilder()
+    b.input("en")
+    first = b.node("r0")
+    previous = first
+    for i in range(1, stages):
+        previous = nmos.inverter(b, previous, f"r{i}")
+    out = nmos.nand(b, [previous, "en"], "rback")
+    b.ntrans("vdd", out, first, strength="strong")
+    return b.build()
+
+
+class TestValidation:
+    def test_bad_locality_rejected(self):
+        with pytest.raises(SimulationError):
+            SettleKernel(inverter_net(), locality="quantum")
+
+    def test_bad_oscillation_policy_rejected(self):
+        with pytest.raises(SimulationError):
+            SettleKernel(inverter_net(), on_oscillation="ignore")
+
+
+class TestSolveRound:
+    def test_round_solves_perturbed_vicinity(self):
+        net = inverter_net()
+        engine = Engine(net)
+        engine.drive(net.node("vdd"), 1)
+        engine.drive(net.node("gnd"), 0)
+        engine.drive(net.node("a"), 0)
+        solutions = solve_round(
+            net, engine.states, engine.tstates, engine.take_seeds()
+        )
+        changes = {
+            node: state for sol in solutions for node, state in sol.changes
+        }
+        assert changes[net.node("out")] == 1
+
+    def test_batch_mode_groups_all_seeds_into_one_solution(self):
+        b = NetworkBuilder()
+        b.input("a")
+        nmos.inverter(b, "a", "o1")
+        nmos.inverter(b, "a", "o2")  # disconnected from o1
+        net = b.build()
+        engine = Engine(net)
+        engine.drive(net.node("vdd"), 1)
+        engine.drive(net.node("gnd"), 0)
+        engine.drive(net.node("a"), 1)
+        seeds = engine.take_seeds()
+        batched = solve_round(net, engine.states, engine.tstates, seeds,
+                              batch=True)
+        assert len(batched) == 1
+        per_seed = solve_round(net, engine.states, engine.tstates, seeds)
+        assert len(per_seed) == 2
+        flat = lambda sols: sorted(
+            change for sol in sols for change in sol.changes
+        )
+        assert flat(batched) == flat(per_seed)
+
+    def test_stats_accumulate(self):
+        net = inverter_net()
+        engine = Engine(net)
+        engine.drive(net.node("vdd"), 1)
+        engine.drive(net.node("gnd"), 0)
+        engine.drive(net.node("a"), 0)
+        stats = SettleStats()
+        solve_round(
+            net, engine.states, engine.tstates, engine.take_seeds(),
+            stats=stats,
+        )
+        assert stats.vicinities >= 1
+        assert stats.nodes_computed >= 1
+
+
+class TestOscillationPolicies:
+    def _parked_engine(self, max_rounds=25) -> Engine:
+        """A ring with definite states injected (en=0), about to run."""
+        net = ring_net()
+        engine = Engine(net, max_rounds=max_rounds)
+        for name, state in (("vdd", 1), ("gnd", 0), ("en", 0)):
+            engine.drive(net.node(name), state)
+        engine.settle()
+        assert engine.states[net.node("r0")] in (0, 1)
+        return engine
+
+    def test_policy_x_forces_region_to_x(self):
+        engine = self._parked_engine()
+        net = engine.net
+        engine.drive(net.node("en"), 1)
+        stats = engine.kernel.settle(engine)
+        assert stats.oscillated
+        assert stats.x_fallbacks >= 1
+        assert engine.states[net.node("r0")] == X
+        assert not engine.has_pending()  # quiescent after the fallback
+
+    def test_policy_x_round_budget_escalates(self):
+        # The loop may spend up to max_rounds * x_attempts rounds.
+        engine = self._parked_engine(max_rounds=10)
+        net = engine.net
+        engine.drive(net.node("en"), 1)
+        stats = engine.kernel.settle(engine)
+        assert stats.rounds >= 10
+        assert stats.rounds <= 10 * engine.kernel.x_attempts
+
+    def test_policy_raise_raises(self):
+        net = ring_net()
+        engine = Engine(net, max_rounds=25, on_oscillation="raise")
+        kernel = SettleKernel(net, max_rounds=25, on_oscillation="raise")
+        for name, state in (("vdd", 1), ("gnd", 0), ("en", 0)):
+            engine.drive(net.node(name), state)
+        engine.settle()
+        engine.drive(net.node("en"), 1)
+        with pytest.raises(OscillationError):
+            kernel.settle(engine)
+
+    def test_preloaded_rounds_skip_straight_to_fallback(self):
+        # A caller that already spent the budget (the batch backend's
+        # lane handoff) gets the X fallback without more plain rounds.
+        engine = self._parked_engine(max_rounds=30)
+        net = engine.net
+        engine.drive(net.node("en"), 1)
+        stats = SettleStats(rounds=30)
+        engine.kernel.settle(engine, stats)
+        assert stats.x_fallbacks >= 1
+        assert engine.states[net.node("r0")] == X
+
+    def test_stable_circuit_never_oscillates(self):
+        net = inverter_net()
+        engine = Engine(net)
+        for name, state in (("vdd", 1), ("gnd", 0), ("a", 1)):
+            engine.drive(net.node(name), state)
+        stats = engine.kernel.settle(engine)
+        assert not stats.oscillated
+        assert stats.x_fallbacks == 0
+        assert engine.states[net.node("out")] == 0
+
+
+class TestForceXSolutions:
+    def test_vicinity_members_forced_to_x(self):
+        net = inverter_net()
+        engine = Engine(net)
+        for name, state in (("vdd", 1), ("gnd", 0), ("a", 0)):
+            engine.drive(net.node(name), state)
+        engine.settle()
+        out = net.node("out")
+        solutions = list(
+            force_x_solutions(net, engine.states, engine.tstates, [out])
+        )
+        assert len(solutions) == 1
+        assert (out, X) in solutions[0].changes
