@@ -31,6 +31,13 @@ SCALES = {
         # are present but small, so the thresholds are conservative.
         "fig3_min_slope_ratio": 1.2,
         "scaling_serial_margin": 1.15,
+        # (rows, cols, n_faults) for the sharded-backend scaling sweep,
+        # the jobs counts swept, and the wall-clock speedup required of
+        # the largest jobs count (asserted only when that many CPUs are
+        # actually available -- see test_shard_scaling.py).
+        "shard": (4, 4, 32),
+        "shard_jobs": (1, 2, 4),
+        "shard_min_speedup": 1.5,
     },
     "paper": {
         "fig1": (8, 8, 428),
@@ -42,6 +49,9 @@ SCALES = {
         "fig3_counts": (100, 400, 800, 1382),
         "fig3_min_slope_ratio": 3.0,
         "scaling_serial_margin": 1.8,
+        "shard": (8, 8, 428),
+        "shard_jobs": (1, 2, 4),
+        "shard_min_speedup": 1.5,
     },
 }
 

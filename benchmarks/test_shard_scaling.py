@@ -1,0 +1,133 @@
+"""Sharded-backend scaling sweep -> BENCH_shard.json.
+
+Runs the Figure-1 workload through ``sharded(serial)`` at jobs in
+{1, 2, 4} and archives per-jobs wall-clock next to the repo root as
+``BENCH_shard.json``, so the parallel-scaling trajectory is tracked
+across changes alongside ``BENCH_backends.json``.
+
+At the default CI scale the workload is a reduced Figure-1 setup;
+``REPRO_BENCH_SCALE=paper`` runs the paper's RAM64 dimensions (428
+faults, 407 patterns -- budget tens of minutes per jobs count for the
+serial inner backend).
+
+Checks:
+
+* sharding is exact: every jobs count produces detections identical to
+  the unsharded inner run (fault, pattern, phase);
+* the merged report is well-formed: per-shard wall times recorded, live
+  counts sum to the global count, backend tag names inner x shards;
+* wall-clock speedup at the largest jobs count beats
+  ``shard_min_speedup`` -- asserted only when that many CPUs are
+  actually available (the sweep is pure CPU-bound Python, so on a
+  single-core runner jobs=4 physically cannot beat jobs=1; the JSON
+  records ``cpus`` so archived numbers stay interpretable).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.circuits.ram import build_ram
+from repro.core import SimPolicy, run_backend
+from repro.core.faults import ram_fault_universe, sample_faults
+from repro.patterns.sequences import sequence1
+
+_OUT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_shard.json",
+)
+
+INNER = "serial"
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _first_detections(report, n_faults):
+    result = {}
+    for circuit_id in range(1, n_faults + 1):
+        detection = report.log.first_detection(circuit_id)
+        result[circuit_id] = (
+            (detection.pattern_index, detection.phase_index)
+            if detection
+            else None
+        )
+    return result
+
+
+def test_shard_scaling(bench_scale):
+    rows, cols, n_faults = bench_scale["shard"]
+    jobs_sweep = bench_scale["shard_jobs"]
+    ram = build_ram(rows, cols)
+    patterns = list(sequence1(ram).patterns)
+    universe = ram_fault_universe(ram)
+    if n_faults is None or n_faults >= len(universe):
+        faults = universe
+    else:
+        faults = sample_faults(universe, n_faults, seed=1985)
+
+    policy = SimPolicy(clock="perf")
+    runs = {}
+    for jobs in jobs_sweep:
+        start = time.perf_counter()
+        report = run_backend(
+            "sharded", ram.net, faults, [ram.dout], patterns, policy,
+            jobs=jobs, inner_backend=INNER,
+        )
+        wall = time.perf_counter() - start
+        shards = min(jobs, len(faults))
+        assert report.backend == f"sharded({INNER}x{shards})"
+        assert len(report.shard_seconds) == shards
+        live = [p.live_after for p in report.patterns]
+        assert live[-1] == report.n_faults - report.detected
+        runs[jobs] = {"report": report, "wall": wall}
+
+    # Sharding is exact: identical detections at every jobs count.
+    baseline = _first_detections(runs[jobs_sweep[0]]["report"], len(faults))
+    for jobs in jobs_sweep[1:]:
+        assert (
+            _first_detections(runs[jobs]["report"], len(faults)) == baseline
+        ), f"jobs={jobs} diverged from jobs={jobs_sweep[0]}"
+
+    cpus = _available_cpus()
+    base_wall = runs[jobs_sweep[0]]["wall"]
+    payload = {
+        "workload": "fig1_sequence1",
+        "circuit": ram.name,
+        "rows": rows,
+        "cols": cols,
+        "n_patterns": len(patterns),
+        "n_faults": len(faults),
+        "inner_backend": INNER,
+        "cpus": cpus,
+        "runs": {
+            str(jobs): {
+                "wall_seconds": round(run["wall"], 6),
+                "speedup_vs_jobs1": round(base_wall / max(run["wall"], 1e-9), 3),
+                "shard_wall_seconds": [
+                    round(s, 6) for s in run["report"].shard_seconds
+                ],
+                "detected": run["report"].detected,
+            }
+            for jobs, run in runs.items()
+        },
+    }
+    with open(_OUT_PATH, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2)
+        stream.write("\n")
+    print()
+    print(json.dumps(payload["runs"], indent=2))
+
+    # Parallel speedup needs the parallelism to exist: assert only when
+    # the sweep's largest jobs count has that many CPUs to run on.
+    top = max(jobs_sweep)
+    if cpus >= top:
+        assert payload["runs"][str(top)]["speedup_vs_jobs1"] > (
+            bench_scale["shard_min_speedup"]
+        ), payload["runs"]

@@ -11,7 +11,9 @@ Budget roughly an hour of CPU in pure Python.  Results (rendered text,
 JSON and per-pattern CSV) land in ``results/paper_scale/``.
 
 Run:  python scripts/run_paper_experiments.py [--out DIR] [--skip-256]
-                                              [--backend NAME]
+                                              [--backend NAME] [--jobs N]
+                                              [--inner-backend NAME]
+                                              [--lane-width W]
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ import argparse
 import os
 import sys
 
+from repro.cli import add_backend_option_arguments, backend_options_from_args
 from repro.core.backends import available_backends
 from repro.harness import experiments
 from repro.harness.results import (
@@ -66,16 +69,19 @@ def main() -> int:
         "result row so the perf trajectory stays attributable "
         "(default: concurrent)",
     )
+    add_backend_option_arguments(parser)
     args = parser.parse_args()
     os.makedirs(args.out, exist_ok=True)
     policy = args.policy
     backend = args.backend
+    backend_options = backend_options_from_args(args)
 
     print(
         f"FIG1: RAM64 / sequence 1 / 428 faults / {backend} ...", flush=True
     )
     fig1 = experiments.run_fig1(
-        8, 8, n_faults=428, detection_policy=policy, backend=backend
+        8, 8, n_faults=428, detection_policy=policy, backend=backend,
+        backend_options=backend_options,
     )
     save(fig1, args.out, "fig1_ram64_seq1", write_curve_csv)
 
@@ -83,7 +89,8 @@ def main() -> int:
         f"FIG2: RAM64 / sequence 2 / 428 faults / {backend} ...", flush=True
     )
     fig2 = experiments.run_fig2(
-        8, 8, n_faults=428, detection_policy=policy, backend=backend
+        8, 8, n_faults=428, detection_policy=policy, backend=backend,
+        backend_options=backend_options,
     )
     save(fig2, args.out, "fig2_ram64_seq2", write_curve_csv)
 
@@ -92,6 +99,7 @@ def main() -> int:
         scaling = experiments.run_scaling(
             small=(8, 8), large=(16, 16), n_faults=None,
             detection_policy=policy, backend=backend,
+            backend_options=backend_options,
         )
         save(scaling, args.out, "tab1_scaling")
 
@@ -99,6 +107,7 @@ def main() -> int:
         fig3 = experiments.run_fig3(
             16, 16, fault_counts=(100, 400, 800, 1382),
             detection_policy=policy, backend=backend,
+            backend_options=backend_options,
         )
         save(fig3, args.out, "fig3_ram256", write_fig3_csv)
 

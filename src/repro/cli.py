@@ -6,11 +6,14 @@ Subcommands::
         Logic-simulate a netlist for a sequence of input settings.
 
     fmossim faultsim NETLIST --observe OUT [--faults stuck|all] [--limit N]
-                             [--backend serial|concurrent|batch]
+                             [--backend serial|concurrent|batch|sharded]
+                             [--no-drop] [--detect-policy hard|any]
+                             [--clock process|perf] [--lane-width W]
+                             [--jobs N] [--inner-backend NAME]
         Fault simulation (strategy selected from the backend registry)
         with randomly ordered input settings or a pattern file (one
         "name=value name=value ..." line per setting, blank line
-        between patterns).
+        between patterns, '#' lines ignored).
 
     fmossim validate NETLIST
         Run the netlist lints.
@@ -113,6 +116,8 @@ def build_parser() -> argparse.ArgumentParser:
         default="concurrent",
         help="fault-simulation strategy (default: concurrent)",
     )
+    _add_policy_arguments(faultsim)
+    add_backend_option_arguments(faultsim)
     faultsim.set_defaults(handler=cmd_faultsim)
 
     validate_cmd = commands.add_parser(
@@ -137,8 +142,70 @@ def build_parser() -> argparse.ArgumentParser:
         default="concurrent",
         help="fault-simulation strategy (default: concurrent)",
     )
+    add_backend_option_arguments(experiment)
     experiment.set_defaults(handler=cmd_experiment)
     return parser
+
+
+def _add_policy_arguments(subparser) -> None:
+    """SimPolicy knobs: every registry strategy honors these."""
+    subparser.add_argument(
+        "--no-drop",
+        action="store_true",
+        help="keep simulating detected faults to the end of the "
+        "sequence (disable the paper's fault dropping)",
+    )
+    subparser.add_argument(
+        "--detect-policy",
+        choices=["hard", "any"],
+        default="hard",
+        help="detection rule: 'hard' needs definite differing values, "
+        "'any' counts X-vs-definite differences too (default: hard)",
+    )
+    subparser.add_argument(
+        "--clock",
+        choices=["process", "perf"],
+        default="process",
+        help="timing source: 'process' CPU seconds (as the paper "
+        "measured) or 'perf' wall clock (default: process)",
+    )
+
+
+def add_backend_option_arguments(subparser) -> None:
+    """Backend-constructor options, forwarded through the registry."""
+    subparser.add_argument(
+        "--lane-width",
+        type=int,
+        default=None,
+        metavar="W",
+        help="batch backend: circuits simulated per bit-parallel pass",
+    )
+    subparser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sharded backend: worker processes (fault shards)",
+    )
+    subparser.add_argument(
+        "--inner-backend",
+        choices=[n for n in available_backends() if n != "sharded"],
+        default=None,
+        help="sharded backend: strategy run inside each shard",
+    )
+
+
+def backend_options_from_args(args) -> dict:
+    """Collect explicitly given backend options; the registry rejects
+    combinations the selected backend does not accept."""
+    options = {}
+    if args.lane_width is not None:
+        options["lane_width"] = args.lane_width
+    if args.jobs is not None:
+        options["jobs"] = args.jobs
+    if args.inner_backend is not None:
+        options["inner_backend"] = args.inner_backend
+    return options
 
 
 def _parse_assignment(text: str) -> tuple[str, int]:
@@ -175,6 +242,8 @@ def _load_patterns(path: str) -> list[TestPattern]:
     with open(path, "r", encoding="utf-8") as stream:
         for raw in stream:
             line = raw.strip()
+            if line.startswith("#"):
+                continue
             if not line:
                 if phases:
                     patterns.append(
@@ -188,6 +257,11 @@ def _load_patterns(path: str) -> list[TestPattern]:
             phases.append(Phase(setting))
     if phases:
         patterns.append(TestPattern(f"p{len(patterns)}", tuple(phases)))
+    if not patterns:
+        raise ReproError(
+            f"pattern file {path!r} defines no patterns "
+            "(only blank/comment lines)"
+        )
     return patterns
 
 
@@ -207,13 +281,21 @@ def cmd_faultsim(args) -> int:
         from .patterns.random_patterns import random_patterns
 
         patterns = random_patterns(net, 20, seed=args.seed)
-    report = run_backend(
-        args.backend, net, faults, args.observe, patterns, SimPolicy()
+    policy = SimPolicy(
+        detection_policy=args.detect_policy,
+        drop_on_detect=not args.no_drop,
+        clock=args.clock,
     )
+    report = run_backend(
+        args.backend, net, faults, args.observe, patterns, policy,
+        **backend_options_from_args(args),
+    )
+    clock_label = "CPU" if args.clock == "process" else "wall"
     print(
         f"{report.detected}/{report.n_faults} faults detected "
         f"({report.coverage:.1%}) over {report.n_patterns} patterns "
-        f"in {report.total_seconds:.2f}s CPU ({report.backend} backend)"
+        f"in {report.total_seconds:.2f}s {clock_label} "
+        f"({report.backend} backend)"
     )
     for detection in report.log.detections:
         print(f"  {detection}")
@@ -235,19 +317,21 @@ def cmd_validate(args) -> int:
 
 
 def cmd_experiment(args) -> int:
+    backend_options = backend_options_from_args(args)
     if args.which == "fig1":
         result = experiments.run_fig1(
             args.rows, args.cols, n_faults=args.faults, seed=args.seed,
-            backend=args.backend,
+            backend=args.backend, backend_options=backend_options,
         )
     elif args.which == "fig2":
         result = experiments.run_fig2(
             args.rows, args.cols, n_faults=args.faults, seed=args.seed,
-            backend=args.backend,
+            backend=args.backend, backend_options=backend_options,
         )
     elif args.which == "fig3":
         result = experiments.run_fig3(
-            args.rows, args.cols, seed=args.seed, backend=args.backend
+            args.rows, args.cols, seed=args.seed, backend=args.backend,
+            backend_options=backend_options,
         )
     else:
         result = experiments.run_scaling(
@@ -256,6 +340,7 @@ def cmd_experiment(args) -> int:
             n_faults=args.faults,
             seed=args.seed,
             backend=args.backend,
+            backend_options=backend_options,
         )
     print(result.render())
     return 0

@@ -6,6 +6,7 @@ from .backends import (
     FaultSimBackend,
     SimPolicy,
     available_backends,
+    backend_options_summary,
     get_backend,
     register_backend,
     run_backend,
@@ -27,6 +28,7 @@ from .faults import (
 from .inject import Instrumented, PreparedFault, prepare
 from .report import FaultRecord, PatternRecord, RunReport, SerialRunReport
 from .serial import SerialFaultSimulator, estimate_serial_seconds
+from .shard import ShardedBackend, shard_slices
 from .statelist import StateList
 
 __all__ = [
@@ -34,9 +36,12 @@ __all__ = [
     "SimPolicy",
     "DEFAULT_POLICY",
     "available_backends",
+    "backend_options_summary",
     "get_backend",
     "register_backend",
     "run_backend",
+    "ShardedBackend",
+    "shard_slices",
     "BatchFaultSimulator",
     "ConcurrentFaultSimulator",
     "SerialFaultSimulator",

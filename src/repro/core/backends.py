@@ -26,8 +26,12 @@ Registered backends:
 ``batch``
     Bit-parallel lockstep simulation of ``lane_width`` circuits per
     pass (:class:`~repro.core.batch.BatchFaultSimulator`).
+``sharded``
+    Fault-partitioned multiprocess simulation: the fault list is split
+    into contiguous shards, each simulated by an inner backend in its
+    own worker process (:class:`~repro.core.shard.ShardedBackend`).
 
-All three run on the shared settle kernel
+The single-process strategies run on the shared settle kernel
 (:mod:`repro.switchlevel.kernel`) and are held to byte-identical
 detections and final states by the cross-backend parity suite
 (``tests/core/test_backends.py``).
@@ -44,6 +48,7 @@ decorator::
 
 from __future__ import annotations
 
+import inspect
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import ClassVar, Iterable, Sequence, Type
@@ -65,6 +70,7 @@ __all__ = [
     "FaultSimBackend",
     "SimPolicy",
     "available_backends",
+    "backend_options_summary",
     "get_backend",
     "register_backend",
     "run_backend",
@@ -131,11 +137,35 @@ def available_backends() -> list[str]:
     return sorted(_REGISTRY)
 
 
+def backend_options_summary(name: str) -> str:
+    """Human-readable constructor options of a registered backend."""
+    cls = _REGISTRY[name]
+    if cls.__init__ is object.__init__:
+        return "accepts no options"
+    parts = []
+    for pname, param in list(
+        inspect.signature(cls.__init__).parameters.items()
+    )[1:]:
+        if param.kind is inspect.Parameter.VAR_KEYWORD:
+            parts.append(f"**{pname}")
+        elif param.default is inspect.Parameter.empty:
+            parts.append(pname)
+        else:
+            parts.append(f"{pname}={param.default!r}")
+    if not parts:
+        return "accepts no options"
+    return "accepts: " + ", ".join(parts)
+
+
 def get_backend(name: str, **options) -> FaultSimBackend:
     """Instantiate the backend registered as ``name``.
 
     ``options`` are forwarded to the backend constructor (e.g.
-    ``lane_width`` for ``batch``).
+    ``lane_width`` for ``batch``, ``jobs``/``inner_backend`` for
+    ``sharded``).  Unknown or invalid options raise
+    :class:`~repro.errors.SimulationError` naming the backend and the
+    options it accepts, instead of leaking the constructor's raw
+    ``TypeError`` to callers such as the CLI.
     """
     try:
         cls = _REGISTRY[name]
@@ -144,7 +174,16 @@ def get_backend(name: str, **options) -> FaultSimBackend:
             f"unknown backend {name!r}; available: "
             + ", ".join(available_backends())
         ) from None
-    return cls(**options)
+    try:
+        return cls(**options)
+    except SimulationError:
+        raise
+    except TypeError:
+        given = ", ".join(sorted(options)) or "none"
+        raise SimulationError(
+            f"invalid options for backend {name!r} (given: {given}); "
+            f"backend {name!r} {backend_options_summary(name)}"
+        ) from None
 
 
 def run_backend(
@@ -252,3 +291,8 @@ class BatchBackend(FaultSimBackend):
             lane_width=self.lane_width,
         )
         return simulator.run(patterns, clock=policy.clock)
+
+
+# Imported last: shard.py needs the registry above at import time, and
+# importing it registers the "sharded" backend.
+from . import shard  # noqa: E402,F401

@@ -40,6 +40,12 @@ class RunReport:
     total_seconds: float = 0.0
     oscillation_events: int = 0
     backend: str = "concurrent"
+    #: Per-shard wall-clock seconds, filled by the ``sharded`` backend
+    #: (empty for single-process runs).  For sharded runs
+    #: ``total_seconds`` is the aggregate CPU across workers under the
+    #: ``process`` clock and the fan-out's wall clock under ``perf``;
+    #: the spread of ``shard_seconds`` measures shard balance.
+    shard_seconds: list[float] = field(default_factory=list)
 
     @property
     def n_patterns(self) -> int:

@@ -1,0 +1,280 @@
+"""Sharded fault simulation: fault-partitioned multiprocess backend.
+
+The paper wins throughput by simulating many faulty circuits per unit
+of work *within one process*; the next scaling axis is to partition the
+fault universe itself.  ``ShardedBackend`` (registered as ``"sharded"``)
+splits the fault list into ``jobs`` contiguous shards, runs any inner
+registered strategy (``serial`` / ``concurrent`` / ``batch``) on each
+shard in a :class:`concurrent.futures.ProcessPoolExecutor`, and merges
+the per-shard :class:`~repro.core.report.RunReport`\\ s back into one.
+
+Sharding is exact, not approximate, because the strategies share no
+state across faulty circuits beyond the good-circuit reference: every
+faulty circuit's trajectory (and therefore its detections) is
+independent of which other faults ride in the same run.  Each shard
+re-derives its own good-circuit reference, so the merged detections are
+byte-identical to an unsharded run of the inner backend -- the parity
+suite holds ``sharded(inner)`` to the inner backend's detections for
+``jobs`` in {1, 2, 4}.
+
+Circuit-id remapping
+--------------------
+
+Backends number faulty circuits 1..N in fault-list order (0 is the good
+circuit).  Shard *k* covering ``faults[start:end]`` sees its slice as
+local circuits ``1..end-start``; the merge adds the shard's ``start``
+offset back, so global ids are preserved exactly as if the inner
+backend had run the whole list:
+
+    global_circuit_id = shard_offset + local_circuit_id
+
+Merge rules
+-----------
+
+* **detections** -- remapped to global ids, then ordered by
+  ``(pattern, phase, circuit)`` so the merged log reads like a single
+  chronological run; first-detection per circuit is unchanged by
+  construction.
+* **per-pattern records** -- ``seconds``, ``detections`` and
+  ``live_after`` are summed across shards (each shard reports its local
+  live count, and the fault universe is a disjoint union).
+* **totals** -- under the ``process`` clock ``total_seconds`` sums the
+  shards' totals (aggregate CPU seconds across worker processes, the
+  multi-process analog of the paper's CPU measurements); under the
+  ``perf`` clock it is the parent's wall clock for the whole fan-out,
+  so consumers that present ``total_seconds`` as wall time stay honest
+  about parallel runs.  Per-shard wall-clock lands in
+  ``RunReport.shard_seconds``, so consumers can compute parallel
+  speedup and shard balance either way.
+* **backend tag** -- ``"sharded(<inner>x<shards>)"``, keeping archived
+  rows attributable to both the strategy and the parallelism degree.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from ..errors import SimulationError
+from ..patterns.clocking import TestPattern
+from ..switchlevel.network import Network
+from .backends import (
+    DEFAULT_POLICY,
+    FaultSimBackend,
+    SimPolicy,
+    get_backend,
+    register_backend,
+)
+from .faults import Fault
+from .report import PatternRecord, RunReport
+
+__all__ = ["ShardedBackend", "shard_slices"]
+
+#: Default number of worker processes.
+DEFAULT_JOBS = 2
+
+
+def shard_slices(n_items: int, jobs: int) -> list[tuple[int, int]]:
+    """Split ``n_items`` into at most ``jobs`` contiguous ``(start, end)``
+    slices whose lengths differ by at most one.  Empty slices are never
+    produced: with fewer items than jobs the shard count shrinks.
+
+    >>> shard_slices(7, 3)
+    [(0, 3), (3, 5), (5, 7)]
+    >>> shard_slices(2, 4)
+    [(0, 1), (1, 2)]
+    """
+    if jobs < 1:
+        raise SimulationError(f"jobs must be >= 1, got {jobs}")
+    count = min(jobs, n_items)
+    if count == 0:
+        return [(0, 0)]
+    base, extra = divmod(n_items, count)
+    slices = []
+    start = 0
+    for index in range(count):
+        end = start + base + (1 if index < extra else 0)
+        slices.append((start, end))
+        start = end
+    return slices
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """Everything one worker process needs to simulate its shard."""
+
+    offset: int
+    inner_backend: str
+    inner_options: dict
+    net: Network
+    faults: tuple[Fault, ...]
+    observed: tuple[str, ...]
+    patterns: tuple[TestPattern, ...]
+    policy: SimPolicy
+
+
+@dataclass(frozen=True)
+class _ShardResult:
+    """One shard's report plus its wall-clock cost."""
+
+    offset: int
+    report: RunReport
+    wall_seconds: float
+
+
+def _simulate_shard(task: _ShardTask) -> _ShardResult:
+    """Run one shard through its inner backend (executes in a worker
+    process; must stay a module-level function so it survives pickling
+    under every multiprocessing start method)."""
+    backend = get_backend(task.inner_backend, **task.inner_options)
+    start = time.perf_counter()
+    report = backend.run(
+        task.net,
+        list(task.faults),
+        list(task.observed),
+        list(task.patterns),
+        task.policy,
+    )
+    return _ShardResult(
+        offset=task.offset,
+        report=report,
+        wall_seconds=time.perf_counter() - start,
+    )
+
+
+def merge_shard_reports(
+    results: Sequence[_ShardResult],
+    patterns: Sequence[TestPattern],
+    n_faults: int,
+    backend_tag: str,
+    total_seconds: float | None = None,
+) -> RunReport:
+    """Fold per-shard reports into one global :class:`RunReport`,
+    remapping shard-local circuit ids to global ids (see the module
+    docstring for the merge rules).  ``total_seconds`` overrides the
+    default sum-of-shard-totals (used for wall-clock runs, where the
+    shards overlap in time and summing would overstate the cost)."""
+    merged = RunReport(n_faults=n_faults, backend=backend_tag)
+    remapped = []
+    for result in results:
+        for detection in result.report.log.detections:
+            remapped.append(
+                replace(
+                    detection,
+                    circuit_id=detection.circuit_id + result.offset,
+                )
+            )
+    # Stable sort: within one circuit detections stay chronological, so
+    # first-detection per circuit is exactly the shard's own.
+    remapped.sort(
+        key=lambda d: (d.pattern_index, d.phase_index, d.circuit_id)
+    )
+    for detection in remapped:
+        merged.log.record(detection)
+    for index, pattern in enumerate(patterns):
+        records = [result.report.patterns[index] for result in results]
+        merged.patterns.append(
+            PatternRecord(
+                index=index,
+                label=pattern.label,
+                seconds=sum(record.seconds for record in records),
+                detections=sum(record.detections for record in records),
+                live_after=sum(record.live_after for record in records),
+            )
+        )
+    merged.total_seconds = (
+        sum(r.report.total_seconds for r in results)
+        if total_seconds is None
+        else total_seconds
+    )
+    merged.oscillation_events = sum(
+        r.report.oscillation_events for r in results
+    )
+    merged.shard_seconds = [r.wall_seconds for r in results]
+    return merged
+
+
+@register_backend
+class ShardedBackend(FaultSimBackend):
+    """Fault-partitioned multiprocess simulation over any inner backend.
+
+    ``jobs`` bounds the worker-process count (the shard count is
+    ``min(jobs, len(faults))``); ``inner_backend`` names the registered
+    strategy each shard runs; remaining keyword options are forwarded to
+    the inner backend's constructor (e.g. ``lane_width`` when the inner
+    backend is ``batch``).  A single shard runs inline, so ``jobs=1`` is
+    the overhead-free baseline for speedup measurements.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        jobs: int = DEFAULT_JOBS,
+        inner_backend: str = "concurrent",
+        **inner_options,
+    ):
+        if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+            raise SimulationError(
+                f"sharded: jobs must be a positive integer, got {jobs!r}"
+            )
+        if inner_backend == self.name:
+            raise SimulationError(
+                "sharded: the inner backend cannot itself be 'sharded'"
+            )
+        # Validate the inner backend name and options eagerly, so a bad
+        # combination fails at configuration time, not inside a worker.
+        try:
+            get_backend(inner_backend, **inner_options)
+        except SimulationError as error:
+            raise SimulationError(f"sharded: {error}") from None
+        self.jobs = jobs
+        self.inner_backend = inner_backend
+        self.inner_options = dict(inner_options)
+
+    def run(
+        self,
+        net: Network,
+        faults: Sequence[Fault],
+        observed: Sequence[str],
+        patterns: Iterable[TestPattern],
+        policy: SimPolicy = DEFAULT_POLICY,
+    ) -> RunReport:
+        pattern_list = tuple(patterns)
+        fault_list = tuple(faults)
+        slices = shard_slices(len(fault_list), self.jobs)
+        tasks = [
+            _ShardTask(
+                offset=start,
+                inner_backend=self.inner_backend,
+                inner_options=self.inner_options,
+                net=net,
+                faults=fault_list[start:end],
+                observed=tuple(observed),
+                patterns=pattern_list,
+                policy=policy,
+            )
+            for start, end in slices
+        ]
+        start = time.perf_counter()
+        if len(tasks) == 1:
+            results = [_simulate_shard(tasks[0])]
+        else:
+            with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+                results = list(pool.map(_simulate_shard, tasks))
+        wall_seconds = time.perf_counter() - start
+        tag = f"sharded({self.inner_backend}x{len(tasks)})"
+        return merge_shard_reports(
+            results,
+            pattern_list,
+            len(fault_list),
+            tag,
+            # The perf clock asks for wall time: the shards overlap, so
+            # the parent's fan-out wall clock is the run's cost.  The
+            # process clock keeps the aggregate CPU sum.
+            total_seconds=(
+                wall_seconds if policy.clock == "perf" else None
+            ),
+        )

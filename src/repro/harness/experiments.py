@@ -83,6 +83,10 @@ class CurveResult:
     seconds_per_pattern: list[float] = field(default_factory=list)
     cumulative_detections: list[int] = field(default_factory=list)
     live_after_pattern: list[int] = field(default_factory=list)
+    #: Constructor options the backend ran with (``lane_width``,
+    #: ``jobs``...), archived so rows from differently-tuned runs of the
+    #: same strategy stay distinguishable.
+    backend_options: dict = field(default_factory=dict)
     report: RunReport | None = field(default=None, repr=False)
 
     @property
@@ -211,6 +215,7 @@ def run_curve_experiment(
         seconds_per_pattern=report.seconds_per_pattern(),
         cumulative_detections=report.cumulative_detections(),
         live_after_pattern=[p.live_after for p in report.patterns],
+        backend_options=dict(backend_options or {}),
         report=report,
     )
 
@@ -222,6 +227,7 @@ def run_fig1(
     seed: int = DEFAULT_SEED,
     detection_policy: str = DEFAULT_POLICY,
     backend: str = "concurrent",
+    backend_options: dict | None = None,
 ) -> CurveResult:
     """Figure 1: Test Sequence 1 (control + row/col marches + array march).
 
@@ -236,6 +242,7 @@ def run_fig1(
         seed=seed,
         detection_policy=detection_policy,
         backend=backend,
+        backend_options=backend_options,
     )
 
 
@@ -246,6 +253,7 @@ def run_fig2(
     seed: int = DEFAULT_SEED,
     detection_policy: str = DEFAULT_POLICY,
     backend: str = "concurrent",
+    backend_options: dict | None = None,
 ) -> CurveResult:
     """Figure 2: Test Sequence 2 (row/column marches omitted).
 
@@ -260,6 +268,7 @@ def run_fig2(
         seed=seed,
         detection_policy=detection_policy,
         backend=backend,
+        backend_options=backend_options,
     )
 
 
@@ -292,6 +301,7 @@ class ScalingResult:
     small: ScalingEntry
     large: ScalingEntry
     backend: str = "concurrent"
+    backend_options: dict = field(default_factory=dict)
 
     def factor(self, attribute: str) -> float:
         small = getattr(self.small, attribute)
@@ -339,6 +349,7 @@ def run_scaling(
     seed: int = DEFAULT_SEED,
     detection_policy: str = DEFAULT_POLICY,
     backend: str = "concurrent",
+    backend_options: dict | None = None,
 ) -> ScalingResult:
     """Time good/concurrent/serial across two circuit sizes.
 
@@ -350,6 +361,7 @@ def run_scaling(
         result = run_fig1(
             rows, cols, n_faults=n_faults, seed=seed,
             detection_policy=detection_policy, backend=backend,
+            backend_options=backend_options,
         )
         ram = build_ram(rows, cols)
         return ScalingEntry(
@@ -364,7 +376,10 @@ def run_scaling(
         )
 
     return ScalingResult(
-        small=entry(*small), large=entry(*large), backend=backend
+        small=entry(*small),
+        large=entry(*large),
+        backend=backend,
+        backend_options=dict(backend_options or {}),
     )
 
 
@@ -387,6 +402,7 @@ class Fig3Result:
     n_patterns: int
     points: list[Fig3Point] = field(default_factory=list)
     backend: str = "concurrent"
+    backend_options: dict = field(default_factory=dict)
 
     def slope_ratio(self) -> float:
         """Serial slope over concurrent slope (paper: about 85)."""
@@ -446,6 +462,7 @@ def run_fig3(
     real_serial_limit: int = 0,
     detection_policy: str = DEFAULT_POLICY,
     backend: str = "concurrent",
+    backend_options: dict | None = None,
 ) -> Fig3Result:
     """Figure 3: sweep the fault-sample size, measure avg sec/pattern.
 
@@ -461,7 +478,10 @@ def run_fig3(
     good_avg = good_report.average_seconds_per_pattern()
 
     result = Fig3Result(
-        circuit=ram.name, n_patterns=len(sequence), backend=backend
+        circuit=ram.name,
+        n_patterns=len(sequence),
+        backend=backend,
+        backend_options=dict(backend_options or {}),
     )
     for count in fault_counts:
         if count > len(universe):
@@ -476,6 +496,7 @@ def run_fig3(
             [ram.dout],
             list(sequence.patterns),
             SimPolicy(detection_policy=detection_policy),
+            **(backend_options or {}),
         )
         estimate = estimate_serial_seconds(report, good_avg)
         real_avg = None

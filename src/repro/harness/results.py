@@ -36,20 +36,38 @@ def write_json(result: Any, stream: TextIO) -> None:
     stream.write("\n")
 
 
+def format_backend_options(options: dict) -> str:
+    """Flatten backend options to a stable ``k=v;k=v`` cell value."""
+    return ";".join(
+        f"{key}={options[key]}" for key in sorted(options)
+    )
+
+
 def write_curve_csv(result: CurveResult, stream: TextIO) -> None:
     """Per-pattern series of a Figure 1/2 run as CSV.
 
-    The backend column keeps archived rows attributable when runs of
-    several strategies are concatenated for comparison.
+    The backend and backend_options columns keep archived rows
+    attributable when runs of several strategies (or several tunings of
+    one strategy -- lane widths, shard counts) are concatenated for
+    comparison.
     """
     writer = csv.writer(stream)
     writer.writerow(
-        ["backend", "pattern", "seconds", "cumulative_detected", "live_after"]
+        [
+            "backend",
+            "backend_options",
+            "pattern",
+            "seconds",
+            "cumulative_detected",
+            "live_after",
+        ]
     )
+    options = format_backend_options(result.backend_options)
     for index in range(result.n_patterns):
         writer.writerow(
             [
                 result.backend,
+                options,
                 index,
                 f"{result.seconds_per_pattern[index]:.6f}",
                 result.cumulative_detections[index],
@@ -59,14 +77,25 @@ def write_curve_csv(result: CurveResult, stream: TextIO) -> None:
 
 
 def write_fig3_csv(result: Fig3Result, stream: TextIO) -> None:
-    """Figure 3 sweep points as CSV."""
+    """Figure 3 sweep points as CSV (backend-attributed like the curve
+    CSV, so concatenated sweeps from different tunings stay separable)."""
     writer = csv.writer(stream)
     writer.writerow(
-        ["n_faults", "concurrent_avg", "serial_estimate_avg", "serial_real_avg"]
+        [
+            "backend",
+            "backend_options",
+            "n_faults",
+            "concurrent_avg",
+            "serial_estimate_avg",
+            "serial_real_avg",
+        ]
     )
+    options = format_backend_options(result.backend_options)
     for point in result.points:
         writer.writerow(
             [
+                result.backend,
+                options,
                 point.n_faults,
                 f"{point.concurrent_avg:.6f}",
                 f"{point.serial_estimate_avg:.6f}",

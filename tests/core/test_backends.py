@@ -55,7 +55,9 @@ def first_detections(report, n_faults):
 
 class TestRegistry:
     def test_builtins_registered(self):
-        assert available_backends() == ["batch", "concurrent", "serial"]
+        assert available_backends() == [
+            "batch", "concurrent", "serial", "sharded"
+        ]
 
     def test_get_backend_unknown_name(self):
         with pytest.raises(SimulationError, match="unknown backend"):
@@ -65,6 +67,28 @@ class TestRegistry:
         backend = get_backend("batch", lane_width=7)
         assert isinstance(backend, BatchBackend)
         assert backend.lane_width == 7
+
+    def test_get_backend_rejects_options_for_optionless_backend(self):
+        # Regression: this used to leak a raw TypeError
+        # ("SerialBackend() takes no arguments") through the CLI.
+        with pytest.raises(SimulationError) as excinfo:
+            get_backend("serial", lane_width=8)
+        message = str(excinfo.value)
+        assert "serial" in message
+        assert "lane_width" in message
+        assert "accepts no options" in message
+
+    def test_get_backend_rejects_unknown_option_names_accepted_ones(self):
+        with pytest.raises(SimulationError) as excinfo:
+            get_backend("batch", lane_widht=8)  # typo'd option
+        message = str(excinfo.value)
+        assert "batch" in message
+        assert "accepts: lane_width" in message
+
+    def test_get_backend_preserves_backend_raised_errors(self):
+        # Errors a constructor raises itself pass through untouched.
+        with pytest.raises(SimulationError, match="jobs must be"):
+            get_backend("sharded", jobs=-1)
 
     def test_register_rejects_unnamed(self):
         class Nameless(FaultSimBackend):
@@ -88,7 +112,11 @@ class TestRegistry:
         net, faults, observed, patterns = ram_case
         for name in available_backends():
             report = run_backend(name, net, faults, observed, patterns)
-            assert report.backend == name
+            # sharded decorates its tag with the inner strategy and the
+            # shard count, e.g. "sharded(concurrentx2)".
+            assert report.backend == name or report.backend.startswith(
+                f"{name}("
+            )
 
 
 @pytest.fixture(scope="module")

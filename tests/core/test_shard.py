@@ -1,0 +1,234 @@
+"""The sharded (fault-partitioned multiprocess) backend.
+
+Sharding must be *exact*: for every inner strategy and every jobs
+count, the merged report's detections are identical -- same fault, same
+pattern, same phase, under the inner backend's own circuit numbering --
+to an unsharded run of that inner backend.  The acceptance workload is
+the RAM16 Figure-1 setup at jobs in {1, 2, 4}.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.ram import build_ram
+from repro.core.backends import SimPolicy, get_backend, run_backend
+from repro.core.faults import ram_fault_universe, sample_faults
+from repro.core.shard import ShardedBackend, shard_slices
+from repro.errors import SimulationError
+from repro.patterns.sequences import sequence1
+
+
+def first_detections(report, n_faults):
+    result = {}
+    for circuit_id in range(1, n_faults + 1):
+        detection = report.log.first_detection(circuit_id)
+        result[circuit_id] = (
+            (detection.pattern_index, detection.phase_index)
+            if detection
+            else None
+        )
+    return result
+
+
+class TestShardSlices:
+    def test_balanced_contiguous_cover(self):
+        for n in (0, 1, 2, 7, 16, 33):
+            for jobs in (1, 2, 3, 4, 8):
+                slices = shard_slices(n, jobs)
+                # Contiguous, covering, balanced within one item.
+                assert slices[0][0] == 0
+                assert slices[-1][1] == n
+                for (_, a_end), (b_start, _) in zip(slices, slices[1:]):
+                    assert a_end == b_start
+                sizes = [end - start for start, end in slices]
+                if n:
+                    assert all(size >= 1 for size in sizes)
+                    assert max(sizes) - min(sizes) <= 1
+                    assert len(slices) == min(jobs, n)
+
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(SimulationError):
+            shard_slices(10, 0)
+
+
+class TestShardedConfig:
+    def test_defaults(self):
+        backend = ShardedBackend()
+        assert backend.jobs == 2
+        assert backend.inner_backend == "concurrent"
+        assert backend.inner_options == {}
+
+    def test_rejects_bad_jobs(self):
+        for jobs in (0, -3, True, 1.5):
+            with pytest.raises(SimulationError, match="jobs"):
+                ShardedBackend(jobs=jobs)
+
+    def test_rejects_nested_sharding(self):
+        with pytest.raises(SimulationError, match="cannot itself"):
+            ShardedBackend(inner_backend="sharded")
+
+    def test_rejects_unknown_inner_backend(self):
+        with pytest.raises(SimulationError, match="unknown backend"):
+            ShardedBackend(inner_backend="quantum")
+
+    def test_inner_options_validated_eagerly(self):
+        with pytest.raises(SimulationError, match="concurrent"):
+            ShardedBackend(inner_backend="concurrent", lane_width=8)
+        backend = ShardedBackend(inner_backend="batch", lane_width=8)
+        assert backend.inner_options == {"lane_width": 8}
+
+    def test_get_backend_round_trip(self):
+        backend = get_backend(
+            "sharded", jobs=3, inner_backend="serial"
+        )
+        assert isinstance(backend, ShardedBackend)
+        assert backend.jobs == 3
+        assert backend.inner_backend == "serial"
+
+
+@pytest.fixture(scope="module")
+def ram16_case():
+    """The acceptance workload: RAM16, Test Sequence 1, sampled faults."""
+    ram = build_ram(4, 4)
+    sequence = sequence1(ram)
+    faults = sample_faults(ram_fault_universe(ram), 24, seed=1985)
+    return ram.net, faults, [ram.dout], list(sequence.patterns)
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_ram16_detection_identical_to_inner(self, ram16_case, jobs):
+        net, faults, observed, patterns = ram16_case
+        inner = run_backend("concurrent", net, faults, observed, patterns)
+        sharded = run_backend(
+            "sharded", net, faults, observed, patterns,
+            jobs=jobs, inner_backend="concurrent",
+        )
+        assert first_detections(sharded, len(faults)) == first_detections(
+            inner, len(faults)
+        )
+        assert sharded.detected == inner.detected
+        assert sharded.n_faults == inner.n_faults
+
+    @pytest.mark.parametrize("inner_name", ["serial", "batch"])
+    def test_small_ram_parity_all_inner_backends(self, inner_name):
+        ram = build_ram(2, 2)
+        patterns = list(sequence1(ram).patterns)
+        faults = sample_faults(ram_fault_universe(ram), 10, seed=7)
+        inner = run_backend(
+            inner_name, ram.net, faults, [ram.dout], patterns
+        )
+        sharded = run_backend(
+            "sharded", ram.net, faults, [ram.dout], patterns,
+            jobs=3, inner_backend=inner_name,
+        )
+        assert first_detections(sharded, len(faults)) == first_detections(
+            inner, len(faults)
+        )
+
+
+class TestShardedMerge:
+    def test_report_shape_and_tag(self, ram16_case):
+        net, faults, observed, patterns = ram16_case
+        report = run_backend(
+            "sharded", net, faults, observed, patterns,
+            SimPolicy(clock="perf"), jobs=4, inner_backend="concurrent",
+        )
+        assert report.backend == "sharded(concurrentx4)"
+        assert len(report.shard_seconds) == 4
+        assert all(seconds > 0 for seconds in report.shard_seconds)
+        assert report.n_patterns == len(patterns)
+        live = [p.live_after for p in report.patterns]
+        assert live[-1] == report.n_faults - report.detected
+        assert all(b <= a for a, b in zip(live, live[1:]))
+        # Merged detections read chronologically.
+        keys = [
+            (d.pattern_index, d.phase_index)
+            for d in report.log.detections
+        ]
+        assert keys == sorted(keys)
+
+    def test_perf_clock_reports_fanout_wall_not_shard_sum(self, ram16_case):
+        net, faults, observed, patterns = ram16_case
+        report = run_backend(
+            "sharded", net, faults, observed, patterns,
+            SimPolicy(clock="perf"), jobs=2, inner_backend="concurrent",
+        )
+        # The parent's fan-out window contains every shard, so wall
+        # clock is at least the slowest shard -- and is NOT the sum of
+        # overlapping shard times on multi-core machines.
+        assert report.total_seconds >= max(report.shard_seconds)
+
+    def test_merge_total_seconds_override(self):
+        from repro.core.report import RunReport
+        from repro.core.shard import _ShardResult, merge_shard_reports
+
+        results = [
+            _ShardResult(0, RunReport(n_faults=1, total_seconds=2.0), 2.1),
+            _ShardResult(1, RunReport(n_faults=1, total_seconds=3.0), 3.1),
+        ]
+        summed = merge_shard_reports(results, [], 2, "sharded(x2)")
+        assert summed.total_seconds == 5.0  # process clock: aggregate CPU
+        walled = merge_shard_reports(
+            results, [], 2, "sharded(x2)", total_seconds=3.2
+        )
+        assert walled.total_seconds == 3.2  # perf clock: fan-out wall
+
+    def test_per_pattern_records_sum_across_shards(self, ram16_case):
+        net, faults, observed, patterns = ram16_case
+        inner = run_backend("concurrent", net, faults, observed, patterns)
+        sharded = run_backend(
+            "sharded", net, faults, observed, patterns,
+            jobs=2, inner_backend="concurrent",
+        )
+        # Detections per pattern are count-identical (seconds are not
+        # comparable across process boundaries).
+        assert [p.detections for p in sharded.patterns] == [
+            p.detections for p in inner.patterns
+        ]
+        assert [p.live_after for p in sharded.patterns] == [
+            p.live_after for p in inner.patterns
+        ]
+
+    def test_more_jobs_than_faults(self):
+        ram = build_ram(2, 2)
+        patterns = list(sequence1(ram).patterns)
+        faults = sample_faults(ram_fault_universe(ram), 3, seed=3)
+        report = run_backend(
+            "sharded", ram.net, faults, [ram.dout], patterns,
+            jobs=8, inner_backend="concurrent",
+        )
+        # Shard count shrank to the fault count.
+        assert report.backend == "sharded(concurrentx3)"
+        assert len(report.shard_seconds) == 3
+        assert report.n_faults == 3
+
+    def test_zero_faults(self):
+        ram = build_ram(2, 2)
+        patterns = list(sequence1(ram).patterns)
+        report = run_backend(
+            "sharded", ram.net, [], [ram.dout], patterns,
+            jobs=4, inner_backend="concurrent",
+        )
+        assert report.n_faults == 0
+        assert report.detected == 0
+        assert report.n_patterns == len(patterns)
+
+    def test_circuit_id_remapping_is_global(self, ram16_case):
+        net, faults, observed, patterns = ram16_case
+        inner = run_backend("concurrent", net, faults, observed, patterns)
+        sharded = run_backend(
+            "sharded", net, faults, observed, patterns,
+            jobs=4, inner_backend="concurrent",
+        )
+        # Global ids span the whole universe (not shard-local 1..k), and
+        # every detected circuit's description matches its fault.
+        assert sharded.log.detected_circuits() == (
+            inner.log.detected_circuits()
+        )
+        for detection in sharded.log.detections:
+            assert 1 <= detection.circuit_id <= len(faults)
+            assert detection.description == (
+                faults[detection.circuit_id - 1].describe()
+            )

@@ -143,13 +143,35 @@ class TestResults:
         write_curve_csv(tiny_fig1, stream)
         lines = stream.getvalue().strip().splitlines()
         assert lines[0] == (
-            "backend,pattern,seconds,cumulative_detected,live_after"
+            "backend,backend_options,pattern,seconds,"
+            "cumulative_detected,live_after"
         )
         assert len(lines) == tiny_fig1.n_patterns + 1
         assert all(line.startswith("concurrent,") for line in lines[1:])
 
     def test_result_to_dict_records_backend(self, tiny_fig1):
-        assert result_to_dict(tiny_fig1)["backend"] == "concurrent"
+        data = result_to_dict(tiny_fig1)
+        assert data["backend"] == "concurrent"
+        assert data["backend_options"] == {}
+
+    def test_backend_options_archived(self):
+        from repro.harness.experiments import run_fig1
+        from repro.harness.results import format_backend_options
+
+        result = run_fig1(
+            rows=2, cols=2, n_faults=6,
+            backend="sharded",
+            backend_options={"jobs": 2, "inner_backend": "concurrent"},
+        )
+        data = result_to_dict(result)
+        assert data["backend_options"] == {
+            "jobs": 2, "inner_backend": "concurrent"
+        }
+        stream = io.StringIO()
+        write_curve_csv(result, stream)
+        cell = format_backend_options(result.backend_options)
+        assert cell == "inner_backend=concurrent;jobs=2"
+        assert cell in stream.getvalue()
 
     def test_write_fig3_csv(self):
         result = run_fig3(rows=2, cols=2, fault_counts=(5, 10))

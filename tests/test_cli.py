@@ -87,6 +87,94 @@ class TestFaultsim:
         )
         assert code == 0
 
+    def test_comment_lines_skipped(self, netlist_path, tmp_path, capsys):
+        patterns = tmp_path / "pats.txt"
+        patterns.write_text(
+            "# a comment does not start or split a pattern\n"
+            "a=0\n\n# another comment\na=1\n"
+        )
+        code = main(
+            ["faultsim", netlist_path, "--observe", "out",
+             "--patterns", str(patterns)]
+        )
+        assert code == 0
+        assert "2/2" in capsys.readouterr().out
+
+    def test_empty_pattern_file_is_error(
+        self, netlist_path, tmp_path, capsys
+    ):
+        patterns = tmp_path / "pats.txt"
+        patterns.write_text("\n\n# only comments and blanks\n\n")
+        code = main(
+            ["faultsim", netlist_path, "--observe", "out",
+             "--patterns", str(patterns)]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no patterns" in err
+
+    def test_policy_flags(self, netlist_path, tmp_path, capsys):
+        patterns = tmp_path / "pats.txt"
+        patterns.write_text("a=0\n\na=1\n")
+        code = main(
+            ["faultsim", netlist_path, "--observe", "out",
+             "--patterns", str(patterns),
+             "--no-drop", "--detect-policy", "any", "--clock", "perf"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wall" in out  # --clock perf switches the time label
+
+    def test_batch_lane_width_round_trip(
+        self, netlist_path, tmp_path, capsys
+    ):
+        patterns = tmp_path / "pats.txt"
+        patterns.write_text("a=0\n\na=1\n")
+        code = main(
+            ["faultsim", netlist_path, "--observe", "out",
+             "--patterns", str(patterns),
+             "--backend", "batch", "--lane-width", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2/2" in out
+        assert "batch backend" in out
+
+    def test_sharded_jobs_round_trip(self, netlist_path, tmp_path, capsys):
+        patterns = tmp_path / "pats.txt"
+        patterns.write_text("a=0\n\na=1\n")
+        code = main(
+            ["faultsim", netlist_path, "--observe", "out",
+             "--patterns", str(patterns),
+             "--backend", "sharded", "--jobs", "2",
+             "--inner-backend", "serial"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2/2" in out
+        assert "sharded(serialx2) backend" in out
+
+    def test_invalid_backend_option_is_one_line_error(
+        self, netlist_path, tmp_path, capsys
+    ):
+        # Regression: used to leak "TypeError: SerialBackend() takes no
+        # arguments" as a traceback instead of a CLI error.
+        patterns = tmp_path / "pats.txt"
+        patterns.write_text("a=0\n\na=1\n")
+        code = main(
+            ["faultsim", netlist_path, "--observe", "out",
+             "--patterns", str(patterns),
+             "--backend", "serial", "--lane-width", "8"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("error:")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+        assert "serial" in captured.err
+        assert "accepts no options" in captured.err
+
 
 class TestValidate:
     def test_clean_netlist(self, netlist_path, capsys):
@@ -108,6 +196,26 @@ class TestExperiment:
         )
         assert code == 0
         assert "FIG1" in capsys.readouterr().out
+
+    def test_fig1_sharded_backend_options(self, capsys):
+        code = main(
+            ["experiment", "fig1", "--rows", "2", "--cols", "2",
+             "--faults", "8", "--backend", "sharded", "--jobs", "2",
+             "--inner-backend", "concurrent"]
+        )
+        assert code == 0
+        assert "FIG1" in capsys.readouterr().out
+
+    def test_bad_backend_options_one_line_error(self, capsys):
+        code = main(
+            ["experiment", "fig1", "--rows", "2", "--cols", "2",
+             "--faults", "8", "--backend", "concurrent",
+             "--jobs", "2"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert captured.err.startswith("error:")
+        assert "concurrent" in captured.err
 
     def test_version(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
