@@ -1,0 +1,143 @@
+"""Compiled vs dynamic locality on the Figure-1 workload -> BENCH_compiled.json.
+
+Runs the RAM16 / Test Sequence 1 / sampled-fault workload (the same
+workload as ``test_backend_comparison.py``) through the serial,
+concurrent and batch backends under both the dynamic locality (the
+paper's algorithm, the PR-4 baseline) and the compiled locality
+(compile-once channel-connected partition + memoized region solve
+cache), and archives the comparison next to the repo root as
+``BENCH_compiled.json``.
+
+Each run gets a freshly built RAM so no run warms another's cache.
+
+Checks (absolute times are machine-dependent):
+
+* detection counts and first-detection points are identical across
+  every (backend, locality) pair -- localities change *where work
+  happens*, never the results;
+* the solve cache hits more often than it misses for the serial and
+  concurrent backends;
+* the compiled locality does not lose to dynamic for the serial and
+  concurrent backends (measured speedups on the dev box: serial ~1.4x,
+  concurrent ~1.1x; the margin in ``conftest.SCALES`` absorbs runner
+  noise).  The batch backend is measured and archived for completeness
+  but not asserted: its lane-parallel rounds already amortize most of
+  what the cache saves, so compiled is not expected to win there at CI
+  scale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.circuits.ram import build_ram
+from repro.core import SimPolicy, run_backend
+from repro.core.faults import ram_fault_universe, sample_faults
+from repro.patterns.sequences import sequence1
+from repro.switchlevel.compiled import compile_network
+
+_OUT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_compiled.json",
+)
+
+BACKENDS = ("serial", "concurrent", "batch")
+LOCALITIES = ("dynamic", "compiled")
+
+
+def _workload(rows, cols, n_faults):
+    ram = build_ram(rows, cols)
+    patterns = list(sequence1(ram).patterns)
+    universe = ram_fault_universe(ram)
+    if n_faults is None or n_faults >= len(universe):
+        faults = universe
+    else:
+        faults = sample_faults(universe, n_faults, seed=1985)
+    return ram, patterns, faults
+
+
+def test_compiled_vs_dynamic(bench_scale):
+    rows, cols, n_faults = bench_scale["backends"]
+    policy = SimPolicy(clock="perf")
+
+    runs = {}
+    detections = {}
+    for backend in BACKENDS:
+        for locality in LOCALITIES:
+            # A fresh RAM per run: the compiled form (and its caches)
+            # memoizes per network instance, so reuse would let one
+            # run warm another's cache.
+            ram, patterns, faults = _workload(rows, cols, n_faults)
+            start = time.perf_counter()
+            report = run_backend(
+                backend, ram.net, faults, [ram.dout], patterns, policy,
+                locality=locality,
+            )
+            wall = time.perf_counter() - start
+            runs[(backend, locality)] = (wall, report)
+            detections[(backend, locality)] = {
+                cid: (
+                    (hit.pattern_index, hit.phase_index)
+                    if (hit := report.log.first_detection(cid))
+                    else None
+                )
+                for cid in range(1, len(faults) + 1)
+            }
+
+    # Parity: identical detections across every backend and locality.
+    baseline = detections[("serial", "dynamic")]
+    for key, mapping in detections.items():
+        assert mapping == baseline, key
+
+    # The cache must actually carry the compiled runs.
+    min_hit_rate = bench_scale["compiled_min_hit_rate"]
+    for backend in ("serial", "concurrent"):
+        cache = runs[(backend, "compiled")][1].solve_cache
+        assert cache is not None, backend
+        assert cache["hit_rate"] > min_hit_rate, (backend, cache)
+
+    # Compiled must not lose to dynamic where the design targets it.
+    max_ratio = bench_scale["compiled_max_ratio"]
+    for backend in ("serial", "concurrent"):
+        dynamic_wall = runs[(backend, "dynamic")][0]
+        compiled_wall = runs[(backend, "compiled")][0]
+        assert compiled_wall < dynamic_wall * max_ratio, (
+            backend, compiled_wall, dynamic_wall
+        )
+
+    ram, _patterns, faults = _workload(rows, cols, n_faults)
+    histogram = compile_network(ram.net).component_size_histogram()
+    payload = {
+        "workload": "fig1_sequence1",
+        "circuit": ram.name,
+        "rows": rows,
+        "cols": cols,
+        "n_patterns": len(_patterns),
+        "n_faults": len(faults),
+        "detection_policy": policy.detection_policy,
+        "clock": "perf",
+        "component_size_histogram": {
+            str(size): count for size, count in sorted(histogram.items())
+        },
+        "backends": {},
+    }
+    for backend in BACKENDS:
+        dynamic_wall, _ = runs[(backend, "dynamic")]
+        compiled_wall, compiled_report = runs[(backend, "compiled")]
+        cache = compiled_report.solve_cache or {}
+        payload["backends"][backend] = {
+            "dynamic_wall_seconds": round(dynamic_wall, 6),
+            "compiled_wall_seconds": round(compiled_wall, 6),
+            "compiled_speedup": round(dynamic_wall / compiled_wall, 3),
+            "detected": compiled_report.detected,
+            "solve_cache_hit_rate": round(cache.get("hit_rate", 0.0), 4),
+            "solve_cache_hits": cache.get("hits", 0),
+            "solve_cache_misses": cache.get("misses", 0),
+        }
+    with open(_OUT_PATH, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2)
+        stream.write("\n")
+    print()
+    print(json.dumps(payload["backends"], indent=2))

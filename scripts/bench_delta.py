@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Diff freshly emitted BENCH_*.json files against committed baselines.
+
+Usage::
+
+    python scripts/bench_delta.py BASELINE_DIR [CURRENT_DIR]
+
+``BASELINE_DIR`` holds the committed ``BENCH_*.json`` files (CI copies
+them aside before the test run overwrites them); ``CURRENT_DIR``
+defaults to the working tree root.  Prints a GitHub-flavored Markdown
+table of every numeric leaf whose key mentions seconds (wall times,
+per-shard times) with the relative delta, suitable for piping into
+``$GITHUB_STEP_SUMMARY``.
+
+Warn-only by design: the exit code is always 0 (absolute times from
+shared CI runners are too noisy to gate on), so the job summary is
+where regressions get noticed.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sys
+
+
+def _numeric_leaves(data, prefix=""):
+    """Flatten nested dicts to {dotted.path: number} for timing keys."""
+    leaves = {}
+    if isinstance(data, dict):
+        for key, value in sorted(data.items()):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, dict):
+                leaves.update(_numeric_leaves(value, path))
+            elif isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            ):
+                if "seconds" in key or "speedup" in key:
+                    leaves[path] = float(value)
+    return leaves
+
+
+def main(argv: list[str]) -> int:
+    if not 1 <= len(argv) <= 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 0
+    baseline_dir = argv[0]
+    current_dir = argv[1] if len(argv) > 1 else "."
+
+    rows = []
+    for current_path in sorted(
+        glob.glob(os.path.join(current_dir, "BENCH_*.json"))
+    ):
+        name = os.path.basename(current_path)
+        with open(current_path, "r", encoding="utf-8") as stream:
+            current = _numeric_leaves(json.load(stream))
+        baseline_path = os.path.join(baseline_dir, name)
+        if not os.path.exists(baseline_path):
+            for metric, value in current.items():
+                rows.append((name, metric, None, value))
+            continue
+        with open(baseline_path, "r", encoding="utf-8") as stream:
+            baseline = _numeric_leaves(json.load(stream))
+        for metric, value in current.items():
+            rows.append((name, metric, baseline.get(metric), value))
+
+    print("### Benchmark delta vs committed baselines (warn-only)")
+    print()
+    if not rows:
+        print("_No BENCH_*.json files found._")
+        return 0
+    print("| file | metric | baseline | current | delta |")
+    print("| --- | --- | ---: | ---: | ---: |")
+    for name, metric, old, new in rows:
+        if old is None:
+            delta = "(new)"
+            old_cell = "-"
+        else:
+            old_cell = f"{old:.4f}"
+            delta = f"{(new - old) / old:+.1%}" if old else "n/a"
+        print(f"| {name} | {metric} | {old_cell} | {new:.4f} | {delta} |")
+    print()
+    print(
+        "_Wall clocks from shared runners are noisy; treat deltas as a "
+        "hint, not a verdict._"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -10,10 +10,14 @@ Subcommands::
                              [--no-drop] [--detect-policy hard|any]
                              [--clock process|perf] [--lane-width W]
                              [--jobs N] [--inner-backend NAME]
+                             [--locality dynamic|static|compiled]
+                             [--no-solve-cache] [--profile N]
         Fault simulation (strategy selected from the backend registry)
         with randomly ordered input settings or a pattern file (one
         "name=value name=value ..." line per setting, blank line
-        between patterns, '#' lines ignored).
+        between patterns, '#' lines ignored).  --profile N wraps the
+        run in cProfile and prints the top N cumulative entries to
+        stderr.
 
     fmossim validate NETLIST
         Run the netlist lints.
@@ -31,6 +35,7 @@ import sys
 
 from . import __version__
 from .core.backends import SimPolicy, available_backends, run_backend
+from .switchlevel.kernel import LOCALITIES
 from .core.faults import (
     node_stuck_universe,
     sample_faults,
@@ -85,6 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NODE",
         help="nodes to print after each setting (default: all)",
     )
+    simulate.add_argument(
+        "--locality",
+        choices=LOCALITIES,
+        default="dynamic",
+        help="settle locality: dynamic vicinities (the paper's "
+        "algorithm), static DC-connected components, or compiled "
+        "channel-connected components with the solve cache "
+        "(default: dynamic)",
+    )
     simulate.set_defaults(handler=cmd_simulate)
 
     faultsim = commands.add_parser(
@@ -115,6 +129,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=available_backends(),
         default="concurrent",
         help="fault-simulation strategy (default: concurrent)",
+    )
+    faultsim.add_argument(
+        "--profile",
+        type=int,
+        default=None,
+        metavar="N",
+        help="profile the run with cProfile and print the top N "
+        "cumulative entries to stderr",
     )
     _add_policy_arguments(faultsim)
     add_backend_option_arguments(faultsim)
@@ -193,6 +215,21 @@ def add_backend_option_arguments(subparser) -> None:
         default=None,
         help="sharded backend: strategy run inside each shard",
     )
+    subparser.add_argument(
+        "--locality",
+        choices=LOCALITIES,
+        default=None,
+        help="settle locality (serial/concurrent/batch, forwarded to "
+        "sharded inner backends): dynamic vicinities, static "
+        "DC-connected components, or compiled channel-connected "
+        "components with the solve cache (default: dynamic)",
+    )
+    subparser.add_argument(
+        "--no-solve-cache",
+        action="store_true",
+        help="compiled locality: disable the memoized per-component "
+        "solve cache (measure the compile-only effect)",
+    )
 
 
 def backend_options_from_args(args) -> dict:
@@ -205,6 +242,10 @@ def backend_options_from_args(args) -> dict:
         options["jobs"] = args.jobs
     if args.inner_backend is not None:
         options["inner_backend"] = args.inner_backend
+    if args.locality is not None:
+        options["locality"] = args.locality
+    if args.no_solve_cache:
+        options["solve_cache"] = False
     return options
 
 
@@ -219,7 +260,7 @@ def _parse_assignment(text: str) -> tuple[str, int]:
 
 def cmd_simulate(args) -> int:
     net = sim_format.load_path(args.netlist)
-    sim = Simulator(net)
+    sim = Simulator(net, locality=args.locality)
     show = args.show or sorted(
         name for name in net.node_index if name not in ("vdd", "gnd")
     )
@@ -286,10 +327,21 @@ def cmd_faultsim(args) -> int:
         drop_on_detect=not args.no_drop,
         clock=args.clock,
     )
-    report = run_backend(
+    run = lambda: run_backend(  # noqa: E731 - one invocation, two modes
         args.backend, net, faults, args.observe, patterns, policy,
         **backend_options_from_args(args),
     )
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        report = profiler.runcall(run)
+        pstats.Stats(profiler, stream=sys.stderr).sort_stats(
+            "cumulative"
+        ).print_stats(args.profile)
+    else:
+        report = run()
     clock_label = "CPU" if args.clock == "process" else "wall"
     print(
         f"{report.detected}/{report.n_faults} faults detected "
@@ -297,6 +349,12 @@ def cmd_faultsim(args) -> int:
         f"in {report.total_seconds:.2f}s {clock_label} "
         f"({report.backend} backend)"
     )
+    if report.solve_cache is not None:
+        cache = report.solve_cache
+        print(
+            f"  solve cache: {cache['hits']} hits / "
+            f"{cache['misses']} misses ({cache['hit_rate']:.1%})"
+        )
     for detection in report.log.detections:
         print(f"  {detection}")
     undetected = set(range(1, len(faults) + 1)) - report.log.detected_circuits()

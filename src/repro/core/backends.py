@@ -54,7 +54,8 @@ from dataclasses import dataclass
 from typing import ClassVar, Iterable, Sequence, Type
 
 from ..errors import SimulationError
-from ..switchlevel.kernel import DEFAULT_MAX_ROUNDS
+from ..switchlevel.compiled import cache_stats
+from ..switchlevel.kernel import DEFAULT_MAX_ROUNDS, LOCALITIES
 from ..switchlevel.network import Network
 from ..patterns.clocking import TestPattern
 from .batch import DEFAULT_LANE_WIDTH, BatchFaultSimulator
@@ -206,11 +207,42 @@ def run_backend(
 # ---------------------------------------------------------------------------
 
 
+def _validate_locality(locality: str) -> str:
+    """Reject unknown locality modes at backend-configuration time."""
+    if locality not in LOCALITIES:
+        raise SimulationError(
+            f"unknown locality mode {locality!r}; expected one of "
+            + ", ".join(LOCALITIES)
+        )
+    return locality
+
+
+def _cache_delta(net: Network, before: dict | None) -> dict | None:
+    """Per-run solve-cache counters: current stats minus ``before``."""
+    after = cache_stats(net)
+    if after is None:
+        return None
+    hits = after["hits"] - (before["hits"] if before else 0)
+    misses = after["misses"] - (before["misses"] if before else 0)
+    lookups = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / lookups if lookups else 0.0,
+        "entries": after["entries"],
+        "components": after["components"],
+    }
+
+
 @register_backend
 class SerialBackend(FaultSimBackend):
     """Every faulty circuit simulated individually (the baseline)."""
 
     name = "serial"
+
+    def __init__(self, locality: str = "dynamic", solve_cache: bool = True):
+        self.locality = _validate_locality(locality)
+        self.solve_cache = solve_cache
 
     def run(
         self,
@@ -228,7 +260,10 @@ class SerialBackend(FaultSimBackend):
             detection_policy=policy.detection_policy,
             drop_on_detect=policy.drop_on_detect,
             max_rounds=policy.max_rounds,
+            locality=self.locality,
+            solve_cache=self.solve_cache,
         )
+        before = cache_stats(simulator.network)
         serial_report = simulator.run(pattern_list, clock=policy.clock)
         report = serial_run_report(
             serial_report,
@@ -236,6 +271,8 @@ class SerialBackend(FaultSimBackend):
             drop_on_detect=policy.drop_on_detect,
         )
         report.oscillation_events = simulator.oscillation_events
+        if self.locality == "compiled":
+            report.solve_cache = _cache_delta(simulator.network, before)
         return report
 
 
@@ -244,6 +281,10 @@ class ConcurrentBackend(FaultSimBackend):
     """The paper's algorithm: good circuit + divergence records."""
 
     name = "concurrent"
+
+    def __init__(self, locality: str = "dynamic", solve_cache: bool = True):
+        self.locality = _validate_locality(locality)
+        self.solve_cache = solve_cache
 
     def run(
         self,
@@ -260,8 +301,14 @@ class ConcurrentBackend(FaultSimBackend):
             detection_policy=policy.detection_policy,
             drop_on_detect=policy.drop_on_detect,
             max_rounds=policy.max_rounds,
+            locality=self.locality,
+            solve_cache=self.solve_cache,
         )
-        return simulator.run(patterns, clock=policy.clock)
+        before = cache_stats(simulator.network)
+        report = simulator.run(patterns, clock=policy.clock)
+        if self.locality == "compiled":
+            report.solve_cache = _cache_delta(simulator.network, before)
+        return report
 
 
 @register_backend
@@ -270,8 +317,15 @@ class BatchBackend(FaultSimBackend):
 
     name = "batch"
 
-    def __init__(self, lane_width: int = DEFAULT_LANE_WIDTH):
+    def __init__(
+        self,
+        lane_width: int = DEFAULT_LANE_WIDTH,
+        locality: str = "dynamic",
+        solve_cache: bool = True,
+    ):
         self.lane_width = lane_width
+        self.locality = _validate_locality(locality)
+        self.solve_cache = solve_cache
 
     def run(
         self,
@@ -289,8 +343,28 @@ class BatchBackend(FaultSimBackend):
             drop_on_detect=policy.drop_on_detect,
             max_rounds=policy.max_rounds,
             lane_width=self.lane_width,
+            locality=self.locality,
+            solve_cache=self.solve_cache,
         )
-        return simulator.run(patterns, clock=policy.clock)
+        before = cache_stats(simulator.network)
+        lane_hits_before, lane_misses_before = simulator.lane_cache_counters()
+        report = simulator.run(patterns, clock=policy.clock)
+        if self.locality == "compiled":
+            # One pool: the scalar good engine's network-level cache
+            # plus the per-chunk lane caches.
+            scalar = _cache_delta(simulator.network, before) or {}
+            lane_hits, lane_misses = simulator.lane_cache_counters()
+            hits = scalar.get("hits", 0) + lane_hits - lane_hits_before
+            misses = (
+                scalar.get("misses", 0) + lane_misses - lane_misses_before
+            )
+            lookups = hits + misses
+            report.solve_cache = {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / lookups if lookups else 0.0,
+            }
+        return report
 
 
 # Imported last: shard.py needs the registry above at import time, and

@@ -35,7 +35,8 @@ from typing import Iterable, Mapping, Sequence
 
 from ..errors import FaultError, SimulationError
 from ..switchlevel.bitplane import LaneSimulator
-from ..switchlevel.kernel import DEFAULT_MAX_ROUNDS, SettleStats
+from ..switchlevel.compiled import compile_network
+from ..switchlevel.kernel import DEFAULT_MAX_ROUNDS, LOCALITIES, SettleStats
 from ..switchlevel.network import GND_NAME, VDD_NAME, Network
 from ..switchlevel.scheduler import Engine
 from ..patterns.clocking import TestPattern
@@ -99,6 +100,8 @@ class _Chunk:
             node_force_values=node_force_values,
             t_force_on={t: m for t, m in t_on.items() if m},
             t_force_off={t: m for t, m in t_off.items() if m},
+            compiled=sim.compiled,
+            solve_cache=sim.solve_cache,
         )
         # Rails, then fault activation, then one settle -- the same
         # initialization order as a standalone engine per fault.
@@ -145,6 +148,8 @@ class BatchFaultSimulator:
         drop_on_detect: bool = True,
         max_rounds: int = DEFAULT_MAX_ROUNDS,
         lane_width: int = DEFAULT_LANE_WIDTH,
+        locality: str = "dynamic",
+        solve_cache: bool = True,
     ):
         if detection_policy not in POLICIES:
             raise SimulationError(
@@ -152,6 +157,8 @@ class BatchFaultSimulator:
             )
         if lane_width < 1:
             raise SimulationError("lane_width must be positive")
+        if locality not in LOCALITIES:
+            raise SimulationError(f"unknown locality mode: {locality!r}")
         instrumented: Instrumented = prepare(net, list(faults))
         self.network = instrumented.net
         self.good_forced_transistors = instrumented.good_forced_transistors
@@ -159,6 +166,16 @@ class BatchFaultSimulator:
         self.drop_on_detect = drop_on_detect
         self.max_rounds = max_rounds
         self.lane_width = lane_width
+        self.locality = locality
+        self.solve_cache = solve_cache
+        #: Under the compiled locality the lanes select dirty components
+        #: from this partition (with per-chunk lane-aware solve caches);
+        #: the scalar good engine shares the network-level cache.  The
+        #: static locality applies to the scalar good engine only: the
+        #: lanes' union vicinity is already a component-complete region.
+        self.compiled = (
+            compile_network(self.network) if locality == "compiled" else None
+        )
         self.oscillation_events = 0
         if not observed:
             raise SimulationError("at least one observed node is required")
@@ -168,6 +185,8 @@ class BatchFaultSimulator:
             self.network,
             forced_transistors=self.good_forced_transistors,
             max_rounds=max_rounds,
+            locality=locality,
+            solve_cache=solve_cache,
         )
         net_ = self.network
         for name, state in ((VDD_NAME, 1), (GND_NAME, 0)):
@@ -269,6 +288,12 @@ class BatchFaultSimulator:
         """Current packed width across chunks (memory footprint proxy)."""
         return sum(chunk.lanes.lane_count for chunk in self.chunks)
 
+    def lane_cache_counters(self) -> tuple[int, int]:
+        """(hits, misses) summed over every chunk's lane solve cache."""
+        hits = sum(chunk.lanes.cache_hits for chunk in self.chunks)
+        misses = sum(chunk.lanes.cache_misses for chunk in self.chunks)
+        return hits, misses
+
     # ------------------------------------------------------------------
     # settling with the scalar oscillation fallback
     # ------------------------------------------------------------------
@@ -294,6 +319,8 @@ class BatchFaultSimulator:
             forced_nodes=pf.forced_nodes,
             forced_transistors=chunk.merged_forced_transistors(self, pf),
             max_rounds=self.max_rounds,
+            locality=self.locality,
+            solve_cache=self.solve_cache,
         )
         engine.states[:] = states
         engine.tstates[:] = tstates

@@ -68,8 +68,10 @@ import time
 from typing import Iterable, Mapping, Sequence
 
 from ..errors import FaultError, SimulationError
+from ..switchlevel.compiled import compile_network
 from ..switchlevel.kernel import (
     DEFAULT_MAX_ROUNDS,
+    LOCALITIES,
     SettleKernel,
     SettleStats,
     VicinitySolution,
@@ -100,17 +102,52 @@ class _OverlayStates:
     tracks-the-good-circuit case costs one dict miss and one index.
     """
 
-    __slots__ = ("base", "records")
+    __slots__ = ("base", "records", "base_key_cache")
 
-    def __init__(self, base: list[int], records: dict[int, int]):
+    def __init__(
+        self,
+        base: list[int],
+        records: dict[int, int],
+        base_key_cache: dict | None = None,
+    ):
         self.base = base
         self.records = records
+        #: Shared per-simulator memo of ``base`` key bytes per node
+        #: tuple, cleared whenever ``base`` changes (once per round):
+        #: every faulty circuit of a round reads the same round-start
+        #: snapshot, so the bulk of each solve-cache key is computed
+        #: once per component per round instead of once per circuit.
+        self.base_key_cache = base_key_cache if base_key_cache is not None else {}
 
     def __getitem__(self, node: int) -> int:
         state = self.records.get(node)
         if state is None:
             return self.base[node]
         return state
+
+    def key_bytes(self, nodes: tuple, positions: Mapping[int, int]) -> bytes:
+        """States of ``nodes`` as bytes (solve-cache key fast path).
+
+        ``positions`` maps node -> index within ``nodes``.  The bulk of
+        the read goes through the plain base list at C speed -- memoized
+        per node tuple across the round's circuits -- and the (typically
+        tiny) record overlay is patched on top.
+        """
+        cache = self.base_key_cache
+        raw = cache.get(nodes)
+        if raw is None:
+            raw = bytes(map(self.base.__getitem__, nodes))
+            cache[nodes] = raw
+        records = self.records
+        if records:
+            # C-speed dict-view intersection: records can be large.
+            common = records.keys() & positions.keys()
+            if common:
+                patched = bytearray(raw)
+                for node in common:
+                    patched[positions[node]] = records[node]
+                raw = bytes(patched)
+        return raw
 
 
 class _OverlayStatesForced(_OverlayStates):
@@ -128,8 +165,9 @@ class _OverlayStatesForced(_OverlayStates):
         base: list[int],
         records: dict[int, int],
         forced: Mapping[int, int],
+        base_key_cache: dict | None = None,
     ):
-        super().__init__(base, records)
+        super().__init__(base, records, base_key_cache)
         self.forced = forced
 
     def __getitem__(self, node: int) -> int:
@@ -140,6 +178,32 @@ class _OverlayStatesForced(_OverlayStates):
         if state is not None:
             return state
         return self.base[node]
+
+    def key_bytes(self, nodes: tuple, positions: Mapping[int, int]) -> bytes:
+        cache = self.base_key_cache
+        raw = cache.get(nodes)
+        if raw is None:
+            raw = bytes(map(self.base.__getitem__, nodes))
+            cache[nodes] = raw
+        patched = None
+        # Later layers win: forced under records, as in __getitem__.
+        for layer in (self.forced, self.records):
+            if not layer:
+                continue
+            common = layer.keys() & positions.keys()
+            for node in common:
+                pos = positions[node]
+                state = layer[node]
+                if patched is None:
+                    if raw[pos] == state:
+                        continue
+                    patched = bytearray(raw)
+                patched[pos] = state
+        if patched is None:
+            # The shared (hash-cached) object: most components are
+            # untouched by this circuit's fault and divergences.
+            return raw
+        return bytes(patched)
 
 
 class _OverlayTransistors:
@@ -175,11 +239,13 @@ class _OverlayTransistors:
 class _GoodCircuit:
     """The good circuit as a kernel :class:`RoundCircuit`."""
 
-    __slots__ = ("sim", "forced_nodes")
+    __slots__ = ("sim", "forced_nodes", "forced_transistors", "compiled_sig_cache")
 
     def __init__(self, sim: "ConcurrentFaultSimulator"):
         self.sim = sim
         self.forced_nodes: Mapping[int, int] = {}
+        self.forced_transistors = sim.good_forced_transistors
+        self.compiled_sig_cache: dict[int, tuple] = {}
 
     @property
     def states(self):
@@ -209,8 +275,9 @@ class _FaultyCircuit:
     """One faulty circuit's overlay views as a kernel ``RoundCircuit``."""
 
     __slots__ = (
-        "sim", "cid", "states", "tstates", "forced_nodes", "_seeds",
-        "applied_changes",
+        "sim", "cid", "states", "tstates", "forced_nodes",
+        "forced_transistors", "compiled_sig_cache", "_seeds",
+        "applied_changes", "_fault_comps",
     )
 
     def __init__(self, sim: "ConcurrentFaultSimulator", cid: int):
@@ -225,15 +292,39 @@ class _FaultyCircuit:
         self.forced_nodes = pf.forced_nodes
         if pf.forced_nodes:
             self.states = _OverlayStatesForced(
-                sim._prev_states, sim.circuit_records[cid], pf.forced_nodes
+                sim._prev_states,
+                sim.circuit_records[cid],
+                pf.forced_nodes,
+                sim._base_key_cache,
             )
         else:
             self.states = _OverlayStates(
-                sim._prev_states, sim.circuit_records[cid]
+                sim._prev_states,
+                sim.circuit_records[cid],
+                sim._base_key_cache,
             )
+        self.forced_transistors = sim._merged_forced_t[cid]
+        self.compiled_sig_cache: dict[int, tuple] = {}
         self.tstates = _OverlayTransistors(
-            sim.network, self.states, sim._merged_forced_t[cid]
+            sim.network, self.states, self.forced_transistors
         )
+        compiled = sim._compiled
+        if compiled is None:
+            self._fault_comps = None
+        else:
+            # Components this circuit's *fault itself* touches: forced
+            # nodes (pseudo-inputs dirty their own component and, as
+            # gates, their fanout components) and forced transistors.
+            fault_comps: set[int] = set()
+            for node in pf.forced_nodes:
+                fault_comps.add(compiled.node_component[node])
+                fault_comps.update(compiled.gate_fanout[node])
+            for t in pf.forced_transistors:
+                cid_of_t = compiled.t_component[t]
+                if cid_of_t >= 0:
+                    fault_comps.add(cid_of_t)
+            fault_comps.discard(-1)
+            self._fault_comps = fault_comps
 
     def take_seeds(self) -> set[int]:
         expanded: set[int] = set()
@@ -243,7 +334,25 @@ class _FaultyCircuit:
                 expand_seed(net, self.tstates, raw_seed, self.forced_nodes)
             )
         self._seeds = set()
-        return expanded
+        compiled = self.sim._compiled
+        if compiled is None or not expanded:
+            return expanded
+        # Compiled locality: drop seeds in components where this circuit
+        # provably tracks the good circuit -- no divergence records on
+        # the component's members or on the gates driving its channels,
+        # and no fault site inside it.  Solving there would reproduce
+        # the good circuit's own work (or the identity); the trigger
+        # scan re-triggers the circuit if divergence ever reaches such
+        # a component.
+        dirty_comps = self.sim._dirty_comp_counts[self.cid]
+        fault_comps = self._fault_comps
+        node_component = compiled.node_component
+        kept: set[int] = set()
+        for seed in expanded:
+            cid = node_component[seed]
+            if cid in dirty_comps or cid in fault_comps:
+                kept.add(seed)
+        return kept
 
     def has_pending(self) -> bool:
         return bool(self._seeds)
@@ -297,19 +406,38 @@ class ConcurrentFaultSimulator:
         detection_policy: str = POLICY_HARD,
         drop_on_detect: bool = True,
         max_rounds: int = DEFAULT_MAX_ROUNDS,
+        locality: str = "dynamic",
+        solve_cache: bool = True,
     ):
         if detection_policy not in POLICIES:
             raise SimulationError(
                 f"unknown detection policy {detection_policy!r}"
             )
+        if locality not in LOCALITIES:
+            raise SimulationError(f"unknown locality mode: {locality!r}")
         instrumented: Instrumented = prepare(net, list(faults))
         self.network = instrumented.net
         self.good_forced_transistors = instrumented.good_forced_transistors
         self.detection_policy = detection_policy
         self.drop_on_detect = drop_on_detect
         self.max_rounds = max_rounds
+        self.locality = locality
+        #: With the compiled locality one cache (on the instrumented
+        #: network) serves the good circuit and every faulty overlay:
+        #: a faulty circuit differs from the good one on only a few
+        #: components, so most of its solves hit entries the good
+        #: circuit (or a sibling fault) already paid for.
+        self.solve_cache = solve_cache
         self.oscillation_events = 0
-        self._kernel = SettleKernel(self.network, max_rounds=max_rounds)
+        self._kernel = SettleKernel(
+            self.network,
+            max_rounds=max_rounds,
+            locality=locality,
+            solve_cache=solve_cache,
+        )
+        self._compiled = (
+            compile_network(self.network) if locality == "compiled" else None
+        )
 
         if not observed:
             raise SimulationError("at least one observed node is required")
@@ -343,6 +471,16 @@ class ConcurrentFaultSimulator:
         self.circuit_records: dict[int, dict[int, int]] = {
             cid: {} for cid in self.prepared
         }
+        #: Per circuit: component id -> number of records making it
+        #: dirty (divergence on a member or on a gate driving its
+        #: channels).  Maintained incrementally by record set/remove so
+        #: the compiled locality's take_seeds filter is O(1) per seed.
+        self._dirty_comp_counts: dict[int, dict[int, int]] = {
+            cid: {} for cid in self.prepared
+        }
+        #: Round-start base-state key bytes per node tuple, shared by
+        #: every faulty overlay; cleared whenever the snapshot changes.
+        self._base_key_cache: dict = {}
         self.node_records: list[StateList | None] = [None] * net_.n_nodes
         self._merged_forced_t: dict[int, Mapping[int, int]] = {}
         for cid, pf in self.prepared.items():
@@ -457,6 +595,7 @@ class ConcurrentFaultSimulator:
             # snapshot follows immediately (standalone simulations see
             # new inputs before their first round too).
             self._prev_states[node] = state
+            self._base_key_cache.clear()
             self._good_node_changed(node)
             self._good_pending.update(
                 expand_seed(net, self.tstates, node)
@@ -545,13 +684,34 @@ class ConcurrentFaultSimulator:
             state_list = StateList()
             self.node_records[node] = state_list
         state_list.set(cid, state)
-        self.circuit_records[cid][node] = state
+        records = self.circuit_records[cid]
+        if node not in records and self._compiled is not None:
+            counts = self._dirty_comp_counts[cid]
+            compiled = self._compiled
+            for comp in (
+                compiled.node_component[node],
+                *compiled.gate_fanout[node],
+            ):
+                counts[comp] = counts.get(comp, 0) + 1
+        records[node] = state
 
     def _remove_record(self, node: int, cid: int) -> None:
         state_list = self.node_records[node]
         if state_list is not None:
             state_list.remove(cid)
-        self.circuit_records[cid].pop(node, None)
+        removed = self.circuit_records[cid].pop(node, None)
+        if removed is not None and self._compiled is not None:
+            counts = self._dirty_comp_counts[cid]
+            compiled = self._compiled
+            for comp in (
+                compiled.node_component[node],
+                *compiled.gate_fanout[node],
+            ):
+                remaining = counts[comp] - 1
+                if remaining:
+                    counts[comp] = remaining
+                else:
+                    del counts[comp]
 
     def _flush_stale_records(self) -> None:
         """Delete reconverged records once the round's circuits have run.
@@ -685,6 +845,7 @@ class ConcurrentFaultSimulator:
             for node in old_good:
                 prev[node] = states[node]
             old_good.clear()
+            self._base_key_cache.clear()
 
     def _apply_good_round(self, solutions: list[VicinitySolution]) -> None:
         """Apply one good round: states, trigger scans, then fan-out.
@@ -858,5 +1019,6 @@ class ConcurrentFaultSimulator:
             if state_list is not None:
                 state_list.remove(cid)
         records.clear()
+        self._dirty_comp_counts[cid].clear()
         self.live.discard(cid)
         self._fault_pending.pop(cid, None)

@@ -46,6 +46,10 @@ class RunReport:
     #: ``process`` clock and the fan-out's wall clock under ``perf``;
     #: the spread of ``shard_seconds`` measures shard balance.
     shard_seconds: list[float] = field(default_factory=list)
+    #: Solve-cache counters for this run (``hits`` / ``misses`` /
+    #: ``hit_rate``), filled by backends running with the ``compiled``
+    #: locality; ``None`` for other localities.
+    solve_cache: dict | None = None
 
     @property
     def n_patterns(self) -> int:

@@ -29,6 +29,7 @@ from __future__ import annotations
 import time
 from typing import Iterable, Sequence
 
+from ..switchlevel.kernel import LOCALITIES
 from ..switchlevel.network import Network
 from ..switchlevel.scheduler import Engine
 from ..patterns.clocking import TestPattern
@@ -57,11 +58,21 @@ class SerialFaultSimulator:
         detection_policy: str = POLICY_HARD,
         drop_on_detect: bool = True,
         max_rounds: int = 200,
+        locality: str = "dynamic",
+        solve_cache: bool = True,
     ):
         if detection_policy not in POLICIES:
             raise SimulationError(
                 f"unknown detection policy {detection_policy!r}"
             )
+        if locality not in LOCALITIES:
+            raise SimulationError(f"unknown locality mode: {locality!r}")
+        self.locality = locality
+        #: With the compiled locality the cache lives on the (shared)
+        #: instrumented network, so solves memoize across every per-fault
+        #: engine of the run -- faulty circuits mostly retrace the good
+        #: circuit's component configurations.
+        self.solve_cache = solve_cache
         self._instrumented: Instrumented = prepare(net, list(faults))
         self.network = self._instrumented.net
         if not observed:
@@ -132,6 +143,8 @@ class SerialFaultSimulator:
             forced_nodes=forced_nodes,
             forced_transistors=forced_transistors,
             max_rounds=self.max_rounds,
+            locality=self.locality,
+            solve_cache=self.solve_cache,
         )
         net = self.network
         for name, state in (("vdd", 1), ("gnd", 0)):

@@ -193,6 +193,18 @@ def merge_shard_reports(
         r.report.oscillation_events for r in results
     )
     merged.shard_seconds = [r.wall_seconds for r in results]
+    caches = [
+        r.report.solve_cache for r in results if r.report.solve_cache
+    ]
+    if caches:
+        hits = sum(c["hits"] for c in caches)
+        misses = sum(c["misses"] for c in caches)
+        lookups = hits + misses
+        merged.solve_cache = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / lookups if lookups else 0.0,
+        }
     return merged
 
 

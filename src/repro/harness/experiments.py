@@ -80,6 +80,12 @@ class CurveResult:
     serial_estimate_seconds: float
     head_patterns: int
     head_seconds: float
+    #: Oscillation fallbacks the run hit (force-to-X events); archived
+    #: so oscillation regressions show up in experiment artifacts.
+    oscillation_events: int = 0
+    #: Solve-cache counters (hits/misses/hit_rate) when the backend ran
+    #: with the compiled locality; ``None`` otherwise.
+    solve_cache: dict | None = None
     seconds_per_pattern: list[float] = field(default_factory=list)
     cumulative_detections: list[int] = field(default_factory=list)
     live_after_pattern: list[int] = field(default_factory=list)
@@ -212,6 +218,8 @@ def run_curve_experiment(
         serial_estimate_seconds=serial_estimate,
         head_patterns=head,
         head_seconds=report.section_seconds(0, head),
+        oscillation_events=report.oscillation_events,
+        solve_cache=report.solve_cache,
         seconds_per_pattern=report.seconds_per_pattern(),
         cumulative_detections=report.cumulative_detections(),
         live_after_pattern=[p.live_after for p in report.patterns],
@@ -287,6 +295,7 @@ class ScalingEntry:
     good_seconds: float
     sim_seconds: float
     serial_estimate_seconds: float
+    oscillation_events: int = 0
 
     @property
     def concurrent_seconds(self) -> float:
@@ -373,6 +382,7 @@ def run_scaling(
             good_seconds=result.good_seconds,
             sim_seconds=result.sim_seconds,
             serial_estimate_seconds=result.serial_estimate_seconds,
+            oscillation_events=result.oscillation_events,
         )
 
     return ScalingResult(

@@ -49,7 +49,8 @@ def write_curve_csv(result: CurveResult, stream: TextIO) -> None:
     The backend and backend_options columns keep archived rows
     attributable when runs of several strategies (or several tunings of
     one strategy -- lane widths, shard counts) are concatenated for
-    comparison.
+    comparison; oscillation_events is run-level (repeated per row) so
+    oscillation regressions are visible in concatenated archives.
     """
     writer = csv.writer(stream)
     writer.writerow(
@@ -60,6 +61,7 @@ def write_curve_csv(result: CurveResult, stream: TextIO) -> None:
             "seconds",
             "cumulative_detected",
             "live_after",
+            "oscillation_events",
         ]
     )
     options = format_backend_options(result.backend_options)
@@ -72,6 +74,7 @@ def write_curve_csv(result: CurveResult, stream: TextIO) -> None:
                 f"{result.seconds_per_pattern[index]:.6f}",
                 result.cumulative_detections[index],
                 result.live_after_pattern[index],
+                result.oscillation_events,
             ]
         )
 

@@ -47,9 +47,15 @@ costing bit-width.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from .network import Network, NTYPE, PTYPE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .compiled import CompiledNetwork
+
+#: Cached lane solves per simulator before the cache is cleared.
+_MAX_LANE_CACHE_ENTRIES = 100_000
 
 #: ``(p0, p1)`` bit values for a scalar state (0, 1, X).
 _STATE_BITS: tuple[tuple[int, int], ...] = ((1, 0), (0, 1), (1, 1))
@@ -77,9 +83,23 @@ class LaneSimulator:
         node_force_values: Mapping[int, tuple[int, int]] | None = None,
         t_force_on: Mapping[int, int] | None = None,
         t_force_off: Mapping[int, int] | None = None,
+        compiled: "CompiledNetwork | None" = None,
+        solve_cache: bool = True,
     ):
         net.require_finalized()
         self.net = net
+        #: Optional compile-once partition: rounds select dirty
+        #: components in O(1) instead of running the union-vicinity BFS,
+        #: and solves are memoized per component.  Cache keys are
+        #: lane-aware -- they include the lane mask shape (lane count
+        #: and active mask) alongside the member/boundary planes and the
+        #: component's conduction planes, and the cache is flushed on
+        #: :meth:`compact` because repacking reshapes every mask.
+        self.compiled = compiled
+        self.solve_cache_enabled = solve_cache
+        self._solve_memo: dict[tuple, list] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
         self.lane_count = lane_count
         self.full = (1 << lane_count) - 1
         #: Lanes still being simulated; dropped lanes freeze in place.
@@ -232,14 +252,91 @@ class LaneSimulator:
         seeds = [n for n, lanes in pending.items() if lanes & active]
         if not seeds:
             return
-        members, boundary, adj = self._explore(seeds)
-        changed = self._solve(members, boundary, adj)
+        if self.compiled is not None:
+            changed = self._compiled_round(seeds)
+        else:
+            members, boundary, adj = self._explore(seeds)
+            changed = self._solve(members, boundary, adj)
         p0, p1 = self.p0, self.p1
         for node, lanes, new_p0, new_p1 in changed:
             p0[node] = (p0[node] & ~lanes) | (new_p0 & lanes)
             p1[node] = (p1[node] & ~lanes) | (new_p1 & lanes)
         for node, _lanes, _p0, _p1 in changed:
             self._node_changed(node)
+
+    def _compiled_round(self, seeds: list[int]) -> list[tuple[int, int, int, int]]:
+        """One round over precompiled components instead of a union BFS.
+
+        Every seed's whole component is solved; per lane each component
+        slices into complete conducting subcomponents that are either
+        seeded or at fixpoint, so this is exact for the same reason the
+        union vicinity is (see the module docstring).
+        """
+        compiled = self.compiled
+        node_component = compiled.node_component
+        changed: list[tuple[int, int, int, int]] = []
+        for cid in sorted({node_component[n] for n in seeds}):
+            changed.extend(self._solve_component(compiled.components[cid]))
+        return changed
+
+    def _solve_component(self, comp) -> list[tuple[int, int, int, int]]:
+        """Memoized lane-parallel solve of one compiled component."""
+        p0, p1 = self.p0, self.p1
+        c_on, c_maybe = self.c_on, self.c_maybe
+        active = self.active
+        use_cache = self.solve_cache_enabled
+        if use_cache:
+            nodes = comp.members + comp.boundary
+            key = (
+                comp.cid,
+                self.lane_count,
+                active,
+                tuple(map(p0.__getitem__, nodes)),
+                tuple(map(p1.__getitem__, nodes)),
+                tuple(map(c_on.__getitem__, comp.edge_ts)),
+                tuple(map(c_maybe.__getitem__, comp.edge_ts)),
+            )
+            cached = self._solve_memo.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+        # Union adjacency over the compiled rows: every member row
+        # carries all its incident channel edges; edges into inputs are
+        # attached to the input (its only propagation direction),
+        # mirroring _explore's layout.
+        adj: dict[int, list[tuple[int, int, int]]] = {}
+        members = comp.members
+        edge_start = comp.edge_start
+        edge_t = comp.edge_t
+        edge_strength = comp.edge_strength
+        edge_dst = comp.edge_dst
+        edge_dst_input = comp.edge_dst_input
+        for si in range(len(members)):
+            lo = edge_start[si]
+            hi = edge_start[si + 1]
+            if lo == hi:
+                continue
+            n = members[si]
+            edges = []
+            for ei in range(lo, hi):
+                t = edge_t[ei]
+                if not (c_maybe[t] & active):
+                    continue
+                if edge_dst_input[ei]:
+                    adj.setdefault(edge_dst[ei], []).append(
+                        (t, edge_strength[ei], n)
+                    )
+                else:
+                    edges.append((t, edge_strength[ei], edge_dst[ei]))
+            if edges:
+                adj[n] = edges
+        changed = self._solve(list(comp.members), list(comp.boundary), adj)
+        if use_cache:
+            self.cache_misses += 1
+            if len(self._solve_memo) >= _MAX_LANE_CACHE_ENTRIES:
+                self._solve_memo.clear()
+            self._solve_memo[key] = changed
+        return changed
 
     def _explore(
         self, seeds: list[int]
@@ -616,3 +713,6 @@ class LaneSimulator:
         self.lane_count = len(keep)
         self.full = (1 << self.lane_count) - 1
         self.active = pack(self.active)
+        # Repacking reshapes every lane mask (including the force masks,
+        # which are not part of the cache key); drop the memoized solves.
+        self._solve_memo.clear()

@@ -1,0 +1,754 @@
+"""Compile-once network partitioning and the memoized solve cache.
+
+The dynamic-locality machinery (:mod:`repro.switchlevel.vicinity`)
+re-discovers the network's structure from scratch every round: a
+dict/set BFS per seed group, with one transistor-state lookup per
+incidence -- lookups that go through (possibly overlay) state views and
+dominate the fault simulator's profile.  MOSSIM II instead partitions
+the network into *channel-connected components* exactly once; this
+module is that compile pass, plus the caches it enables:
+
+1. **Partition** -- storage nodes are grouped into static
+   channel-connected components (transistor channels only; input nodes
+   are cut points and never belong to a component).  The partition is
+   the coarsest region a vicinity can ever grow to, and the unit all
+   compiled indexes and caches hang off.
+
+2. **Lowering** -- each component becomes flat parallel arrays: the
+   sorted member list with sizes, the adjacent input ``boundary``, and
+   a CSR-style channel adjacency ``(edge_t, edge_strength, edge_dst)``
+   laid out per member, with each edge also carrying its position in
+   the component's transistor list (the conduction-mask bit) and an
+   is-input flag for its target.
+
+3. **Indexes** -- ``node_component`` maps a storage node to its
+   component id (seeds map to dirty components in O(1)),
+   ``gate_fanout`` maps a node to the components containing channels of
+   the transistors it gates (the components a node state change can
+   dirty), and ``t_component`` locates a transistor's channel.
+
+4. **Conduction masks** -- a component's channel conduction is packed
+   into one integer bit per transistor, derived from the *gate node
+   states* (``ts_kind`` / ``ts_gpos`` tables) rather than read through
+   transistor-state views, and memoized per packed gate states.  The
+   mask deliberately merges definite (1) and unknown (X) conduction:
+   the X-rich configurations of faulty circuits share structure with
+   the good circuit's.
+
+5. **Regions and the solve cache** -- a round's seeds are expanded to
+   their conducting *regions* (exactly the dynamic vicinities) by a
+   BFS over the flat arrays filtered by the mask -- no state-view
+   reads.  Regions are memoized per ``(mask, forcing, member)``, and
+   each region memoizes its steady-state responses keyed by the packed
+   member / local-gate / input states, so a solve is shared across
+   rounds, patterns and faulty circuits -- faulty circuits differ from
+   the good circuit on only a few components, which is what makes the
+   hit rate high.
+
+Per-circuit *forced nodes* (node faults acting as pseudo-inputs) are
+not known at compile time, so they are handled at region-build time: a
+forced member becomes boundary (omega drive, never recomputed) and the
+forced signature is part of the region key.  Per-circuit *forced
+transistors* override the gate-derived conduction and are part of the
+mask derivation.
+
+:func:`compile_network` memoizes per :class:`~repro.switchlevel.
+network.Network` instance (weakly, so instrumented fault-simulation
+networks drop their compiled form with them), which is also what makes
+the caches *shared by every backend* running on the same network.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Mapping, Sequence
+
+from ..errors import NetworkNotFinalizedError
+from .network import TRANS_TABLE, Network
+from .steady_state import solve_vicinity
+from .vicinity import NO_FORCED
+
+__all__ = [
+    "CompiledComponent",
+    "CompiledNetwork",
+    "Region",
+    "cache_stats",
+    "compile_network",
+]
+
+#: Component id recorded for input nodes (they belong to no component).
+NO_COMPONENT = -1
+
+#: Total cached entries (regions + solves + masks) across a network
+#: before the caches are cleared wholesale (a blunt but O(1) eviction
+#: policy; real workloads sit far below this).
+MAX_CACHE_ENTRIES = 1_000_000
+
+
+class CompiledComponent:
+    """One channel-connected component, lowered to flat arrays.
+
+    The CSR rows cover the members in ``members`` order; row ``i`` owns
+    the half-open edge range ``edge_start[i]:edge_start[i + 1]`` of the
+    flat edge arrays.  Every incident channel edge appears in its
+    member's row (member<->member edges therefore appear twice, once
+    per endpoint; member<->input edges once, flagged by
+    ``edge_dst_input``).
+    """
+
+    __slots__ = (
+        "cid",
+        "members",
+        "member_set",
+        "member_pos",
+        "member_sizes",
+        "boundary",
+        "boundary_pos",
+        "edge_start",
+        "edge_t",
+        "edge_ti",
+        "edge_strength",
+        "edge_dst",
+        "edge_dst_input",
+        "edge_ts",
+        "edge_ts_set",
+        "edge_gates",
+        "edge_gate_pos",
+        "edge_gate_set",
+        "ts_kind",
+        "ts_gpos",
+        "ts_index",
+    )
+
+    def __init__(
+        self,
+        cid: int,
+        net: Network,
+        members: tuple[int, ...],
+        boundary: tuple[int, ...],
+        rows: list[list[tuple[int, int, int]]],
+    ):
+        self.cid = cid
+        self.members = members
+        self.member_set = frozenset(members)
+        self.member_pos = {n: i for i, n in enumerate(members)}
+        self.member_sizes = tuple(net.node_size[n] for n in members)
+        self.boundary = boundary
+        self.boundary_pos = {n: i for i, n in enumerate(boundary)}
+
+        node_is_input = net.node_is_input
+        starts = [0]
+        edge_t: list[int] = []
+        edge_strength: list[int] = []
+        edge_dst: list[int] = []
+        edge_dst_input: list[bool] = []
+        for row in rows:
+            for t, strength, dst in row:
+                edge_t.append(t)
+                edge_strength.append(strength)
+                edge_dst.append(dst)
+                edge_dst_input.append(node_is_input[dst])
+            starts.append(len(edge_t))
+        self.edge_start = tuple(starts)
+        self.edge_t = tuple(edge_t)
+        self.edge_strength = tuple(edge_strength)
+        self.edge_dst = tuple(edge_dst)
+        self.edge_dst_input = tuple(edge_dst_input)
+
+        self.edge_ts = tuple(sorted(set(edge_t)))
+        self.edge_ts_set = frozenset(self.edge_ts)
+        ts_index = {t: i for i, t in enumerate(self.edge_ts)}
+        self.ts_index = ts_index
+        #: CSR edge -> index into ``edge_ts`` (its conduction-mask bit).
+        self.edge_ti = tuple(ts_index[t] for t in edge_t)
+
+        # The channel transistor states are a function of their gate
+        # node states (plus per-circuit forced transistors), so
+        # conduction is derived from the -- typically fewer, and
+        # plain-list -- gate nodes instead of going through (possibly
+        # overlay) transistor-state views.
+        t_gate = net.t_gate
+        t_kind = net.t_kind
+        self.edge_gates = tuple(sorted({t_gate[t] for t in self.edge_ts}))
+        self.edge_gate_pos = {g: i for i, g in enumerate(self.edge_gates)}
+        self.edge_gate_set = frozenset(self.edge_gates)
+        #: Aligned with ``edge_ts``: Table 1 row and gate position.
+        self.ts_kind = tuple(t_kind[t] for t in self.edge_ts)
+        self.ts_gpos = tuple(
+            self.edge_gate_pos[t_gate[t]] for t in self.edge_ts
+        )
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def structure(self) -> tuple:
+        """Plain-data view of the lowering (determinism tests compare it)."""
+        return (
+            self.members,
+            self.member_sizes,
+            self.boundary,
+            self.edge_start,
+            self.edge_t,
+            self.edge_strength,
+            self.edge_dst,
+        )
+
+
+class Region:
+    """One conducting region: the dynamic vicinity of its seeds.
+
+    Discovered by a mask-filtered BFS over the compiled arrays and
+    memoized per ``(mask, forcing, member)``: the members reachable
+    from each other through conducting channels, the adjacent boundary
+    nodes (true inputs in ``inputs``; forced pseudo-inputs complete
+    ``boundary``), and the conducting adjacency restricted to edges
+    into this region.  Adjacency edges carry ``(edge_ts index,
+    strength, dst)`` -- *which* transistor, not its current state,
+    since the mask merges definite and unknown conduction; states are
+    filled in from the packed gate bytes when a solve actually runs.
+
+    ``solves`` memoizes steady-state responses by the packed member /
+    local-gate / input states -- shared across every configuration with
+    this conduction, so a state change elsewhere in the component never
+    forces a re-solve here.
+    """
+
+    __slots__ = (
+        "members",
+        "boundary",
+        "adjacency",
+        "key_nodes",
+        "key_pos",
+        "state_override",
+        "solves",
+    )
+
+    def __init__(
+        self,
+        comp: "CompiledComponent",
+        members: tuple[int, ...],
+        inputs: tuple[int, ...],
+        forced_boundary: tuple[int, ...],
+        adjacency: dict[int, list[tuple[int, int, int]]],
+        ts_seen: set[int],
+        state_override: dict[int, int],
+    ):
+        self.members = members
+        self.boundary = inputs + forced_boundary
+        self.adjacency = adjacency
+        # Everything the steady state depends on, as one node tuple
+        # read in a single packed-states call: the members (charge),
+        # the gates of the region's conducting channels (1-vs-X edge
+        # values) and the adjacent true inputs (drive).  Forced
+        # pseudo-input values are pinned by the region key itself.
+        edge_gates = comp.edge_gates
+        ts_gpos = comp.ts_gpos
+        member_set = frozenset(members)
+        gates = sorted(
+            {edge_gates[ts_gpos[ti]] for ti in ts_seen} - member_set
+            - frozenset(inputs)
+        )
+        self.key_nodes = members + tuple(gates) + inputs
+        self.key_pos = {n: i for i, n in enumerate(self.key_nodes)}
+        self.state_override = state_override
+        self.solves: dict[bytes, tuple[tuple[int, int], ...]] = {}
+
+
+class CompiledNetwork:
+    """The compile pass's output: partition, indexes and solve caches."""
+
+    __slots__ = (
+        "__weakref__",
+        "net",
+        "components",
+        "node_component",
+        "t_component",
+        "gate_fanout",
+        "_masks",
+        "_mask_ids",
+        "_regions",
+        "_entries",
+        "hits",
+        "misses",
+        "evictions",
+    )
+
+    def __init__(self, net: Network):
+        net.require_finalized()
+        self.net = net
+        self._partition(net)
+        #: Per component: (packed gate states, forced-transistor sig)
+        #: -> (conduction mask, interned mask id).  The small id stands
+        #: in for the (arbitrarily wide) mask in region keys.
+        self._masks: tuple[dict, ...] = tuple({} for _ in self.components)
+        #: Per component: mask -> interned id.
+        self._mask_ids: tuple[dict, ...] = tuple(
+            {} for _ in self.components
+        )
+        #: Per component: (mask id, forced sigs, member) -> Region.
+        self._regions: tuple[dict, ...] = tuple(
+            {} for _ in self.components
+        )
+        self._entries = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # the compile pass proper
+    # ------------------------------------------------------------------
+    def _partition(self, net: Network) -> None:
+        n_nodes = net.n_nodes
+        node_is_input = net.node_is_input
+        node_channels = net.node_channels
+        t_strength = net.t_strength
+
+        node_component = [NO_COMPONENT] * n_nodes
+        components: list[CompiledComponent] = []
+        for start in range(n_nodes):
+            if node_is_input[start] or node_component[start] != NO_COMPONENT:
+                continue
+            cid = len(components)
+            # Flood the channel graph from this storage node; inputs cut.
+            stack = [start]
+            node_component[start] = cid
+            reached = [start]
+            boundary: set[int] = set()
+            while stack:
+                n = stack.pop()
+                for t, m in node_channels[n]:
+                    if node_is_input[m]:
+                        boundary.add(m)
+                    elif node_component[m] == NO_COMPONENT:
+                        node_component[m] = cid
+                        reached.append(m)
+                        stack.append(m)
+            members = tuple(sorted(reached))
+            rows = [
+                [(t, t_strength[t], m) for t, m in node_channels[n]]
+                for n in members
+            ]
+            components.append(
+                CompiledComponent(
+                    cid, net, members, tuple(sorted(boundary)), rows
+                )
+            )
+        self.components = tuple(components)
+        self.node_component = node_component
+
+        # Transistor -> component of its channel (NO_COMPONENT when both
+        # terminals are inputs; storage terminals always share a
+        # component, by construction).
+        t_component = []
+        for t in range(net.n_transistors):
+            cid = node_component[net.t_source[t]]
+            if cid == NO_COMPONENT:
+                cid = node_component[net.t_drain[t]]
+            t_component.append(cid)
+        self.t_component = t_component
+
+        # gate fanout: the components a node state change can dirty
+        # through the transistors it gates.
+        gate_fanout: list[tuple[int, ...]] = []
+        for g in range(n_nodes):
+            dirty: set[int] = set()
+            for t in net.node_gates[g]:
+                cid = t_component[t]
+                if cid != NO_COMPONENT:
+                    dirty.add(cid)
+            gate_fanout.append(tuple(sorted(dirty)))
+        self.gate_fanout = gate_fanout
+
+    # ------------------------------------------------------------------
+    # the memoized per-region solve
+    # ------------------------------------------------------------------
+    def solve_seeded(
+        self,
+        comp: CompiledComponent,
+        states,
+        tstates,
+        seeds: Sequence[int],
+        forced: Mapping[int, int] = NO_FORCED,
+        forced_transistors: Mapping[int, int] | None = None,
+        *,
+        use_cache: bool = True,
+        sig_cache: dict | None = None,
+    ) -> list[
+        tuple[tuple[int, ...], tuple[int, ...], tuple[tuple[int, int], ...], list[int]]
+    ]:
+        """Steady state of the seeded conducting regions of one component.
+
+        Returns one ``(members, boundary, changes, seeds)`` entry per
+        region containing a seed -- the same regions (and the same
+        results) dynamic exploration hands out.  ``states`` is any
+        indexable view (a plain list or a concurrent overlay); nothing
+        is modified.  ``tstates`` is unused when the cache is on
+        (conduction derives from gate states) and kept for symmetry.
+        ``forced_transistors`` must name the circuit's transistor
+        forcing, which overrides the gate-derived conduction.
+        ``sig_cache``, when given, memoizes the component-local forced
+        signatures per component id -- valid exactly as long as the
+        caller's forcing maps are immutable (one circuit's lifetime).
+        Returned tuples are shared with the cache -- callers must treat
+        them as immutable.
+        """
+        sigs = None if sig_cache is None else sig_cache.get(comp.cid)
+        if sigs is None:
+            if forced:
+                forced_sig = tuple(
+                    sorted(
+                        (n, forced[n])
+                        for n in forced
+                        if n in comp.member_set
+                    )
+                )
+            else:
+                forced_sig = ()
+            if forced_transistors:
+                edge_ts_set = comp.edge_ts_set
+                forced_t_sig = tuple(
+                    sorted(
+                        (t, state)
+                        for t, state in forced_transistors.items()
+                        if t in edge_ts_set
+                    )
+                )
+            else:
+                forced_t_sig = ()
+            if sig_cache is not None:
+                sig_cache[comp.cid] = (forced_sig, forced_t_sig)
+        else:
+            forced_sig, forced_t_sig = sigs
+
+        key_fn = getattr(states, "key_bytes", None)
+        getter = states.__getitem__
+        if key_fn is None:
+            gate_key = bytes(map(getter, comp.edge_gates))
+        else:
+            gate_key = key_fn(comp.edge_gates, comp.edge_gate_pos)
+
+        cid = comp.cid
+        mask_id = -1
+        if use_cache:
+            # Evict only here, before any lookups or id interning: a
+            # mid-call eviction would let an already-resolved mask id
+            # be re-inserted into the freshly cleared memos and later
+            # collide with a different mask's id.
+            self._evict_if_full()
+            masks = self._masks[cid]
+            mask_key = (gate_key, forced_t_sig)
+            entry = masks.get(mask_key)
+            if entry is None:
+                mask = self._conduction_mask(comp, gate_key, forced_t_sig)
+                mask_ids = self._mask_ids[cid]
+                mask_id = mask_ids.setdefault(mask, len(mask_ids))
+                masks[mask_key] = (mask, mask_id)
+                self._entries += 1
+            else:
+                mask, mask_id = entry
+        else:
+            mask = self._conduction_mask(comp, gate_key, forced_t_sig)
+
+        regions = self._regions[cid]
+        ordered: list[Region] = []
+        region_seeds: dict[int, list[int]] = {}
+        local: dict[int, Region] = {}
+        for seed in sorted(seeds):
+            region = local.get(seed)
+            if region is None:
+                region_key = (mask_id, forced_sig, forced_t_sig, seed)
+                region = regions.get(region_key) if use_cache else None
+                if region is None:
+                    region = self._explore_region(
+                        comp, mask, forced, forced_t_sig, seed
+                    )
+                    if use_cache:
+                        for member in region.members:
+                            regions[
+                                (mask_id, forced_sig, forced_t_sig, member)
+                            ] = region
+                        self._entries += len(region.members)
+                for member in region.members:
+                    local[member] = region
+            key = id(region)
+            group = region_seeds.get(key)
+            if group is None:
+                ordered.append(region)
+                region_seeds[key] = [seed]
+            else:
+                group.append(seed)
+
+        results = []
+        for region in ordered:
+            if use_cache:
+                if key_fn is None:
+                    solve_key = bytes(map(getter, region.key_nodes))
+                else:
+                    solve_key = key_fn(region.key_nodes, region.key_pos)
+                changes = region.solves.get(solve_key)
+                if changes is None:
+                    self.misses += 1
+                    changes = tuple(
+                        solve_vicinity(
+                            self.net,
+                            states,
+                            region.members,
+                            region.boundary,
+                            self._materialize(comp, region, gate_key),
+                            forced,
+                        )
+                    )
+                    region.solves[solve_key] = changes
+                    self._entries += 1
+                else:
+                    self.hits += 1
+            else:
+                changes = tuple(
+                    solve_vicinity(
+                        self.net,
+                        states,
+                        region.members,
+                        region.boundary,
+                        self._materialize(comp, region, gate_key),
+                        forced,
+                    )
+                )
+            results.append(
+                (
+                    region.members,
+                    region.boundary,
+                    changes,
+                    region_seeds[id(region)],
+                )
+            )
+        return results
+
+    def _conduction_mask(
+        self,
+        comp: CompiledComponent,
+        gate_key: bytes,
+        forced_t_sig: tuple,
+    ) -> int:
+        """One bit per channel transistor: conducting (1 or X) or off.
+
+        Deliberately coarser than the gate states themselves: definite
+        and unknown conduction merge, so the X-rich configurations of
+        faulty circuits share regions with the good circuit's.
+        """
+        mask = 0
+        bit = 1
+        ts_gpos = comp.ts_gpos
+        for index, kind in enumerate(comp.ts_kind):
+            if TRANS_TABLE[kind][gate_key[ts_gpos[index]]]:
+                mask |= bit
+            bit <<= 1
+        for t, state in forced_t_sig:
+            bit = 1 << comp.ts_index[t]
+            if state:
+                mask |= bit
+            else:
+                mask &= ~bit
+        return mask
+
+    def _explore_region(
+        self,
+        comp: CompiledComponent,
+        mask: int,
+        forced: Mapping[int, int],
+        forced_t_sig: tuple,
+        seed: int,
+    ) -> Region:
+        """Mask-filtered BFS from ``seed`` over the compiled arrays.
+
+        The flat-array walk replaces :func:`~repro.switchlevel.
+        vicinity.explore`'s per-incidence transistor-state view reads
+        with integer mask tests; the result is the same region.
+        """
+        member_pos = comp.member_pos
+        edge_start = comp.edge_start
+        edge_ti = comp.edge_ti
+        edge_strength = comp.edge_strength
+        edge_dst = comp.edge_dst
+        edge_dst_input = comp.edge_dst_input
+        check_forced = bool(forced)
+
+        members: list[int] = []
+        inputs: list[int] = []
+        forced_boundary: list[int] = []
+        adjacency: dict[int, list[tuple[int, int, int]]] = {}
+        ts_seen: set[int] = set()
+        seen = {seed}
+        stack = [seed]
+        while stack:
+            n = stack.pop()
+            members.append(n)
+            row = member_pos[n]
+            row_edges = []
+            for ei in range(edge_start[row], edge_start[row + 1]):
+                ti = edge_ti[ei]
+                if not (mask >> ti) & 1:
+                    continue
+                ts_seen.add(ti)
+                dst = edge_dst[ei]
+                if edge_dst_input[ei]:
+                    # Attach to the input: its only propagation direction.
+                    adjacency.setdefault(dst, []).append(
+                        (ti, edge_strength[ei], n)
+                    )
+                    if dst not in seen:
+                        seen.add(dst)
+                        inputs.append(dst)
+                elif check_forced and dst in forced:
+                    adjacency.setdefault(dst, []).append(
+                        (ti, edge_strength[ei], n)
+                    )
+                    if dst not in seen:
+                        seen.add(dst)
+                        forced_boundary.append(dst)
+                else:
+                    row_edges.append((ti, edge_strength[ei], dst))
+                    if dst not in seen:
+                        seen.add(dst)
+                        stack.append(dst)
+            if row_edges:
+                adjacency[n] = row_edges
+        members.sort()
+        inputs.sort()
+        forced_boundary.sort()
+        ts_index = comp.ts_index
+        return Region(
+            comp,
+            tuple(members),
+            tuple(inputs),
+            tuple(forced_boundary),
+            adjacency,
+            ts_seen,
+            {
+                ts_index[t]: state
+                for t, state in forced_t_sig
+                if ts_index[t] in ts_seen
+            },
+        )
+
+    def _materialize(
+        self,
+        comp: CompiledComponent,
+        region: Region,
+        gate_key: bytes,
+    ) -> dict[int, list[tuple[int, int, int]]]:
+        """Value the region's adjacency for the solver.
+
+        The stored edges carry ``edge_ts`` indexes; the solver needs
+        transistor *states* (1 vs X matters to it even though the mask
+        does not distinguish them), derived here from the packed gate
+        states and the region's forcing overrides.
+        """
+        override = region.state_override
+        ts_kind = comp.ts_kind
+        ts_gpos = comp.ts_gpos
+        valued: dict[int, list[tuple[int, int, int]]] = {}
+        if override:
+            for node, edges in region.adjacency.items():
+                valued[node] = [
+                    (
+                        override[ti]
+                        if ti in override
+                        else TRANS_TABLE[ts_kind[ti]][gate_key[ts_gpos[ti]]],
+                        strength,
+                        dst,
+                    )
+                    for ti, strength, dst in edges
+                ]
+        else:
+            for node, edges in region.adjacency.items():
+                valued[node] = [
+                    (
+                        TRANS_TABLE[ts_kind[ti]][gate_key[ts_gpos[ti]]],
+                        strength,
+                        dst,
+                    )
+                    for ti, strength, dst in edges
+                ]
+        return valued
+
+    def _evict_if_full(self) -> None:
+        """Blunt O(1)-amortized eviction: clear everything at the cap."""
+        if self._entries >= MAX_CACHE_ENTRIES:
+            # Mask ids must go with the region keys built from them.
+            for memo in self._masks:
+                memo.clear()
+            for memo in self._mask_ids:
+                memo.clear()
+            for memo in self._regions:
+                memo.clear()
+            self._entries = 0
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # dirty-component mapping and reporting
+    # ------------------------------------------------------------------
+    def components_for_seeds(
+        self, seeds: Sequence[int]
+    ) -> dict[int, list[int]]:
+        """Group storage seeds by component id (O(1) per seed)."""
+        grouped: dict[int, list[int]] = {}
+        node_component = self.node_component
+        for seed in seeds:
+            grouped.setdefault(node_component[seed], []).append(seed)
+        return grouped
+
+    def component_size_histogram(self) -> dict[int, int]:
+        """``{member count: number of components}`` (benchmark fodder)."""
+        histogram: dict[int, int] = {}
+        for comp in self.components:
+            histogram[comp.size] = histogram.get(comp.size, 0) + 1
+        return histogram
+
+    def stats(self) -> dict:
+        """Cache counters, for run reports and benchmarks."""
+        lookups = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+            "entries": self._entries,
+            "evictions": self.evictions,
+            "components": len(self.components),
+        }
+
+
+#: One compiled form per live Network instance (weak: instrumented
+#: fault-simulation networks drop their compiled form with them).
+_COMPILED: "weakref.WeakKeyDictionary[Network, CompiledNetwork]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compile_network(net: Network) -> CompiledNetwork:
+    """The compiled form of ``net`` (memoized per instance).
+
+    Raises :class:`~repro.errors.NetworkNotFinalizedError` when ``net``
+    has not been finalized: the partition indexes the frozen topology.
+    """
+    if not net.finalized:
+        raise NetworkNotFinalizedError(
+            "network must be finalized before it can be compiled"
+        )
+    compiled = _COMPILED.get(net)
+    if compiled is None:
+        compiled = CompiledNetwork(net)
+        _COMPILED[net] = compiled
+    return compiled
+
+
+def cache_stats(net: Network) -> dict | None:
+    """Solve-cache counters of ``net``'s compiled form, if it exists.
+
+    Does *not* compile: returns ``None`` when nothing has compiled the
+    network yet (callers use this to snapshot per-run deltas).
+    """
+    compiled = _COMPILED.get(net)
+    if compiled is None:
+        return None
+    return compiled.stats()

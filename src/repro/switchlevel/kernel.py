@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Protocol, Sequence
 
 from ..errors import OscillationError, SimulationError
+from .compiled import compile_network
 from .logic import X
 from .network import Network
 from .steady_state import solve_vicinity
@@ -57,7 +58,12 @@ DEFAULT_MAX_ROUNDS = 200
 #: before giving up on stability.
 DEFAULT_X_ATTEMPTS = 3
 
-LOCALITIES = ("dynamic", "static")
+#: ``dynamic`` explores vicinities per round (the paper's algorithm);
+#: ``static`` explores DC-connected components per round (the
+#: pre-MOSSIM-II ablation); ``compiled`` selects precompiled
+#: channel-connected components in O(1) and memoizes their solves
+#: (see :mod:`repro.switchlevel.compiled`).
+LOCALITIES = ("dynamic", "static", "compiled")
 OSCILLATION_POLICIES = ("x", "raise")
 
 
@@ -129,6 +135,9 @@ def solve_round(
     locality: str = "dynamic",
     batch: bool = False,
     stats: SettleStats | None = None,
+    solve_cache: bool = True,
+    forced_transistors: Mapping[int, int] | None = None,
+    sig_cache: dict | None = None,
 ) -> list[VicinitySolution]:
     """One synchronous round: solve every perturbed vicinity.
 
@@ -141,7 +150,38 @@ def solve_round(
     its per-circuit work; the per-seed mode additionally reports which
     seeds fell in which vicinity, which the good-circuit trigger scan
     needs.
+
+    The ``compiled`` locality replaces exploration entirely: seeds map
+    to precompiled components in O(1) and each dirty component's solve
+    is memoized (``solve_cache``).  One solution is emitted per seeded
+    *conducting subcomponent* -- the same granularity dynamic
+    exploration produces -- in both batch and per-seed modes, so every
+    caller gets what it needs from the one code path.
     """
+    if locality == "compiled":
+        compiled = compile_network(net)
+        grouped = compiled.components_for_seeds(seeds)
+        solutions = []
+        for cid in sorted(grouped):
+            solved = compiled.solve_seeded(
+                compiled.components[cid],
+                states,
+                tstates,
+                grouped[cid],
+                forced,
+                forced_transistors,
+                use_cache=solve_cache,
+                sig_cache=sig_cache,
+            )
+            for members, boundary, changes, sub_seeds in solved:
+                if stats is not None:
+                    stats.vicinities += 1
+                    stats.nodes_computed += len(members)
+                solutions.append(
+                    VicinitySolution(members, boundary, changes, sub_seeds)
+                )
+        return solutions
+
     if batch:
         seed_list = list(seeds)
         members, boundary, adjacency = explore(net, tstates, seed_list, forced)
@@ -215,7 +255,14 @@ def force_x_solutions(
 class SettleKernel:
     """Round loop and oscillation policy over an abstract circuit."""
 
-    __slots__ = ("net", "locality", "max_rounds", "on_oscillation", "x_attempts")
+    __slots__ = (
+        "net",
+        "locality",
+        "max_rounds",
+        "on_oscillation",
+        "solve_cache",
+        "x_attempts",
+    )
 
     def __init__(
         self,
@@ -225,6 +272,7 @@ class SettleKernel:
         max_rounds: int = DEFAULT_MAX_ROUNDS,
         on_oscillation: str = "x",
         x_attempts: int = DEFAULT_X_ATTEMPTS,
+        solve_cache: bool = True,
     ):
         if locality not in LOCALITIES:
             raise SimulationError(f"unknown locality mode: {locality!r}")
@@ -237,6 +285,11 @@ class SettleKernel:
         self.max_rounds = max_rounds
         self.on_oscillation = on_oscillation
         self.x_attempts = x_attempts
+        self.solve_cache = solve_cache
+        if locality == "compiled":
+            # Compile eagerly: configuration errors (unfinalized nets)
+            # surface at construction, not mid-settle.
+            compile_network(net)
 
     # --- single rounds ----------------------------------------------------
     def step(
@@ -259,6 +312,9 @@ class SettleKernel:
             locality=self.locality,
             batch=batch,
             stats=stats,
+            solve_cache=self.solve_cache,
+            forced_transistors=getattr(circuit, "forced_transistors", None),
+            sig_cache=getattr(circuit, "compiled_sig_cache", None),
         )
         circuit.apply_round(solutions, stats)
 

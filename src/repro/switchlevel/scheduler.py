@@ -20,8 +20,11 @@ The engine also supports per-circuit overrides used for fault simulation:
   gate (stuck-open/stuck-closed faults and inserted short/open fault
   transistors).
 
-``locality`` selects dynamic vicinities (the paper's algorithm) or static
-DC-connected components (the pre-MOSSIM-II baseline, kept as an ablation).
+``locality`` selects dynamic vicinities (the paper's algorithm), static
+DC-connected components (the pre-MOSSIM-II baseline, kept as an ablation)
+or ``compiled`` -- precompiled channel-connected components with a
+memoized solve cache (see :mod:`repro.switchlevel.compiled`), toggled by
+``solve_cache``.
 """
 
 from __future__ import annotations
@@ -59,6 +62,7 @@ class Engine:
         locality: str = "dynamic",
         max_rounds: int = DEFAULT_MAX_ROUNDS,
         on_oscillation: str = "x",
+        solve_cache: bool = True,
     ):
         net.require_finalized()
         self.kernel = SettleKernel(
@@ -66,13 +70,19 @@ class Engine:
             locality=locality,
             max_rounds=max_rounds,
             on_oscillation=on_oscillation,
+            solve_cache=solve_cache,
         )
         self.net = net
         self.locality = locality
+        self.solve_cache = solve_cache
         self.max_rounds = max_rounds
         self.on_oscillation = on_oscillation
         self.forced_nodes: dict[int, int] = dict(forced_nodes or {})
         self.forced_transistors: dict[int, int] = dict(forced_transistors or {})
+        #: Per-component forced-signature memo for the compiled
+        #: locality; valid for this engine's lifetime (its forcing maps
+        #: never change after construction).
+        self.compiled_sig_cache: dict[int, tuple] = {}
         self.oscillation_events = 0
 
         self.states: list[int] = net.initial_node_states()

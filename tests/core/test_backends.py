@@ -68,15 +68,17 @@ class TestRegistry:
         assert isinstance(backend, BatchBackend)
         assert backend.lane_width == 7
 
-    def test_get_backend_rejects_options_for_optionless_backend(self):
+    def test_get_backend_rejects_unsupported_options(self):
         # Regression: this used to leak a raw TypeError
-        # ("SerialBackend() takes no arguments") through the CLI.
+        # ("SerialBackend() got an unexpected keyword argument") through
+        # the CLI.  The error names the backend, the offending option
+        # and the options it does accept.
         with pytest.raises(SimulationError) as excinfo:
             get_backend("serial", lane_width=8)
         message = str(excinfo.value)
         assert "serial" in message
         assert "lane_width" in message
-        assert "accepts no options" in message
+        assert "accepts: locality" in message
 
     def test_get_backend_rejects_unknown_option_names_accepted_ones(self):
         with pytest.raises(SimulationError) as excinfo:
@@ -194,6 +196,79 @@ class TestThreeWayParity:
         baseline = first_detections(reports["serial"], len(faults))
         for name in ("concurrent", "batch"):
             assert first_detections(reports[name], len(faults)) == baseline
+
+    @PROP_SETTINGS
+    @given(fault_sim_case())
+    def test_detections_match_across_localities(self, case):
+        # compiled == static == dynamic through the whole backend stack,
+        # including fault overlays (forced nodes/transistors, inserted
+        # wire-fault devices).
+        net, faults, observed, patterns = case
+        policy = SimPolicy(max_rounds=60)
+        baseline = first_detections(
+            run_backend("serial", net, faults, observed, patterns, policy),
+            len(faults),
+        )
+        for backend in ("serial", "concurrent", "batch"):
+            report = run_backend(
+                backend, net, faults, observed, patterns, policy,
+                locality="compiled",
+            )
+            assert first_detections(report, len(faults)) == baseline, backend
+        report = run_backend(
+            "serial", net, faults, observed, patterns, policy,
+            locality="static",
+        )
+        assert first_detections(report, len(faults)) == baseline
+
+    def test_ram_parity_compiled_locality(self, ram_case):
+        net, faults, observed, patterns = ram_case
+        baseline = first_detections(
+            run_backend("serial", net, faults, observed, patterns),
+            len(faults),
+        )
+        for backend in ("serial", "concurrent", "batch"):
+            report = run_backend(
+                backend, net, faults, observed, patterns,
+                locality="compiled",
+            )
+            assert first_detections(report, len(faults)) == baseline, backend
+            assert report.solve_cache is not None
+            assert report.solve_cache["hits"] > 0
+
+    def test_compiled_without_cache_matches(self, ram_case):
+        net, faults, observed, patterns = ram_case
+        baseline = first_detections(
+            run_backend("serial", net, faults, observed, patterns),
+            len(faults),
+        )
+        report = run_backend(
+            "concurrent", net, faults, observed, patterns,
+            locality="compiled", solve_cache=False,
+        )
+        assert first_detections(report, len(faults)) == baseline
+        assert report.solve_cache is not None
+        assert report.solve_cache["hits"] == 0
+
+    def test_sharded_forwards_locality_to_inner(self, ram_case):
+        net, faults, observed, patterns = ram_case
+        baseline = first_detections(
+            run_backend("serial", net, faults, observed, patterns),
+            len(faults),
+        )
+        report = run_backend(
+            "sharded", net, faults, observed, patterns,
+            jobs=2, inner_backend="concurrent", locality="compiled",
+        )
+        assert first_detections(report, len(faults)) == baseline
+        assert report.solve_cache is not None
+
+    def test_unknown_locality_rejected_by_registry(self):
+        for backend in ("serial", "concurrent", "batch"):
+            with pytest.raises(SimulationError, match="locality"):
+                get_backend(backend, locality="quantum")
+        with pytest.raises(SimulationError, match="locality"):
+            get_backend("sharded", inner_backend="serial", locality="quantum")
 
 
 class TestBatchMechanics:

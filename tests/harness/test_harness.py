@@ -144,10 +144,22 @@ class TestResults:
         lines = stream.getvalue().strip().splitlines()
         assert lines[0] == (
             "backend,backend_options,pattern,seconds,"
-            "cumulative_detected,live_after"
+            "cumulative_detected,live_after,oscillation_events"
         )
         assert len(lines) == tiny_fig1.n_patterns + 1
         assert all(line.startswith("concurrent,") for line in lines[1:])
+
+    def test_oscillation_events_archived(self, tiny_fig1):
+        # Regression: RunReport.oscillation_events used to be dropped on
+        # the floor by the archiver (neither JSON nor CSV carried it).
+        data = result_to_dict(tiny_fig1)
+        assert "oscillation_events" in data
+        assert isinstance(data["oscillation_events"], int)
+        stream = io.StringIO()
+        write_curve_csv(tiny_fig1, stream)
+        rows = stream.getvalue().strip().splitlines()[1:]
+        expected = str(tiny_fig1.oscillation_events)
+        assert all(row.split(",")[-1] == expected for row in rows)
 
     def test_result_to_dict_records_backend(self, tiny_fig1):
         data = result_to_dict(tiny_fig1)

@@ -141,6 +141,63 @@ class TestFaultsim:
         assert "2/2" in out
         assert "batch backend" in out
 
+    def test_locality_round_trip(self, netlist_path, tmp_path, capsys):
+        patterns = tmp_path / "pats.txt"
+        patterns.write_text("a=0\n\na=1\n")
+        for locality in ("dynamic", "static", "compiled"):
+            code = main(
+                ["faultsim", netlist_path, "--observe", "out",
+                 "--patterns", str(patterns), "--locality", locality]
+            )
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "2/2" in out, locality
+
+    def test_compiled_locality_reports_cache(self, netlist_path, tmp_path, capsys):
+        patterns = tmp_path / "pats.txt"
+        patterns.write_text("a=0\n\na=1\n")
+        code = main(
+            ["faultsim", netlist_path, "--observe", "out",
+             "--patterns", str(patterns), "--locality", "compiled"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "solve cache:" in out
+
+    def test_no_solve_cache_flag(self, netlist_path, tmp_path, capsys):
+        patterns = tmp_path / "pats.txt"
+        patterns.write_text("a=0\n\na=1\n")
+        code = main(
+            ["faultsim", netlist_path, "--observe", "out",
+             "--patterns", str(patterns), "--locality", "compiled",
+             "--no-solve-cache"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 hits" in out
+
+    def test_profile_prints_to_stderr(self, netlist_path, tmp_path, capsys):
+        patterns = tmp_path / "pats.txt"
+        patterns.write_text("a=0\n\na=1\n")
+        code = main(
+            ["faultsim", netlist_path, "--observe", "out",
+             "--patterns", str(patterns), "--profile", "5"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "2/2" in captured.out  # the normal report is intact
+        assert "cumulative" in captured.err
+        assert "function calls" in captured.err
+
+    def test_simulate_locality_flag(self, netlist_path, capsys):
+        code = main(
+            ["simulate", netlist_path, "--set", "a=0", "--show", "out",
+             "--locality", "compiled"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "after a=0: out=1" in out
+
     def test_sharded_jobs_round_trip(self, netlist_path, tmp_path, capsys):
         patterns = tmp_path / "pats.txt"
         patterns.write_text("a=0\n\na=1\n")
@@ -173,7 +230,7 @@ class TestFaultsim:
         assert len(captured.err.strip().splitlines()) == 1
         assert "Traceback" not in captured.err
         assert "serial" in captured.err
-        assert "accepts no options" in captured.err
+        assert "accepts: locality" in captured.err
 
 
 class TestValidate:
