@@ -38,10 +38,11 @@ SCALES = {
         "shard": (4, 4, 32),
         "shard_jobs": (1, 2, 4),
         "shard_min_speedup": 1.5,
-        # Compiled-locality comparison (test_compiled.py): the solve
-        # cache must hit more often than it misses, and compiled must
-        # not lose to dynamic (the margin absorbs shared-runner noise
-        # around the measured ~1.1-1.4x speedups).
+        # Compiled-locality comparison (test_compiled_locality.py):
+        # the solve cache must hit more often than it misses, and
+        # compiled must not lose to dynamic on any backend (the margin
+        # absorbs shared-runner noise around the measured speedups:
+        # serial ~2x, concurrent ~1.5x, batch ~1.1x).
         "compiled_min_hit_rate": 0.5,
         "compiled_max_ratio": 1.05,
     },

@@ -8,7 +8,10 @@ paper's algorithm, the PR-4 baseline) and the compiled locality
 cache), and archives the comparison next to the repo root as
 ``BENCH_compiled.json``.
 
-Each run gets a freshly built RAM so no run warms another's cache.
+Each run gets a freshly built RAM so no run warms another's cache,
+and each (backend, locality) pair is timed ``REPEATS`` times with the
+*minimum* wall kept -- the standard noise-robust estimator; shared
+runners routinely inflate a single run by 20%+.
 
 Checks (absolute times are machine-dependent):
 
@@ -17,13 +20,13 @@ Checks (absolute times are machine-dependent):
   happens*, never the results;
 * the solve cache hits more often than it misses for the serial and
   concurrent backends;
-* the compiled locality does not lose to dynamic for the serial and
-  concurrent backends (measured speedups on the dev box: serial ~1.4x,
-  concurrent ~1.1x; the margin in ``conftest.SCALES`` absorbs runner
-  noise).  The batch backend is measured and archived for completeness
-  but not asserted: its lane-parallel rounds already amortize most of
-  what the cache saves, so compiled is not expected to win there at CI
-  scale.
+* the compiled locality does not lose to dynamic on **any** backend
+  (measured speedups on the dev box: serial ~2x, concurrent ~1.5x,
+  batch ~1.1x; the margin in ``conftest.SCALES`` absorbs runner
+  noise).  Batch is the tightest: its lane-parallel rounds already
+  amortize most of what the cache saves, so its win comes from the
+  mask-filtered lane regions and the compaction-surviving solve memo
+  rather than raw cache hits.
 """
 
 from __future__ import annotations
@@ -45,6 +48,7 @@ _OUT_PATH = os.path.join(
 
 BACKENDS = ("serial", "concurrent", "batch")
 LOCALITIES = ("dynamic", "compiled")
+REPEATS = 3
 
 
 def _workload(rows, cols, n_faults):
@@ -66,16 +70,20 @@ def test_compiled_vs_dynamic(bench_scale):
     detections = {}
     for backend in BACKENDS:
         for locality in LOCALITIES:
-            # A fresh RAM per run: the compiled form (and its caches)
-            # memoizes per network instance, so reuse would let one
-            # run warm another's cache.
-            ram, patterns, faults = _workload(rows, cols, n_faults)
-            start = time.perf_counter()
-            report = run_backend(
-                backend, ram.net, faults, [ram.dout], patterns, policy,
-                locality=locality,
-            )
-            wall = time.perf_counter() - start
+            wall = None
+            for _ in range(REPEATS):
+                # A fresh RAM per run: the compiled form (and its
+                # caches) memoizes per network instance, so reuse
+                # would let one run warm another's cache.
+                ram, patterns, faults = _workload(rows, cols, n_faults)
+                start = time.perf_counter()
+                report = run_backend(
+                    backend, ram.net, faults, [ram.dout], patterns,
+                    policy, locality=locality,
+                )
+                elapsed = time.perf_counter() - start
+                if wall is None or elapsed < wall:
+                    wall = elapsed
             runs[(backend, locality)] = (wall, report)
             detections[(backend, locality)] = {
                 cid: (
@@ -98,9 +106,9 @@ def test_compiled_vs_dynamic(bench_scale):
         assert cache is not None, backend
         assert cache["hit_rate"] > min_hit_rate, (backend, cache)
 
-    # Compiled must not lose to dynamic where the design targets it.
+    # Compiled must not lose to dynamic on any backend.
     max_ratio = bench_scale["compiled_max_ratio"]
-    for backend in ("serial", "concurrent"):
+    for backend in BACKENDS:
         dynamic_wall = runs[(backend, "dynamic")][0]
         compiled_wall = runs[(backend, "compiled")][0]
         assert compiled_wall < dynamic_wall * max_ratio, (

@@ -12,6 +12,12 @@ table of every numeric leaf whose key mentions seconds (wall times,
 per-shard times) with the relative delta, suitable for piping into
 ``$GITHUB_STEP_SUMMARY``.
 
+Speedup metrics are only comparable between machines with the same
+parallelism: a shard speedup recorded on a 1-CPU box says nothing
+about one measured on a 4-CPU runner.  When both files record a
+``cpus`` field and they differ, speedup deltas are annotated as
+skipped instead of compared.
+
 Warn-only by design: the exit code is always 0 (absolute times from
 shared CI runners are too noisy to gate on), so the job summary is
 where regressions get noticed.
@@ -54,16 +60,28 @@ def main(argv: list[str]) -> int:
     ):
         name = os.path.basename(current_path)
         with open(current_path, "r", encoding="utf-8") as stream:
-            current = _numeric_leaves(json.load(stream))
+            current_raw = json.load(stream)
+        current = _numeric_leaves(current_raw)
         baseline_path = os.path.join(baseline_dir, name)
         if not os.path.exists(baseline_path):
             for metric, value in current.items():
-                rows.append((name, metric, None, value))
+                rows.append((name, metric, None, value, None))
             continue
         with open(baseline_path, "r", encoding="utf-8") as stream:
-            baseline = _numeric_leaves(json.load(stream))
+            baseline_raw = json.load(stream)
+        baseline = _numeric_leaves(baseline_raw)
+        cpu_note = None
+        baseline_cpus = baseline_raw.get("cpus")
+        current_cpus = current_raw.get("cpus")
+        if (
+            baseline_cpus is not None
+            and current_cpus is not None
+            and baseline_cpus != current_cpus
+        ):
+            cpu_note = f"(skipped: cpus {baseline_cpus} vs {current_cpus})"
         for metric, value in current.items():
-            rows.append((name, metric, baseline.get(metric), value))
+            note = cpu_note if "speedup" in metric else None
+            rows.append((name, metric, baseline.get(metric), value, note))
 
     print("### Benchmark delta vs committed baselines (warn-only)")
     print()
@@ -72,13 +90,16 @@ def main(argv: list[str]) -> int:
         return 0
     print("| file | metric | baseline | current | delta |")
     print("| --- | --- | ---: | ---: | ---: |")
-    for name, metric, old, new in rows:
+    for name, metric, old, new, note in rows:
         if old is None:
             delta = "(new)"
             old_cell = "-"
         else:
             old_cell = f"{old:.4f}"
-            delta = f"{(new - old) / old:+.1%}" if old else "n/a"
+            if note is not None:
+                delta = note
+            else:
+                delta = f"{(new - old) / old:+.1%}" if old else "n/a"
         print(f"| {name} | {metric} | {old_cell} | {new:.4f} | {delta} |")
     print()
     print(

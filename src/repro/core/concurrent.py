@@ -68,7 +68,7 @@ import time
 from typing import Iterable, Mapping, Sequence
 
 from ..errors import FaultError, SimulationError
-from ..switchlevel.compiled import compile_network
+from ..switchlevel.compiled import _np, compile_network
 from ..switchlevel.kernel import (
     DEFAULT_MAX_ROUNDS,
     LOCALITIES,
@@ -91,6 +91,10 @@ from .faults import Fault
 from .inject import Instrumented, PreparedFault, prepare
 from .report import PatternRecord, RunReport
 from .statelist import StateList
+
+#: Reserved ``base_key_cache`` slot holding the numpy snapshot of the
+#: round-start good states (key tokens are ints, so ``None`` is free).
+_SNAP_KEY = None
 
 
 class _OverlayStates:
@@ -125,27 +129,69 @@ class _OverlayStates:
             return self.base[node]
         return state
 
-    def key_bytes(self, nodes: tuple, positions: Mapping[int, int]) -> bytes:
+    def _base_bytes(self, nodes, token, idx) -> bytes:
+        """Round-start states of ``nodes``, memoized across circuits.
+
+        Every faulty circuit of a round reads the same snapshot, so the
+        bulk of each solve-cache key is computed once per component (or
+        region) per round -- keyed by the component's int ``token``,
+        which hashes in O(1) where the node tuple would not.  With
+        numpy, the snapshot is lowered to one uint8 array per round and
+        each key is a fancy-index gather + ``tobytes``.
+        """
+        cache = self.base_key_cache
+        ckey = nodes if token is None else token
+        raw = cache.get(ckey)
+        if raw is None:
+            if idx is not None:
+                snap = cache.get(_SNAP_KEY)
+                if snap is None:
+                    snap = _np.frombuffer(
+                        bytes(self.base), dtype=_np.uint8
+                    )
+                    cache[_SNAP_KEY] = snap
+                raw = snap[idx].tobytes()
+            else:
+                raw = bytes(map(self.base.__getitem__, nodes))
+            cache[ckey] = raw
+        return raw
+
+    def key_bytes(
+        self,
+        nodes: tuple,
+        positions: Mapping[int, int],
+        token: int | None = None,
+        idx=None,
+    ) -> bytes:
         """States of ``nodes`` as bytes (solve-cache key fast path).
 
         ``positions`` maps node -> index within ``nodes``.  The bulk of
-        the read goes through the plain base list at C speed -- memoized
-        per node tuple across the round's circuits -- and the (typically
-        tiny) record overlay is patched on top.
+        the read comes from the shared round-start snapshot (see
+        :meth:`_base_bytes`) and the (typically tiny) record overlay is
+        patched on top.
         """
-        cache = self.base_key_cache
-        raw = cache.get(nodes)
-        if raw is None:
-            raw = bytes(map(self.base.__getitem__, nodes))
-            cache[nodes] = raw
+        raw = self._base_bytes(nodes, token, idx)
         records = self.records
         if records:
-            # C-speed dict-view intersection: records can be large.
-            common = records.keys() & positions.keys()
-            if common:
-                patched = bytearray(raw)
-                for node in common:
-                    patched[positions[node]] = records[node]
+            # Iterate the smaller side directly: building an
+            # intersection set per call costs more than it saves at
+            # this call volume.
+            patched = None
+            if len(records) <= len(positions):
+                for node, state in records.items():
+                    pos = positions.get(node)
+                    if pos is not None:
+                        if patched is None:
+                            patched = bytearray(raw)
+                        patched[pos] = state
+            else:
+                for node, pos in positions.items():
+                    state = records.get(node)
+                    if state is not None:
+                        if patched is None:
+                            patched = bytearray(raw)
+                        patched[pos] = state
+            if patched is not None:
                 raw = bytes(patched)
         return raw
 
@@ -179,26 +225,41 @@ class _OverlayStatesForced(_OverlayStates):
             return state
         return self.base[node]
 
-    def key_bytes(self, nodes: tuple, positions: Mapping[int, int]) -> bytes:
-        cache = self.base_key_cache
-        raw = cache.get(nodes)
-        if raw is None:
-            raw = bytes(map(self.base.__getitem__, nodes))
-            cache[nodes] = raw
+    def key_bytes(
+        self,
+        nodes: tuple,
+        positions: Mapping[int, int],
+        token: int | None = None,
+        idx=None,
+    ) -> bytes:
+        raw = self._base_bytes(nodes, token, idx)
         patched = None
         # Later layers win: forced under records, as in __getitem__.
+        # Iterate the smaller side of each layer/positions pair; a
+        # per-call intersection set costs more than it saves here.
         for layer in (self.forced, self.records):
             if not layer:
                 continue
-            common = layer.keys() & positions.keys()
-            for node in common:
-                pos = positions[node]
-                state = layer[node]
-                if patched is None:
-                    if raw[pos] == state:
+            if len(layer) <= len(positions):
+                for node, state in layer.items():
+                    pos = positions.get(node)
+                    if pos is None:
                         continue
-                    patched = bytearray(raw)
-                patched[pos] = state
+                    if patched is None:
+                        if raw[pos] == state:
+                            continue
+                        patched = bytearray(raw)
+                    patched[pos] = state
+            else:
+                for node, pos in positions.items():
+                    state = layer.get(node)
+                    if state is None:
+                        continue
+                    if patched is None:
+                        if raw[pos] == state:
+                            continue
+                        patched = bytearray(raw)
+                    patched[pos] = state
         if patched is None:
             # The shared (hash-cached) object: most components are
             # untouched by this circuit's fault and divergences.
@@ -327,15 +388,17 @@ class _FaultyCircuit:
             self._fault_comps = fault_comps
 
     def take_seeds(self) -> set[int]:
-        expanded: set[int] = set()
         net = self.sim.network
-        for raw_seed in self._seeds:
-            expanded.update(
-                expand_seed(net, self.tstates, raw_seed, self.forced_nodes)
-            )
-        self._seeds = set()
         compiled = self.sim._compiled
-        if compiled is None or not expanded:
+        if compiled is None:
+            expanded: set[int] = set()
+            for raw_seed in self._seeds:
+                expanded.update(
+                    expand_seed(
+                        net, self.tstates, raw_seed, self.forced_nodes
+                    )
+                )
+            self._seeds = set()
             return expanded
         # Compiled locality: drop seeds in components where this circuit
         # provably tracks the good circuit -- no divergence records on
@@ -343,15 +406,37 @@ class _FaultyCircuit:
         # and no fault site inside it.  Solving there would reproduce
         # the good circuit's own work (or the identity); the trigger
         # scan re-triggers the circuit if divergence ever reaches such
-        # a component.
+        # a component.  The component check is fused into seed expansion
+        # and runs *before* the conducting-channel test: rail seeds
+        # (vdd/gnd) have channel lists spanning the circuit, and the
+        # per-channel transistor-state reads go through the overlay
+        # views -- skipping them for clean components is a large win.
         dirty_comps = self.sim._dirty_comp_counts[self.cid]
         fault_comps = self._fault_comps
         node_component = compiled.node_component
+        node_is_input = net.node_is_input
+        node_channels = net.node_channels
+        forced = self.forced_nodes
+        tstates = self.tstates
         kept: set[int] = set()
-        for seed in expanded:
-            cid = node_component[seed]
-            if cid in dirty_comps or cid in fault_comps:
-                kept.add(seed)
+        for raw_seed in self._seeds:
+            if not node_is_input[raw_seed] and raw_seed not in forced:
+                cid = node_component[raw_seed]
+                if cid in dirty_comps or cid in fault_comps:
+                    kept.add(raw_seed)
+                continue
+            # Input/forced seed: perturbs the storage nodes it conducts
+            # to (the paper's second perturbation rule).
+            for t, m in node_channels[raw_seed]:
+                if m in kept or node_is_input[m] or m in forced:
+                    continue
+                cid = node_component[m]
+                if cid not in dirty_comps and cid not in fault_comps:
+                    continue
+                if tstates[t] == 0:
+                    continue
+                kept.add(m)
+        self._seeds = set()
         return kept
 
     def has_pending(self) -> bool:

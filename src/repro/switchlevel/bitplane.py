@@ -47,6 +47,7 @@ costing bit-width.
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import TYPE_CHECKING, Mapping
 
 from .network import Network, NTYPE, PTYPE
@@ -90,14 +91,34 @@ class LaneSimulator:
         self.net = net
         #: Optional compile-once partition: rounds select dirty
         #: components in O(1) instead of running the union-vicinity BFS,
-        #: and solves are memoized per component.  Cache keys are
-        #: lane-aware -- they include the lane mask shape (lane count
-        #: and active mask) alongside the member/boundary planes and the
-        #: component's conduction planes, and the cache is flushed on
-        #: :meth:`compact` because repacking reshapes every mask.
+        #: then split each into mask-filtered *regions* (the lane analog
+        #: of the scalar compiled regions: BFS over edges conducting in
+        #: any active lane) so solves stay as small as the dynamic union
+        #: vicinity instead of covering whole components.  Solve keys
+        #: cover the region's member/boundary planes and its conduction
+        #: planes but deliberately *not* the active mask: lanes are
+        #: independent throughout the solver, and ``active`` only
+        #: shrinks between compactions, so an entry computed under a
+        #: wider active mask stays exact for every still-active lane --
+        #: the hit path masks the stored change lanes by the current
+        #: ``active`` instead.  On :meth:`compact` the memo is
+        #: *repacked* onto the surviving lanes alongside the planes (it
+        #: used to be flushed, which cold-started every component after
+        #: each drop wave).
         self.compiled = compiled
         self.solve_cache_enabled = solve_cache
-        self._solve_memo: dict[tuple, list] = {}
+        #: key -> (union of stored change lanes, change list).
+        self._solve_memo: dict[tuple, tuple[int, list]] = {}
+        #: (cid, conduction mask, member) -> region tuple.  A region is
+        #: a pure function of its key, so entries stay valid across
+        #: compaction (the mask is recomputed from the repacked planes
+        #: every round).
+        self._region_memo: dict[tuple, tuple] = {}
+        #: (cid, members, conducting-edge bits) -> stable small int.
+        #: Solve keys embed this id instead of the member/transistor
+        #: tuples; never cleared, so repacked solve entries still hit
+        #: after compaction rebuilds the region objects.
+        self._region_ids: dict[tuple, int] = {}
         self.cache_hits = 0
         self.cache_misses = 0
         self.lane_count = lane_count
@@ -121,8 +142,35 @@ class LaneSimulator:
         self.c_maybe: list[int] = [0] * net.n_transistors
         for t in range(net.n_transistors):
             self.c_on[t], self.c_maybe[t] = self._conduction(t)
+        #: Per compiled component: one bit per channel transistor set
+        #: when it conducts in some active lane -- the region filter.
+        #: Maintained incrementally at conduction-plane updates rather
+        #: than rebuilt per round; a bit may go stale-high after a lane
+        #: drop, which only widens regions (still exact per lane).
+        self._t_loc: dict[int, tuple[int, int]] = {}
+        self._comp_masks: list[int] = []
+        if compiled is not None:
+            self._comp_masks = [0] * len(compiled.components)
+            for comp in compiled.components:
+                for i, t in enumerate(comp.edge_ts):
+                    self._t_loc[t] = (comp.cid, 1 << i)
+            self._recompute_masks()
         #: node -> lane mask of pending perturbations.
         self.pending: dict[int, int] = {}
+
+    def _recompute_masks(self) -> None:
+        """Rebuild every component's conduction mask from the planes."""
+        c_maybe = self.c_maybe
+        active = self.active
+        masks = self._comp_masks
+        for comp in self.compiled.components:
+            m = 0
+            bit = 1
+            for t in comp.edge_ts:
+                if c_maybe[t] & active:
+                    m |= bit
+                bit <<= 1
+            masks[comp.cid] = m
 
     # ------------------------------------------------------------------
     # conduction planes
@@ -161,6 +209,13 @@ class LaneSimulator:
                 continue
             self.c_on[t] = on
             self.c_maybe[t] = maybe
+            loc = self._t_loc.get(t)
+            if loc is not None:
+                cid, bit = loc
+                if maybe & active:
+                    self._comp_masks[cid] |= bit
+                else:
+                    self._comp_masks[cid] &= ~bit
             lanes = diff & active
             if not lanes:
                 continue
@@ -267,75 +322,186 @@ class LaneSimulator:
     def _compiled_round(self, seeds: list[int]) -> list[tuple[int, int, int, int]]:
         """One round over precompiled components instead of a union BFS.
 
-        Every seed's whole component is solved; per lane each component
-        slices into complete conducting subcomponents that are either
-        seeded or at fixpoint, so this is exact for the same reason the
-        union vicinity is (see the module docstring).
+        Each dirty component is split into mask-filtered regions grown
+        from the actual seeds, so a solve covers the same nodes the
+        dynamic union vicinity would -- not the whole component.  Per
+        lane each region slices into complete conducting subcomponents
+        that are either seeded or at fixpoint, so this is exact for the
+        same reason the union vicinity is (see the module docstring).
         """
         compiled = self.compiled
         node_component = compiled.node_component
+        grouped: dict[int, list[int]] = {}
+        for n in seeds:
+            grouped.setdefault(node_component[n], []).append(n)
         changed: list[tuple[int, int, int, int]] = []
-        for cid in sorted({node_component[n] for n in seeds}):
-            changed.extend(self._solve_component(compiled.components[cid]))
+        for cid in sorted(grouped):
+            changed.extend(
+                self._solve_component(compiled.components[cid], grouped[cid])
+            )
         return changed
 
-    def _solve_component(self, comp) -> list[tuple[int, int, int, int]]:
-        """Memoized lane-parallel solve of one compiled component."""
-        p0, p1 = self.p0, self.p1
-        c_on, c_maybe = self.c_on, self.c_maybe
-        active = self.active
+    def _solve_component(
+        self, comp, seeds: list[int]
+    ) -> list[tuple[int, int, int, int]]:
+        """Region-split, memoized lane-parallel solve of one component."""
+        # One bit per channel transistor: conducting in any active lane.
+        # This is the lane analog of the scalar conduction mask, and the
+        # region memo key alongside the seed -- a region is a pure
+        # function of (component, mask, seed).
+        mask = self._comp_masks[comp.cid]
         use_cache = self.solve_cache_enabled
-        if use_cache:
-            nodes = comp.members + comp.boundary
-            key = (
-                comp.cid,
-                self.lane_count,
-                active,
-                tuple(map(p0.__getitem__, nodes)),
-                tuple(map(p1.__getitem__, nodes)),
-                tuple(map(c_on.__getitem__, comp.edge_ts)),
-                tuple(map(c_maybe.__getitem__, comp.edge_ts)),
+        regions = self._region_memo
+        covered: set[int] | None = None
+        changed: list[tuple[int, int, int, int]] = []
+        for seed in sorted(seeds):
+            if covered is not None and seed in covered:
+                continue
+            region = (
+                regions.get((comp.cid, mask, seed)) if use_cache else None
             )
-            cached = self._solve_memo.get(key)
-            if cached is not None:
-                self.cache_hits += 1
-                return cached
-        # Union adjacency over the compiled rows: every member row
-        # carries all its incident channel edges; edges into inputs are
-        # attached to the input (its only propagation direction),
-        # mirroring _explore's layout.
-        adj: dict[int, list[tuple[int, int, int]]] = {}
-        members = comp.members
+            if region is None:
+                region = self._explore_compiled(comp, mask, seed)
+                if use_cache:
+                    if len(regions) >= _MAX_LANE_CACHE_ENTRIES:
+                        regions.clear()
+                    for member in region[1]:
+                        regions[(comp.cid, mask, member)] = region
+            if len(seeds) > 1:
+                if covered is None:
+                    covered = set(region[1])
+                else:
+                    covered.update(region[1])
+            changed.extend(self._solve_region(region))
+        return changed
+
+    def _explore_compiled(self, comp, mask: int, seed: int) -> tuple:
+        """Mask-filtered BFS from ``seed`` over the compiled arrays.
+
+        Returns ``(region id, members, boundary, transistors, adj,
+        members + boundary, node gather, transistor gather)`` -- the
+        gathers are prebuilt :func:`operator.itemgetter`\\ s over the
+        concatenated nodes / the transistors, so each solve-key read is
+        one C call per plane -- with members/boundary/transistors
+        sorted tuples and adjacency in
+        :meth:`_explore`'s layout (edges valued by *global* transistor
+        index, since the lane solver reads conduction planes directly).
+        The region id is interned on (component, members, conducting
+        edges) so structurally identical regions -- rediscovered under a
+        different component-wide mask, or rebuilt after a compaction --
+        share one solve-memo key space.
+        """
+        member_pos = comp.member_pos
         edge_start = comp.edge_start
+        edge_ti = comp.edge_ti
         edge_t = comp.edge_t
         edge_strength = comp.edge_strength
         edge_dst = comp.edge_dst
         edge_dst_input = comp.edge_dst_input
-        for si in range(len(members)):
-            lo = edge_start[si]
-            hi = edge_start[si + 1]
-            if lo == hi:
-                continue
-            n = members[si]
-            edges = []
-            for ei in range(lo, hi):
-                t = edge_t[ei]
-                if not (c_maybe[t] & active):
+        members: list[int] = []
+        boundary: list[int] = []
+        adj: dict[int, list[tuple[int, int, int]]] = {}
+        ts_bits = 0
+        seen = {seed}
+        stack = [seed]
+        while stack:
+            n = stack.pop()
+            members.append(n)
+            row = member_pos[n]
+            row_edges = []
+            for ei in range(edge_start[row], edge_start[row + 1]):
+                ti = edge_ti[ei]
+                if not (mask >> ti) & 1:
                     continue
+                ts_bits |= 1 << ti
+                dst = edge_dst[ei]
                 if edge_dst_input[ei]:
-                    adj.setdefault(edge_dst[ei], []).append(
-                        (t, edge_strength[ei], n)
+                    # Attach to the input: its only propagation direction.
+                    adj.setdefault(dst, []).append(
+                        (edge_t[ei], edge_strength[ei], n)
                     )
+                    if dst not in seen:
+                        seen.add(dst)
+                        boundary.append(dst)
                 else:
-                    edges.append((t, edge_strength[ei], edge_dst[ei]))
-            if edges:
-                adj[n] = edges
-        changed = self._solve(list(comp.members), list(comp.boundary), adj)
+                    row_edges.append((edge_t[ei], edge_strength[ei], dst))
+                    if dst not in seen:
+                        seen.add(dst)
+                        stack.append(dst)
+            if row_edges:
+                adj[n] = row_edges
+        members.sort()
+        boundary.sort()
+        edge_ts = comp.edge_ts
+        ts = tuple(
+            edge_ts[ti] for ti in range(len(edge_ts)) if (ts_bits >> ti) & 1
+        )
+        region_ids = self._region_ids
+        members_t = tuple(members)
+        skey = (comp.cid, members_t, ts_bits)
+        rid = region_ids.get(skey)
+        if rid is None:
+            rid = len(region_ids)
+            region_ids[skey] = rid
+        boundary_t = tuple(boundary)
+        nodes = members_t + boundary_t
+        # itemgetter with one index returns a scalar; wrap for shape.
+        if not ts:
+            node_get = ts_get = None  # edgeless: never gathered
+        else:
+            if len(nodes) == 1:
+                n0 = nodes[0]
+                node_get = lambda seq: (seq[n0],)  # noqa: E731
+            else:
+                node_get = itemgetter(*nodes)
+            if len(ts) == 1:
+                t0 = ts[0]
+                ts_get = lambda seq: (seq[t0],)  # noqa: E731
+            else:
+                ts_get = itemgetter(*ts)
+        return (rid, members_t, boundary_t, ts, adj, nodes, node_get, ts_get)
+
+    def _solve_region(self, region: tuple) -> list[tuple[int, int, int, int]]:
+        """Memoized lane-parallel solve of one mask-filtered region."""
+        rid, members, boundary, ts, adj, nodes, node_get, ts_get = region
+        if not adj:
+            # An edgeless region is a lone storage node with every
+            # incident channel off in every active lane: no arrivals,
+            # so it keeps its charge and the solve is the identity.
+            return []
+        use_cache = self.solve_cache_enabled
+        if use_cache:
+            key = (
+                rid,
+                self.lane_count,
+                node_get(self.p0),
+                node_get(self.p1),
+                ts_get(self.c_on),
+                ts_get(self.c_maybe),
+            )
+            entry = self._solve_memo.get(key)
+            if entry is not None:
+                self.cache_hits += 1
+                union, cached = entry
+                active = self.active
+                if union & ~active:
+                    # Stored under a wider active mask; per-lane results
+                    # are exact, so just drop the since-dropped lanes.
+                    cached = [
+                        (n, masked, new_p0, new_p1)
+                        for n, lanes, new_p0, new_p1 in cached
+                        if (masked := lanes & active)
+                    ]
+                return cached
+        changed = self._solve(members, boundary, adj)
         if use_cache:
             self.cache_misses += 1
             if len(self._solve_memo) >= _MAX_LANE_CACHE_ENTRIES:
                 self._solve_memo.clear()
-            self._solve_memo[key] = changed
+            union = 0
+            for _node, lanes, _p0, _p1 in changed:
+                union |= lanes
+            self._solve_memo[key] = (union, changed)
         return changed
 
     def _explore(
@@ -667,6 +833,13 @@ class LaneSimulator:
             transistors.update(self.net.node_gates[node])
         for t in transistors:
             self.c_on[t], self.c_maybe[t] = self._conduction(t)
+            loc = self._t_loc.get(t)
+            if loc is not None:
+                cid, bit = loc
+                if self.c_maybe[t] & self.active:
+                    self._comp_masks[cid] |= bit
+                else:
+                    self._comp_masks[cid] &= ~bit
         for node in list(self.pending):
             remaining = self.pending[node] & ~bit
             if remaining:
@@ -710,9 +883,85 @@ class LaneSimulator:
             for n, lanes in self.pending.items()
             if (packed := pack(lanes))
         }
+        if self._solve_memo:
+            self._repack_memo(keep, pack)
         self.lane_count = len(keep)
         self.full = (1 << self.lane_count) - 1
         self.active = pack(self.active)
-        # Repacking reshapes every lane mask (including the force masks,
-        # which are not part of the cache key); drop the memoized solves.
-        self._solve_memo.clear()
+        if self.compiled is not None:
+            # Tighten the conduction masks to the surviving lanes
+            # (stale-high bits would stay exact but widen regions).
+            self._recompute_masks()
+
+    def _repack_memo(self, keep: list[int], pack) -> None:
+        """Carry the solve memo across a compaction.
+
+        Every lane mask in every key and value is repacked onto the
+        surviving lanes, exactly like the planes themselves -- the memo
+        used to be flushed here, which cold-started every component
+        after each fault-drop wave (the reason batch hit rates trailed
+        the serial backend's).  Entries are per-lane exact, so a key
+        that survives repacking describes the same per-lane states it
+        did before.  Colliding repacked keys (entries that differed
+        only in dropped lanes) agree on every surviving lane, so either
+        may win.
+        """
+        memo = self._solve_memo
+        flat: list[int] = []
+        for key, (_union, changed) in memo.items():
+            _cid, _lc, p0s, p1s, ons, maybes = key
+            flat += p0s
+            flat += p1s
+            flat += ons
+            flat += maybes
+            for _node, lanes, new_p0, new_p1 in changed:
+                flat.append(lanes)
+                flat.append(new_p0)
+                flat.append(new_p1)
+        from .compiled import _np
+
+        if _np is not None and self.lane_count <= 64:
+            # One vectorized bit-gather per surviving lane over every
+            # integer in the memo at once (valid because chunk widths
+            # never exceed 64 lanes).
+            arr = _np.array(flat, dtype=_np.uint64)
+            acc = _np.zeros(len(flat), dtype=_np.uint64)
+            one = _np.uint64(1)
+            for j, lane in enumerate(keep):
+                acc |= ((arr >> _np.uint64(lane)) & one) << _np.uint64(j)
+            packed_flat = acc.tolist()
+        elif len(flat) <= 200_000:
+            packed_flat = [pack(value) for value in flat]
+        else:
+            # Too big to repack affordably in pure Python; fall back to
+            # the old flush rather than stall the drop wave.
+            memo.clear()
+            return
+        new_lc = len(keep)
+        new_memo: dict[tuple, tuple[int, list]] = {}
+        pos = 0
+        for key, (_union, changed) in memo.items():
+            cid, _lc, p0s, p1s, ons, maybes = key
+            w = len(p0s)
+            e = len(ons)
+            new_key = (
+                cid,
+                new_lc,
+                tuple(packed_flat[pos : pos + w]),
+                tuple(packed_flat[pos + w : pos + 2 * w]),
+                tuple(packed_flat[pos + 2 * w : pos + 2 * w + e]),
+                tuple(packed_flat[pos + 2 * w + e : pos + 2 * w + 2 * e]),
+            )
+            pos += 2 * w + 2 * e
+            new_changed = []
+            new_union = 0
+            for node, _lanes, _p0, _p1 in changed:
+                lanes = packed_flat[pos]
+                if lanes:
+                    new_changed.append(
+                        (node, lanes, packed_flat[pos + 1], packed_flat[pos + 2])
+                    )
+                    new_union |= lanes
+                pos += 3
+            new_memo[new_key] = (new_union, new_changed)
+        self._solve_memo = new_memo

@@ -45,6 +45,14 @@ module is that compile pass, plus the caches it enables:
    the good circuit on only a few components, which is what makes the
    hit rate high.
 
+When numpy is importable (and ``REPRO_PURE_PYTHON`` is unset) the hot
+arrays additionally carry ndarray companions: conduction masks become
+one vectorized 2-D table lookup (``_TRANS_NP[kind, gate_state]`` +
+``packbits``) and cache keys one fancy-index gather + ``tobytes`` from
+a per-round state snapshot (see :func:`state_keys`).  The pure-Python
+loops remain as the automatic fallback and both paths are checked
+bit-for-bit equal by the locality property suite.
+
 Per-circuit *forced nodes* (node faults acting as pseudo-inputs) are
 not known at compile time, so they are handled at region-build time: a
 forced member becomes boundary (omega drive, never recomputed) and the
@@ -60,7 +68,9 @@ the caches *shared by every backend* running on the same network.
 
 from __future__ import annotations
 
+import os
 import weakref
+from itertools import count
 from typing import Mapping, Sequence
 
 from ..errors import NetworkNotFinalizedError
@@ -68,21 +78,96 @@ from .network import TRANS_TABLE, Network
 from .steady_state import solve_vicinity
 from .vicinity import NO_FORCED
 
+# numpy is an optional accelerator, selected automatically at import:
+# conduction masks become one vectorized table lookup and cache keys one
+# fancy-index gather + ``tobytes``.  ``REPRO_PURE_PYTHON`` forces the
+# pure-Python fallback (the CI parity leg runs the whole locality suite
+# both ways); every consumer checks ``_np`` at call time, so tests can
+# also monkeypatch it off before building a network.
+try:
+    if os.environ.get("REPRO_PURE_PYTHON"):
+        raise ImportError("numpy disabled by REPRO_PURE_PYTHON")
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the pure-python CI leg
+    _np = None
+
+#: Table 1 as a 2-D uint8 array (row: transistor kind, column: gate
+#: state), so a component's channel states vectorize to
+#: ``_TRANS_NP[ts_kind, gate_states]``.
+_TRANS_NP = None if _np is None else _np.array(TRANS_TABLE, dtype=_np.uint8)
+
+#: Unique ids for key-carrying objects (components and regions): cache
+#: keys hash an int token instead of a long node tuple.
+_KEY_TOKENS = count()
+
 __all__ = [
     "CompiledComponent",
     "CompiledNetwork",
     "Region",
     "cache_stats",
     "compile_network",
+    "numpy_enabled",
+    "state_keys",
 ]
 
 #: Component id recorded for input nodes (they belong to no component).
 NO_COMPONENT = -1
 
 #: Total cached entries (regions + solves + masks) across a network
-#: before the caches are cleared wholesale (a blunt but O(1) eviction
-#: policy; real workloads sit far below this).
+#: before eviction starts clearing components round-robin (real
+#: workloads sit far below this).
 MAX_CACHE_ENTRIES = 1_000_000
+
+
+def numpy_enabled() -> bool:
+    """Whether the vectorized (numpy) kernel is active."""
+    return _np is not None
+
+
+class _PlainKeys:
+    """Packed-states cache-key builder over a plain list view.
+
+    One instance serves (at most) one synchronous round -- the states
+    must not change underneath it.  With numpy, a byte snapshot of the
+    full state vector is taken lazily on the first sizable key and every
+    key becomes a C-speed fancy-index gather + ``tobytes``; without
+    numpy (or for tiny node tuples, where the ndarray round-trip costs
+    more than it saves) keys fall back to ``bytes(map(...))``.
+    """
+
+    __slots__ = ("states", "_snap")
+
+    def __init__(self, states):
+        self.states = states
+        self._snap = None
+
+    def key_bytes(self, nodes, positions, token=None, idx=None):
+        snap = self._snap
+        if (
+            idx is not None
+            and _np is not None
+            and (snap is not None or len(nodes) >= 16)
+        ):
+            if snap is None:
+                snap = self._snap = _np.frombuffer(
+                    bytes(self.states), dtype=_np.uint8
+                )
+            return snap[idx].tobytes()
+        return bytes(map(self.states.__getitem__, nodes))
+
+
+def state_keys(states):
+    """Per-round cache-key builder for any states view.
+
+    Overlay views bring their own ``key_bytes`` (memoized against the
+    shared round-start snapshot); plain lists get a fresh
+    :class:`_PlainKeys`.  Valid only while ``states`` does not change --
+    one synchronous round.
+    """
+    key_fn = getattr(states, "key_bytes", None)
+    if key_fn is None:
+        key_fn = _PlainKeys(states).key_bytes
+    return key_fn
 
 
 class CompiledComponent:
@@ -118,6 +203,14 @@ class CompiledComponent:
         "ts_kind",
         "ts_gpos",
         "ts_index",
+        "ts_kind_np",
+        "ts_gpos_np",
+        "edge_gates_idx",
+        "key_token",
+        "comp_key_nodes",
+        "comp_key_pos",
+        "comp_key_idx",
+        "comp_key_token",
     )
 
     def __init__(
@@ -178,6 +271,38 @@ class CompiledComponent:
             self.edge_gate_pos[t_gate[t]] for t in self.edge_ts
         )
 
+        # Everything a solve of this component can depend on, as one
+        # node tuple: member charge, boundary drive and the gate states
+        # the conduction derives from.  One packed read of these bytes
+        # keys the whole-call memo in ``solve_seeded``.
+        in_key = self.member_set | frozenset(boundary)
+        self.comp_key_nodes = (
+            members
+            + boundary
+            + tuple(g for g in self.edge_gates if g not in in_key)
+        )
+        self.comp_key_pos = {
+            n: i for i, n in enumerate(self.comp_key_nodes)
+        }
+
+        self.key_token = next(_KEY_TOKENS)
+        self.comp_key_token = next(_KEY_TOKENS)
+        if _np is not None:
+            # ndarray companions of the hot flat arrays: conduction
+            # masks index Table 1 by kind x gate state in one shot, and
+            # cache-key bytes gather through the ``*_idx`` arrays.
+            self.ts_kind_np = _np.array(self.ts_kind, dtype=_np.intp)
+            self.ts_gpos_np = _np.array(self.ts_gpos, dtype=_np.intp)
+            self.edge_gates_idx = _np.array(self.edge_gates, dtype=_np.intp)
+            self.comp_key_idx = _np.array(
+                self.comp_key_nodes, dtype=_np.intp
+            )
+        else:
+            self.ts_kind_np = None
+            self.ts_gpos_np = None
+            self.edge_gates_idx = None
+            self.comp_key_idx = None
+
     @property
     def size(self) -> int:
         return len(self.members)
@@ -220,6 +345,8 @@ class Region:
         "adjacency",
         "key_nodes",
         "key_pos",
+        "key_token",
+        "key_idx",
         "state_override",
         "solves",
     )
@@ -251,6 +378,11 @@ class Region:
         )
         self.key_nodes = members + tuple(gates) + inputs
         self.key_pos = {n: i for i, n in enumerate(self.key_nodes)}
+        self.key_token = next(_KEY_TOKENS)
+        self.key_idx = (
+            None if _np is None
+            else _np.array(self.key_nodes, dtype=_np.intp)
+        )
         self.state_override = state_override
         self.solves: dict[bytes, tuple[tuple[int, int], ...]] = {}
 
@@ -268,7 +400,11 @@ class CompiledNetwork:
         "_masks",
         "_mask_ids",
         "_regions",
+        "_calls",
+        "_interns",
         "_entries",
+        "_comp_entries",
+        "_evict_cursor",
         "hits",
         "misses",
         "evictions",
@@ -290,7 +426,28 @@ class CompiledNetwork:
         self._regions: tuple[dict, ...] = tuple(
             {} for _ in self.components
         )
+        #: Per component: (seeds, forced sigs, packed comp states) ->
+        #: the full result list of one ``solve_seeded`` call.  The hit
+        #: path of a whole call collapses to one packed read and one
+        #: dict probe; misses fall through to the region layer, which
+        #: still shares work across differing whole-component states.
+        self._calls: tuple[dict, ...] = tuple(
+            {} for _ in self.components
+        )
+        #: Per component: (members, conducting-edge mask, forced sigs)
+        #: -> Region.  A region is fully determined by its members and
+        #: the conducting edges among them, *not* by the component-wide
+        #: mask the region memo is keyed under -- so a conduction change
+        #: elsewhere in the component reuses the identical Region object
+        #: (and, crucially, its warm ``solves`` memo).
+        self._interns: tuple[dict, ...] = tuple(
+            {} for _ in self.components
+        )
         self._entries = 0
+        #: Per component: its share of ``_entries`` (masks + regions +
+        #: solves), so eviction can clear one component at a time.
+        self._comp_entries = [0] * len(self.components)
+        self._evict_cursor = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -374,6 +531,7 @@ class CompiledNetwork:
         *,
         use_cache: bool = True,
         sig_cache: dict | None = None,
+        keys=None,
     ) -> list[
         tuple[tuple[int, ...], tuple[int, ...], tuple[tuple[int, int], ...], list[int]]
     ]:
@@ -390,6 +548,9 @@ class CompiledNetwork:
         ``sig_cache``, when given, memoizes the component-local forced
         signatures per component id -- valid exactly as long as the
         caller's forcing maps are immutable (one circuit's lifetime).
+        ``keys``, when given, is a :func:`state_keys` builder for
+        ``states`` shared across the round's components (so the numpy
+        snapshot is taken once per round, not once per component).
         Returned tuples are shared with the cache -- callers must treat
         them as immutable.
         """
@@ -421,21 +582,41 @@ class CompiledNetwork:
         else:
             forced_sig, forced_t_sig = sigs
 
-        key_fn = getattr(states, "key_bytes", None)
-        getter = states.__getitem__
-        if key_fn is None:
-            gate_key = bytes(map(getter, comp.edge_gates))
-        else:
-            gate_key = key_fn(comp.edge_gates, comp.edge_gate_pos)
-
+        if keys is None:
+            keys = state_keys(states)
         cid = comp.cid
-        mask_id = -1
+        if len(seeds) == 1:
+            seeds_t = (seeds[0],) if isinstance(seeds, list) else tuple(seeds)
+        else:
+            seeds_t = tuple(sorted(seeds))
+        call_key = None
         if use_cache:
             # Evict only here, before any lookups or id interning: a
             # mid-call eviction would let an already-resolved mask id
             # be re-inserted into the freshly cleared memos and later
-            # collide with a different mask's id.
-            self._evict_if_full()
+            # collide with a different mask's id.  (Checked inline:
+            # this runs once per dirty component per round.)
+            if self._entries >= MAX_CACHE_ENTRIES:
+                self._evict_if_full()
+            # Whole-call fast path: one packed read of everything the
+            # component's solves can depend on, one probe.
+            comp_key = keys(
+                comp.comp_key_nodes, comp.comp_key_pos,
+                comp.comp_key_token, comp.comp_key_idx,
+            )
+            call_key = (seeds_t, forced_sig, forced_t_sig, comp_key)
+            cached_call = self._calls[cid].get(call_key)
+            if cached_call is not None:
+                self.hits += len(cached_call)
+                return cached_call
+
+        gate_key = keys(
+            comp.edge_gates, comp.edge_gate_pos,
+            comp.key_token, comp.edge_gates_idx,
+        )
+
+        mask_id = -1
+        if use_cache:
             masks = self._masks[cid]
             mask_key = (gate_key, forced_t_sig)
             entry = masks.get(mask_key)
@@ -445,6 +626,7 @@ class CompiledNetwork:
                 mask_id = mask_ids.setdefault(mask, len(mask_ids))
                 masks[mask_key] = (mask, mask_id)
                 self._entries += 1
+                self._comp_entries[cid] += 1
             else:
                 mask, mask_id = entry
         else:
@@ -454,14 +636,15 @@ class CompiledNetwork:
         ordered: list[Region] = []
         region_seeds: dict[int, list[int]] = {}
         local: dict[int, Region] = {}
-        for seed in sorted(seeds):
+        for seed in seeds_t:
             region = local.get(seed)
             if region is None:
                 region_key = (mask_id, forced_sig, forced_t_sig, seed)
                 region = regions.get(region_key) if use_cache else None
                 if region is None:
                     region = self._explore_region(
-                        comp, mask, forced, forced_t_sig, seed
+                        comp, mask, forced, forced_sig, forced_t_sig, seed,
+                        self._interns[cid] if use_cache else None,
                     )
                     if use_cache:
                         for member in region.members:
@@ -469,6 +652,7 @@ class CompiledNetwork:
                                 (mask_id, forced_sig, forced_t_sig, member)
                             ] = region
                         self._entries += len(region.members)
+                        self._comp_entries[cid] += len(region.members)
                 for member in region.members:
                     local[member] = region
             key = id(region)
@@ -482,10 +666,10 @@ class CompiledNetwork:
         results = []
         for region in ordered:
             if use_cache:
-                if key_fn is None:
-                    solve_key = bytes(map(getter, region.key_nodes))
-                else:
-                    solve_key = key_fn(region.key_nodes, region.key_pos)
+                solve_key = keys(
+                    region.key_nodes, region.key_pos,
+                    region.key_token, region.key_idx,
+                )
                 changes = region.solves.get(solve_key)
                 if changes is None:
                     self.misses += 1
@@ -501,6 +685,7 @@ class CompiledNetwork:
                     )
                     region.solves[solve_key] = changes
                     self._entries += 1
+                    self._comp_entries[cid] += 1
                 else:
                     self.hits += 1
             else:
@@ -522,6 +707,10 @@ class CompiledNetwork:
                     region_seeds[id(region)],
                 )
             )
+        if call_key is not None:
+            self._calls[cid][call_key] = results
+            self._entries += 1
+            self._comp_entries[cid] += 1
         return results
 
     def _conduction_mask(
@@ -536,13 +725,28 @@ class CompiledNetwork:
         and unknown conduction merge, so the X-rich configurations of
         faulty circuits share regions with the good circuit's.
         """
-        mask = 0
-        bit = 1
-        ts_gpos = comp.ts_gpos
-        for index, kind in enumerate(comp.ts_kind):
-            if TRANS_TABLE[kind][gate_key[ts_gpos[index]]]:
-                mask |= bit
-            bit <<= 1
+        ts_kind_np = comp.ts_kind_np
+        if (
+            _np is not None
+            and ts_kind_np is not None
+            and len(comp.ts_kind) >= 8
+        ):
+            # Vectorized Table 1 lookup; pack LSB-first so bit i is
+            # transistor i of ``edge_ts``, matching the Python loop.
+            gk = _np.frombuffer(gate_key, dtype=_np.uint8)
+            conducting = _TRANS_NP[ts_kind_np, gk[comp.ts_gpos_np]]
+            mask = int.from_bytes(
+                _np.packbits(conducting != 0, bitorder="little").tobytes(),
+                "little",
+            )
+        else:
+            mask = 0
+            bit = 1
+            ts_gpos = comp.ts_gpos
+            for index, kind in enumerate(comp.ts_kind):
+                if TRANS_TABLE[kind][gate_key[ts_gpos[index]]]:
+                    mask |= bit
+                bit <<= 1
         for t, state in forced_t_sig:
             bit = 1 << comp.ts_index[t]
             if state:
@@ -556,8 +760,10 @@ class CompiledNetwork:
         comp: CompiledComponent,
         mask: int,
         forced: Mapping[int, int],
+        forced_sig: tuple,
         forced_t_sig: tuple,
         seed: int,
+        intern: dict | None,
     ) -> Region:
         """Mask-filtered BFS from ``seed`` over the compiled arrays.
 
@@ -616,8 +822,22 @@ class CompiledNetwork:
         members.sort()
         inputs.sort()
         forced_boundary.sort()
+        if intern is not None:
+            # The BFS records every conducting edge it crossed --
+            # including the ones that stopped at inputs and forced
+            # nodes -- so (members, crossed edges, forced sigs) pins
+            # the whole structure.  Regions rediscovered under a
+            # different component-wide mask intern to the same object
+            # and inherit its warm ``solves`` memo.
+            ts_bits = 0
+            for ti in ts_seen:
+                ts_bits |= 1 << ti
+            struct_key = (tuple(members), ts_bits, forced_sig, forced_t_sig)
+            interned = intern.get(struct_key)
+            if interned is not None:
+                return interned
         ts_index = comp.ts_index
-        return Region(
+        region = Region(
             comp,
             tuple(members),
             tuple(inputs),
@@ -630,6 +850,9 @@ class CompiledNetwork:
                 if ts_index[t] in ts_seen
             },
         )
+        if intern is not None:
+            intern[struct_key] = region
+        return region
 
     def _materialize(
         self,
@@ -673,17 +896,36 @@ class CompiledNetwork:
         return valued
 
     def _evict_if_full(self) -> None:
-        """Blunt O(1)-amortized eviction: clear everything at the cap."""
-        if self._entries >= MAX_CACHE_ENTRIES:
-            # Mask ids must go with the region keys built from them.
-            for memo in self._masks:
-                memo.clear()
-            for memo in self._mask_ids:
-                memo.clear()
-            for memo in self._regions:
-                memo.clear()
-            self._entries = 0
-            self.evictions += 1
+        """Round-robin eviction: clear whole components until half full.
+
+        Clearing per component (instead of nuking every memo at once)
+        keeps the rest of the network's warm state intact.  The
+        mask-byte -> interned-id tables (``_mask_ids``) are deliberately
+        *preserved*: region keys embed interned mask ids, so a component
+        rebuilt after eviction must intern identical masks to identical
+        ids or its new region keys would collide with stale ones.  The
+        id tables are bounded by the distinct conduction patterns seen
+        (far smaller than the solve memos they stabilize).
+        """
+        if self._entries < MAX_CACHE_ENTRIES:
+            return
+        target = MAX_CACHE_ENTRIES // 2
+        n = len(self.components)
+        comp_entries = self._comp_entries
+        scanned = 0
+        while self._entries > target and scanned < n:
+            cid = self._evict_cursor % n
+            self._evict_cursor += 1
+            scanned += 1
+            freed = comp_entries[cid]
+            if freed:
+                self._masks[cid].clear()
+                self._regions[cid].clear()
+                self._calls[cid].clear()
+                self._interns[cid].clear()
+                comp_entries[cid] = 0
+                self._entries -= freed
+        self.evictions += 1
 
     # ------------------------------------------------------------------
     # dirty-component mapping and reporting
@@ -695,7 +937,12 @@ class CompiledNetwork:
         grouped: dict[int, list[int]] = {}
         node_component = self.node_component
         for seed in seeds:
-            grouped.setdefault(node_component[seed], []).append(seed)
+            cid = node_component[seed]
+            bucket = grouped.get(cid)
+            if bucket is None:
+                grouped[cid] = [seed]
+            else:
+                bucket.append(seed)
         return grouped
 
     def component_size_histogram(self) -> dict[int, int]:

@@ -44,7 +44,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Protocol, Sequence
 
 from ..errors import OscillationError, SimulationError
-from .compiled import compile_network
+from .compiled import compile_network, state_keys
 from .logic import X
 from .network import Network
 from .steady_state import solve_vicinity
@@ -161,6 +161,10 @@ def solve_round(
     if locality == "compiled":
         compiled = compile_network(net)
         grouped = compiled.components_for_seeds(seeds)
+        # One cache-key builder for the whole round: states are stable
+        # within a round, so the (numpy) snapshot is shared by every
+        # dirty component's gate and solve keys.
+        keys = state_keys(states)
         solutions = []
         for cid in sorted(grouped):
             solved = compiled.solve_seeded(
@@ -172,6 +176,7 @@ def solve_round(
                 forced_transistors,
                 use_cache=solve_cache,
                 sig_cache=sig_cache,
+                keys=keys,
             )
             for members, boundary, changes, sub_seeds in solved:
                 if stats is not None:

@@ -1,0 +1,91 @@
+"""scripts/bench_delta.py: baseline diffing and cpus-mismatch guard."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+_SCRIPT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "scripts",
+    "bench_delta.py",
+)
+
+spec = importlib.util.spec_from_file_location("bench_delta", _SCRIPT)
+bench_delta = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_delta)
+
+
+def _write(path, payload):
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream)
+
+
+def _run(capsys, baseline_dir, current_dir):
+    code = bench_delta.main([str(baseline_dir), str(current_dir)])
+    assert code == 0
+    return capsys.readouterr().out
+
+
+def test_compares_timing_leaves(tmp_path, capsys):
+    baseline = tmp_path / "base"
+    current = tmp_path / "cur"
+    baseline.mkdir()
+    current.mkdir()
+    _write(baseline / "BENCH_x.json", {"wall_seconds": 1.0, "detected": 3})
+    _write(current / "BENCH_x.json", {"wall_seconds": 2.0, "detected": 3})
+    out = _run(capsys, baseline, current)
+    assert "+100.0%" in out
+    # Non-timing leaves (detected) are not compared.
+    assert "detected" not in out
+
+
+def test_speedup_skipped_when_cpus_differ(tmp_path, capsys):
+    baseline = tmp_path / "base"
+    current = tmp_path / "cur"
+    baseline.mkdir()
+    current.mkdir()
+    payload = {
+        "cpus": 1,
+        "runs": {"2": {"wall_seconds": 3.0, "speedup_vs_jobs1": 0.7}},
+    }
+    _write(baseline / "BENCH_shard.json", payload)
+    _write(
+        current / "BENCH_shard.json",
+        {
+            "cpus": 4,
+            "runs": {"2": {"wall_seconds": 1.5, "speedup_vs_jobs1": 1.9}},
+        },
+    )
+    out = _run(capsys, baseline, current)
+    # Speedups across different machine shapes are not comparable.
+    assert "(skipped: cpus 1 vs 4)" in out
+    # Wall clocks still get a (noisy, warn-only) delta.
+    assert "-50.0%" in out
+    # The speedup row must not show a numeric delta.
+    for line in out.splitlines():
+        if "speedup_vs_jobs1" in line:
+            assert "%" not in line
+
+
+def test_speedup_compared_when_cpus_match(tmp_path, capsys):
+    baseline = tmp_path / "base"
+    current = tmp_path / "cur"
+    baseline.mkdir()
+    current.mkdir()
+    _write(baseline / "BENCH_shard.json", {"cpus": 2, "speedup_vs_jobs1": 1.0})
+    _write(current / "BENCH_shard.json", {"cpus": 2, "speedup_vs_jobs1": 1.5})
+    out = _run(capsys, baseline, current)
+    assert "skipped" not in out
+    assert "+50.0%" in out
+
+
+def test_missing_baseline_marks_new(tmp_path, capsys):
+    baseline = tmp_path / "base"
+    current = tmp_path / "cur"
+    baseline.mkdir()
+    current.mkdir()
+    _write(current / "BENCH_new.json", {"wall_seconds": 1.0})
+    out = _run(capsys, baseline, current)
+    assert "(new)" in out
