@@ -45,6 +45,13 @@ SCALES = {
         # serial ~2x, concurrent ~1.5x, batch ~1.1x).
         "compiled_min_hit_rate": 0.5,
         "compiled_max_ratio": 1.05,
+        # Service benchmark (test_service_warm.py): the fig1 RAM16 job
+        # submitted twice to a fresh server -- the second (warm) job
+        # must beat the cold one end-to-end by this factor, plus a
+        # throughput probe with this many concurrent clients.
+        "service": (4, 4, 48),
+        "service_min_warm_speedup": 1.3,
+        "service_clients": 4,
     },
     "paper": {
         "fig1": (8, 8, 428),
@@ -61,6 +68,9 @@ SCALES = {
         "shard_min_speedup": 1.5,
         "compiled_min_hit_rate": 0.5,
         "compiled_max_ratio": 1.05,
+        "service": (8, 8, 428),
+        "service_min_warm_speedup": 1.3,
+        "service_clients": 4,
     },
 }
 

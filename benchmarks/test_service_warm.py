@@ -1,0 +1,218 @@
+"""Cold vs warm job latency through the service -> BENCH_service.json.
+
+Submits the Figure-1 workload (RAM16, Test Sequence 1, the seed-1985
+fault sample -- all node-stuck faults, so the compiled form and solve
+cache carry between jobs) to an in-process fault-sim server twice per
+repeat: the first job lands on an empty worker and pays parse +
+compile + cache warm-up, the second hits the worker's circuit cache
+and starts hot.  Each repeat uses a *fresh* server so its cold job is
+genuinely cold; minima over ``REPEATS`` are kept, as everywhere else
+in this suite.
+
+Checks (absolute times are machine-dependent):
+
+* the warm job's streamed detections are identical to a local serial
+  backend run of the same workload -- the service changes *where* the
+  simulation happens, never the results;
+* the warm job reports ``compile_seconds == 0`` and a miss-free solve
+  cache;
+* warm beats cold end-to-end by ``service_min_warm_speedup`` (the
+  measured margin on the dev box is ~3x; the threshold absorbs
+  runner noise).
+
+A second section measures throughput under ``service_clients``
+concurrent clients hammering the same circuit; on a single-CPU runner
+this mostly exercises queueing, so it is recorded, not asserted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+
+from repro.circuits.ram import build_ram
+from repro.core import SimPolicy, run_backend
+from repro.core.faults import ram_fault_universe, sample_faults
+from repro.patterns.sequences import sequence1
+from repro.service.client import ServiceClient, job_from_network
+from repro.service.server import FaultSimServer
+
+_OUT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_service.json",
+)
+
+REPEATS = 3
+
+
+class _Harness:
+    """A FaultSimServer on a background thread's event loop."""
+
+    def __init__(self, workers=1):
+        self.server = FaultSimServer(port=0, workers=workers)
+        self.loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        assert self._ready.wait(timeout=60), "server failed to start"
+
+    def _run(self):
+        asyncio.set_event_loop(self.loop)
+
+        async def main():
+            await self.server.start()
+            self._ready.set()
+            await self.server._stopped.wait()
+
+        self.loop.run_until_complete(main())
+
+    def client(self) -> ServiceClient:
+        host, port = self.server.address
+        return ServiceClient(host=host, port=port)
+
+    def stop(self):
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self.loop
+        )
+        future.result(timeout=60)
+        self.thread.join(timeout=10)
+        self.loop.close()
+
+
+def _workload(rows, cols, n_faults):
+    ram = build_ram(rows, cols)
+    patterns = list(sequence1(ram).patterns)
+    universe = ram_fault_universe(ram)
+    if n_faults is None or n_faults >= len(universe):
+        faults = universe
+    else:
+        faults = sample_faults(universe, n_faults, seed=1985)
+    return ram, patterns, faults
+
+
+def _detection_map(report, n_faults):
+    return {
+        cid: (
+            (hit.pattern_index, hit.phase_index)
+            if (hit := report.log.first_detection(cid))
+            else None
+        )
+        for cid in range(1, n_faults + 1)
+    }
+
+
+def test_service_warm_vs_cold(bench_scale):
+    rows, cols, n_faults = bench_scale["service"]
+    policy = SimPolicy(clock="perf")
+    ram, patterns, faults = _workload(rows, cols, n_faults)
+    job = job_from_network(ram.net, [ram.dout], faults, patterns,
+                           policy=policy)
+
+    cold_wall = warm_wall = None
+    cold_result = warm_result = None
+    for _ in range(REPEATS):
+        harness = _Harness(workers=1)
+        try:
+            client = harness.client()
+            start = time.perf_counter()
+            cold = client.run(job)
+            cold_elapsed = time.perf_counter() - start
+            start = time.perf_counter()
+            warm = client.run(job)
+            warm_elapsed = time.perf_counter() - start
+        finally:
+            harness.stop()
+        assert cold.warm is False
+        assert warm.warm is True
+        if cold_wall is None or cold_elapsed < cold_wall:
+            cold_wall, cold_result = cold_elapsed, cold
+        if warm_wall is None or warm_elapsed < warm_wall:
+            warm_wall, warm_result = warm_elapsed, warm
+
+    # The warm contract: no parse, no compile, miss-free solve cache.
+    assert warm_result.timings["compile_seconds"] == 0.0
+    assert cold_result.timings["compile_seconds"] > 0.0
+    warm_cache = warm_result.report.solve_cache
+    assert warm_cache is not None and warm_cache["misses"] == 0
+
+    # Parity with the serial reference backend: identical detections.
+    serial = run_backend(
+        "serial", ram.net, faults, [ram.dout], patterns, policy
+    )
+    baseline = _detection_map(serial, len(faults))
+    assert _detection_map(cold_result.report, len(faults)) == baseline
+    assert _detection_map(warm_result.report, len(faults)) == baseline
+
+    # The headline number: warm must beat cold end-to-end.
+    min_speedup = bench_scale["service_min_warm_speedup"]
+    speedup = cold_wall / warm_wall
+    assert speedup >= min_speedup, (cold_wall, warm_wall, speedup)
+
+    # Throughput under concurrent clients (recorded, not asserted:
+    # on a single-CPU runner this measures queueing, not parallelism).
+    n_clients = bench_scale["service_clients"]
+    harness = _Harness(workers=min(2, os.cpu_count() or 1))
+    try:
+        failures = []
+
+        def hammer():
+            try:
+                harness.client().run(job)
+            except Exception as exc:  # pragma: no cover - failure path
+                failures.append(exc)
+
+        harness.client().run(job)  # warm the pool first
+        threads = [
+            threading.Thread(target=hammer) for _ in range(n_clients)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        concurrent_wall = time.perf_counter() - start
+        assert not failures
+    finally:
+        harness.stop()
+
+    payload = {
+        "workload": "fig1_sequence1",
+        "circuit": ram.name,
+        "rows": rows,
+        "cols": cols,
+        "n_patterns": len(patterns),
+        "n_faults": len(faults),
+        "detection_policy": policy.detection_policy,
+        "clock": "perf",
+        "detected": warm_result.report.detected,
+        "cold_wall_seconds": round(cold_wall, 6),
+        "warm_wall_seconds": round(warm_wall, 6),
+        "warm_speedup": round(speedup, 3),
+        "cold_timings": {
+            key: round(value, 6)
+            for key, value in sorted(cold_result.timings.items())
+        },
+        "warm_timings": {
+            key: round(value, 6)
+            for key, value in sorted(warm_result.timings.items())
+        },
+        "warm_solve_cache": {
+            "hits": warm_cache["hits"],
+            "misses": warm_cache["misses"],
+            "hit_rate": round(warm_cache["hit_rate"], 4),
+        },
+        "concurrent_clients": {
+            "clients": n_clients,
+            "jobs": n_clients,
+            "wall_seconds": round(concurrent_wall, 6),
+            "jobs_per_second": round(n_clients / concurrent_wall, 3),
+        },
+    }
+    with open(_OUT_PATH, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2)
+        stream.write("\n")
+    print()
+    print(json.dumps(payload, indent=2))

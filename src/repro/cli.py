@@ -25,6 +25,17 @@ Subcommands::
     fmossim experiment {fig1,fig2,fig3,scaling} [--rows R --cols C ...]
         Reproduce one of the paper's experiments and print the figure.
 
+    fmossim serve [--host H] [--port P] [--workers N] [--cache-size N]
+        Run the fault-simulation service: an asyncio TCP job server
+        over persistent warm-state workers (see repro.service).
+        Stops gracefully on SIGTERM/SIGINT.
+
+    fmossim submit NETLIST --observe OUT [faultsim options]
+                           [--host H] [--port P] [--no-stream]
+        Submit a fault-simulation job to a running service and stream
+        its per-pattern results as they land.  Takes the same fault /
+        pattern / policy / backend options as faultsim.
+
 Netlists use the text format of :mod:`repro.netlist.sim_format`.
 """
 
@@ -141,6 +152,78 @@ def build_parser() -> argparse.ArgumentParser:
     _add_policy_arguments(faultsim)
     add_backend_option_arguments(faultsim)
     faultsim.set_defaults(handler=cmd_faultsim)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the fault-simulation service (asyncio job server "
+        "over persistent warm-state workers)",
+    )
+    serve.add_argument(
+        "--host", default=None,
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port (default: 7455; 0 binds an ephemeral port)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="persistent worker processes (default: cpu count)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=None, metavar="N",
+        help="circuits each worker keeps warm (default: 4)",
+    )
+    serve.set_defaults(handler=cmd_serve)
+
+    submit = commands.add_parser(
+        "submit",
+        help="submit a fault-simulation job to a running service "
+        "and stream its results",
+    )
+    submit.add_argument("netlist")
+    submit.add_argument(
+        "--observe", action="append", required=True, metavar="NODE"
+    )
+    submit.add_argument(
+        "--patterns",
+        help="pattern file: one 'a=1 b=0' line per input setting, "
+        "blank lines separate patterns",
+    )
+    submit.add_argument(
+        "--faults",
+        choices=["stuck", "transistor", "all"],
+        default="stuck",
+        help="fault universe (default: node stuck-at faults)",
+    )
+    submit.add_argument(
+        "--limit", type=int, default=None,
+        help="randomly sample at most this many faults",
+    )
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="concurrent",
+        help="fault-simulation strategy (default: concurrent)",
+    )
+    submit.add_argument(
+        "--host", default=None,
+        help="service host (default: 127.0.0.1)",
+    )
+    submit.add_argument(
+        "--port", type=int, default=None,
+        help="service port (default: 7455)",
+    )
+    submit.add_argument(
+        "--no-stream",
+        action="store_true",
+        help="suppress the per-pattern result stream; print only the "
+        "final summary",
+    )
+    _add_policy_arguments(submit)
+    add_backend_option_arguments(submit)
+    submit.set_defaults(handler=cmd_submit)
 
     validate_cmd = commands.add_parser(
         "validate", help="run netlist lints"
@@ -306,8 +389,8 @@ def _load_patterns(path: str) -> list[TestPattern]:
     return patterns
 
 
-def cmd_faultsim(args) -> int:
-    net = sim_format.load_path(args.netlist)
+def _build_workload(args, net):
+    """The shared faultsim/submit workload: faults, patterns, policy."""
     if args.faults == "stuck":
         faults = node_stuck_universe(net)
     elif args.faults == "transistor":
@@ -327,6 +410,35 @@ def cmd_faultsim(args) -> int:
         drop_on_detect=not args.no_drop,
         clock=args.clock,
     )
+    return faults, patterns, policy
+
+
+def _print_report(report, faults, clock: str) -> None:
+    clock_label = "CPU" if clock == "process" else "wall"
+    print(
+        f"{report.detected}/{report.n_faults} faults detected "
+        f"({report.coverage:.1%}) over {report.n_patterns} patterns "
+        f"in {report.total_seconds:.2f}s {clock_label} "
+        f"({report.backend} backend)"
+    )
+    if report.solve_cache is not None:
+        cache = report.solve_cache
+        print(
+            f"  solve cache: {cache['hits']} hits / "
+            f"{cache['misses']} misses ({cache['hit_rate']:.1%})"
+        )
+    for detection in report.log.detections:
+        print(f"  {detection}")
+    undetected = (
+        set(range(1, len(faults) + 1)) - report.log.detected_circuits()
+    )
+    for cid in sorted(undetected):
+        print(f"  undetected: {faults[cid - 1].describe()}")
+
+
+def cmd_faultsim(args) -> int:
+    net = sim_format.load_path(args.netlist)
+    faults, patterns, policy = _build_workload(args, net)
     run = lambda: run_backend(  # noqa: E731 - one invocation, two modes
         args.backend, net, faults, args.observe, patterns, policy,
         **backend_options_from_args(args),
@@ -342,24 +454,118 @@ def cmd_faultsim(args) -> int:
         ).print_stats(args.profile)
     else:
         report = run()
-    clock_label = "CPU" if args.clock == "process" else "wall"
-    print(
-        f"{report.detected}/{report.n_faults} faults detected "
-        f"({report.coverage:.1%}) over {report.n_patterns} patterns "
-        f"in {report.total_seconds:.2f}s {clock_label} "
-        f"({report.backend} backend)"
-    )
-    if report.solve_cache is not None:
-        cache = report.solve_cache
+    _print_report(report, faults, args.clock)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .service.server import FaultSimServer
+
+    kwargs = {}
+    if args.host is not None:
+        kwargs["host"] = args.host
+    if args.workers is not None:
+        kwargs["workers"] = args.workers
+    if args.cache_size is not None:
+        kwargs["cache_size"] = args.cache_size
+    if args.port is not None:
+        kwargs["port"] = args.port
+    else:
+        from .service.protocol import DEFAULT_PORT
+
+        kwargs["port"] = DEFAULT_PORT
+    server = FaultSimServer(**kwargs)
+
+    def ready(srv) -> None:
+        host, port = srv.address
         print(
-            f"  solve cache: {cache['hits']} hits / "
-            f"{cache['misses']} misses ({cache['hit_rate']:.1%})"
+            f"fault-sim service listening on {host}:{port} "
+            f"({srv.pool.workers} worker(s), "
+            f"cache {srv.pool.cache_size} circuit(s)/worker)",
+            flush=True,
         )
-    for detection in report.log.detections:
-        print(f"  {detection}")
-    undetected = set(range(1, len(faults) + 1)) - report.log.detected_circuits()
-    for cid in sorted(undetected):
-        print(f"  undetected: {faults[cid - 1].describe()}")
+
+    asyncio.run(server.serve(ready=ready))
+    print("fault-sim service stopped", flush=True)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from .service.client import ServiceClient
+    from .service.protocol import (
+        DEFAULT_HOST,
+        DEFAULT_PORT,
+        CancelledFrame,
+        DoneFrame,
+        JobSpec,
+        PatternFrame,
+        StartedFrame,
+    )
+
+    # The raw file text travels on the wire: the service's circuit
+    # fingerprint is the content hash, so resubmitting the same file
+    # must hash identically (no parse/dump round trip).
+    with open(args.netlist, "r", encoding="utf-8") as stream:
+        netlist_text = stream.read()
+    net = sim_format.loads(netlist_text)
+    faults, patterns, policy = _build_workload(args, net)
+    job = JobSpec(
+        netlist=netlist_text,
+        observed=tuple(args.observe),
+        faults=tuple(faults),
+        patterns=tuple(patterns),
+        policy=policy,
+        backend=args.backend,
+        options=backend_options_from_args(args),
+    )
+    client = ServiceClient(
+        host=args.host if args.host is not None else DEFAULT_HOST,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+    )
+    stream_frames = not args.no_stream
+    handle = client.submit(job, stream=stream_frames)
+    print(f"submitted {handle.job_id}", flush=True)
+    result = None
+    for frame in handle:
+        if isinstance(frame, StartedFrame):
+            cache_state = "warm" if frame.warm else "cold"
+            print(
+                f"started on worker {frame.worker} "
+                f"({cache_state} circuit cache)",
+                flush=True,
+            )
+        elif isinstance(frame, PatternFrame) and stream_frames:
+            record = frame.record
+            print(
+                f"  pattern {record.index} [{record.label}]: "
+                f"{record.detections} detected, "
+                f"{record.live_after} live, {record.seconds:.3f}s",
+                flush=True,
+            )
+        elif isinstance(frame, CancelledFrame):
+            print(
+                f"cancelled after {frame.patterns_completed} pattern(s)",
+                file=sys.stderr,
+            )
+            return 1
+        elif isinstance(frame, DoneFrame):
+            result = frame
+    if result is None:
+        print("job ended without a result", file=sys.stderr)
+        return 1
+    _print_report(result.report, faults, policy.clock)
+    timings = result.timings
+    print(
+        "  service: queue {q:.3f}s | compile {c:.3f}s | "
+        "simulate {s:.3f}s | total {t:.3f}s".format(
+            q=timings.get("queue_seconds", 0.0),
+            c=timings.get("compile_seconds", 0.0),
+            s=timings.get("simulate_seconds", 0.0),
+            t=timings.get("total_seconds", 0.0),
+        )
+    )
     return 0
 
 

@@ -75,6 +75,7 @@ __all__ = [
     "get_backend",
     "register_backend",
     "run_backend",
+    "supports_progress",
 ]
 
 
@@ -103,7 +104,14 @@ DEFAULT_POLICY = SimPolicy()
 
 
 class FaultSimBackend(ABC):
-    """One fault-simulation strategy behind the common contract."""
+    """One fault-simulation strategy behind the common contract.
+
+    Backends whose strategy walks the pattern sequence in order may
+    additionally accept a keyword-only ``progress`` callback on
+    :meth:`run` (called per pattern with ``(record, detections)``); the
+    service layer probes for it with :func:`supports_progress` and
+    streams results mid-run where available.
+    """
 
     #: Registry key; subclasses must set it.
     name: ClassVar[str] = ""
@@ -185,6 +193,12 @@ def get_backend(name: str, **options) -> FaultSimBackend:
             f"invalid options for backend {name!r} (given: {given}); "
             f"backend {name!r} {backend_options_summary(name)}"
         ) from None
+
+
+def supports_progress(backend: FaultSimBackend) -> bool:
+    """True if the backend's :meth:`~FaultSimBackend.run` accepts a
+    per-pattern ``progress`` callback (mid-run result streaming)."""
+    return "progress" in inspect.signature(backend.run).parameters
 
 
 def run_backend(
@@ -293,6 +307,8 @@ class ConcurrentBackend(FaultSimBackend):
         observed: Sequence[str],
         patterns: Iterable[TestPattern],
         policy: SimPolicy = DEFAULT_POLICY,
+        *,
+        progress=None,
     ) -> RunReport:
         simulator = ConcurrentFaultSimulator(
             net,
@@ -305,7 +321,8 @@ class ConcurrentBackend(FaultSimBackend):
             solve_cache=self.solve_cache,
         )
         before = cache_stats(simulator.network)
-        report = simulator.run(patterns, clock=policy.clock)
+        report = simulator.run(patterns, clock=policy.clock,
+                               progress=progress)
         if self.locality == "compiled":
             report.solve_cache = _cache_delta(simulator.network, before)
         return report
@@ -334,6 +351,8 @@ class BatchBackend(FaultSimBackend):
         observed: Sequence[str],
         patterns: Iterable[TestPattern],
         policy: SimPolicy = DEFAULT_POLICY,
+        *,
+        progress=None,
     ) -> RunReport:
         simulator = BatchFaultSimulator(
             net,
@@ -348,7 +367,8 @@ class BatchBackend(FaultSimBackend):
         )
         before = cache_stats(simulator.network)
         lane_hits_before, lane_misses_before = simulator.lane_cache_counters()
-        report = simulator.run(patterns, clock=policy.clock)
+        report = simulator.run(patterns, clock=policy.clock,
+                               progress=progress)
         if self.locality == "compiled":
             # One pool: the scalar good engine's network-level cache
             # plus the per-chunk lane caches.

@@ -217,27 +217,35 @@ class BatchFaultSimulator:
         patterns: Iterable[TestPattern],
         *,
         clock: str = "process",
+        progress=None,
     ) -> RunReport:
-        """Simulate a pattern sequence; returns the measurement report."""
+        """Simulate a pattern sequence; returns the measurement report.
+
+        ``progress``, if given, is called after every pattern with
+        ``(record, detections)``; see
+        :meth:`repro.core.concurrent.ConcurrentFaultSimulator.run`.
+        """
         timer = time.process_time if clock == "process" else time.perf_counter
         report = RunReport(n_faults=self.n_faults, backend="batch")
         start_total = timer()
         for pattern in patterns:
             detected_before = len(self.log.detected_circuits())
+            events_before = len(self.log.detections)
             start = timer()
             self.apply_pattern(pattern)
             elapsed = timer() - start
-            report.patterns.append(
-                PatternRecord(
-                    index=self._pattern_index - 1,
-                    label=pattern.label,
-                    seconds=elapsed,
-                    detections=(
-                        len(self.log.detected_circuits()) - detected_before
-                    ),
-                    live_after=len(self.live),
-                )
+            record = PatternRecord(
+                index=self._pattern_index - 1,
+                label=pattern.label,
+                seconds=elapsed,
+                detections=(
+                    len(self.log.detected_circuits()) - detected_before
+                ),
+                live_after=len(self.live),
             )
+            report.patterns.append(record)
+            if progress is not None:
+                progress(record, tuple(self.log.detections[events_before:]))
         report.total_seconds = timer() - start_total
         report.log = self.log
         report.oscillation_events = (

@@ -5,8 +5,11 @@ of work *within one process*; the next scaling axis is to partition the
 fault universe itself.  ``ShardedBackend`` (registered as ``"sharded"``)
 splits the fault list into ``jobs`` contiguous shards, runs any inner
 registered strategy (``serial`` / ``concurrent`` / ``batch``) on each
-shard in a :class:`concurrent.futures.ProcessPoolExecutor`, and merges
-the per-shard :class:`~repro.core.report.RunReport`\\ s back into one.
+shard in a process pool -- an injected persistent executor when the
+caller provides one (see :func:`shared_executor`), otherwise a per-run
+:class:`concurrent.futures.ProcessPoolExecutor` capped at
+``os.cpu_count()`` workers -- and merges the per-shard
+:class:`~repro.core.report.RunReport`\\ s back into one.
 
 Sharding is exact, not approximate, because the strategies share no
 state across faulty circuits beyond the good-circuit reference: every
@@ -52,8 +55,10 @@ Merge rules
 
 from __future__ import annotations
 
+import atexit
+import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
@@ -70,10 +75,49 @@ from .backends import (
 from .faults import Fault
 from .report import PatternRecord, RunReport
 
-__all__ = ["ShardedBackend", "shard_slices"]
+__all__ = ["ShardedBackend", "shard_slices", "shared_executor"]
 
 #: Default number of worker processes.
 DEFAULT_JOBS = 2
+
+
+def _cpu_cap(n_tasks: int) -> int:
+    """Worker-process cap for a fan-out of ``n_tasks`` shards.
+
+    More workers than cores is pure fork-and-contend overhead (the
+    BENCH_shard 0.8-0.9x "speedup" pathology on a 1-CPU box), so the
+    executor never gets more than ``os.cpu_count()`` workers; extra
+    shards simply queue.
+    """
+    return max(1, min(n_tasks, os.cpu_count() or 1))
+
+
+_SHARED_EXECUTOR: ProcessPoolExecutor | None = None
+
+
+def shared_executor() -> ProcessPoolExecutor:
+    """The process-wide persistent shard executor (lazily created).
+
+    Long-lived callers -- the service worker pool above all -- inject
+    this into :class:`ShardedBackend` so repeated sharded jobs reuse
+    one warm set of worker processes instead of paying fork + import
+    per run.  Capped at ``os.cpu_count()`` workers and shut down
+    automatically at interpreter exit.
+    """
+    global _SHARED_EXECUTOR
+    if _SHARED_EXECUTOR is None:
+        _SHARED_EXECUTOR = ProcessPoolExecutor(
+            max_workers=_cpu_cap(os.cpu_count() or 1)
+        )
+        atexit.register(_shutdown_shared_executor)
+    return _SHARED_EXECUTOR
+
+
+def _shutdown_shared_executor() -> None:
+    global _SHARED_EXECUTOR
+    if _SHARED_EXECUTOR is not None:
+        _SHARED_EXECUTOR.shutdown(wait=True, cancel_futures=True)
+        _SHARED_EXECUTOR = None
 
 
 def shard_slices(n_items: int, jobs: int) -> list[tuple[int, int]]:
@@ -212,12 +256,20 @@ def merge_shard_reports(
 class ShardedBackend(FaultSimBackend):
     """Fault-partitioned multiprocess simulation over any inner backend.
 
-    ``jobs`` bounds the worker-process count (the shard count is
+    ``jobs`` bounds the shard count (the actual count is
     ``min(jobs, len(faults))``); ``inner_backend`` names the registered
     strategy each shard runs; remaining keyword options are forwarded to
     the inner backend's constructor (e.g. ``lane_width`` when the inner
     backend is ``batch``).  A single shard runs inline, so ``jobs=1`` is
     the overhead-free baseline for speedup measurements.
+
+    ``pool`` injects a persistent executor (anything with
+    ``Executor``'s ``map``, e.g. :func:`shared_executor`): shards run on
+    it and it is *not* shut down between runs, which is how the service
+    worker pool keeps sharded jobs from paying per-run fork churn.
+    Without it, a per-run :class:`~concurrent.futures.ProcessPoolExecutor`
+    is the fallback, capped at ``os.cpu_count()`` workers regardless of
+    the shard count.
     """
 
     name = "sharded"
@@ -226,6 +278,7 @@ class ShardedBackend(FaultSimBackend):
         self,
         jobs: int = DEFAULT_JOBS,
         inner_backend: str = "concurrent",
+        pool: Executor | None = None,
         **inner_options,
     ):
         if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
@@ -236,6 +289,11 @@ class ShardedBackend(FaultSimBackend):
             raise SimulationError(
                 "sharded: the inner backend cannot itself be 'sharded'"
             )
+        if pool is not None and not callable(getattr(pool, "map", None)):
+            raise SimulationError(
+                "sharded: pool must be an executor with a map() method, "
+                f"got {type(pool).__name__}"
+            )
         # Validate the inner backend name and options eagerly, so a bad
         # combination fails at configuration time, not inside a worker.
         try:
@@ -244,6 +302,7 @@ class ShardedBackend(FaultSimBackend):
             raise SimulationError(f"sharded: {error}") from None
         self.jobs = jobs
         self.inner_backend = inner_backend
+        self.pool = pool
         self.inner_options = dict(inner_options)
 
     def run(
@@ -273,8 +332,13 @@ class ShardedBackend(FaultSimBackend):
         start = time.perf_counter()
         if len(tasks) == 1:
             results = [_simulate_shard(tasks[0])]
+        elif self.pool is not None:
+            # Injected persistent executor: use, never shut down.
+            results = list(self.pool.map(_simulate_shard, tasks))
         else:
-            with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+            with ProcessPoolExecutor(
+                max_workers=_cpu_cap(len(tasks))
+            ) as pool:
                 results = list(pool.map(_simulate_shard, tasks))
         wall_seconds = time.perf_counter() - start
         tag = f"sharded({self.inner_backend}x{len(tasks)})"

@@ -1,0 +1,288 @@
+"""Synchronous client for the fault-simulation service.
+
+Small by design: it speaks the frame protocol over plain blocking
+sockets (one connection per request; a streaming submit keeps its
+connection for the duration of the job), and it is what the ``fmossim
+submit`` CLI subcommand, the benchmarks and the tests use.
+
+Typical use::
+
+    client = ServiceClient(port=port)
+    job = job_from_network(ram.net, [ram.dout], faults, patterns)
+    for frame in client.submit(job):
+        ...                       # StartedFrame / PatternFrame / ...
+    # or, collecting everything:
+    result = client.run(job)      # -> ServiceResult
+    result.report                 # the reconstructed RunReport
+    result.timings                # queue / compile / simulate / total
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+from ..core.backends import DEFAULT_POLICY, SimPolicy
+from ..core.faults import Fault
+from ..core.report import RunReport
+from ..errors import SimulationError
+from ..netlist.sim_format import dumps as dump_netlist
+from ..patterns.clocking import TestPattern
+from ..switchlevel.network import Network
+from .protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    CancelledFrame,
+    DoneFrame,
+    ErrorFrame,
+    JobSpec,
+    PatternFrame,
+    PongFrame,
+    ProtocolError,
+    Response,
+    StartedFrame,
+    StatusFrame,
+    parse_response,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = [
+    "JobCancelled",
+    "JobStream",
+    "ServiceClient",
+    "ServiceResult",
+    "job_from_network",
+]
+
+
+class JobCancelled(SimulationError):
+    """The job was cancelled before producing its report."""
+
+    def __init__(self, job_id: str, patterns_completed: int):
+        super().__init__(
+            f"job {job_id} cancelled after "
+            f"{patterns_completed} pattern(s)"
+        )
+        self.job_id = job_id
+        self.patterns_completed = patterns_completed
+
+
+def job_from_network(
+    net: Network,
+    observed: Sequence[str],
+    faults: Sequence[Fault],
+    patterns: Sequence[TestPattern],
+    policy: SimPolicy = DEFAULT_POLICY,
+    backend: str = "concurrent",
+    options: dict[str, Any] | None = None,
+) -> JobSpec:
+    """Build a :class:`~repro.service.protocol.JobSpec` from in-memory
+    objects (the netlist travels as sim-format text)."""
+    return JobSpec(
+        netlist=dump_netlist(net),
+        observed=tuple(observed),
+        faults=tuple(faults),
+        patterns=tuple(patterns),
+        policy=policy,
+        backend=backend,
+        options=dict(options or {}),
+    )
+
+
+@dataclass
+class ServiceResult:
+    """Everything a finished job reported."""
+
+    job_id: str
+    report: RunReport
+    timings: dict[str, float]
+    warm: bool
+    fingerprint: str
+    started: StartedFrame | None = None
+    pattern_frames: list[PatternFrame] = field(default_factory=list)
+
+    @property
+    def streamed_detections(self) -> int:
+        return sum(len(f.detections) for f in self.pattern_frames)
+
+
+class JobStream:
+    """A submitted job's response stream (iterable of typed frames).
+
+    Yields :class:`StartedFrame`, :class:`PatternFrame` and finally the
+    terminal frame; the connection closes after the terminal frame.  An
+    ``error`` frame raises its mapped exception instead of being
+    yielded.  Use :meth:`result` to consume the remainder into a
+    :class:`ServiceResult`.
+    """
+
+    def __init__(self, sock: socket.socket, job_id: str):
+        self._sock = sock
+        self.job_id = job_id
+        self._finished = False
+
+    def __iter__(self) -> Iterator[Response]:
+        while not self._finished:
+            frame = self._next()
+            yield frame
+            if isinstance(frame, (DoneFrame, CancelledFrame)):
+                return
+
+    def _next(self) -> Response:
+        if self._finished:
+            raise ProtocolError(f"job {self.job_id}: stream already ended")
+        try:
+            wire = recv_frame(self._sock)
+        except Exception:
+            self.close()
+            raise
+        if wire is None:
+            self.close()
+            raise ProtocolError(
+                f"job {self.job_id}: server closed the stream mid-job"
+            )
+        response = parse_response(wire)
+        if isinstance(response, ErrorFrame):
+            self.close()
+            raise response.to_exception()
+        if isinstance(response, (DoneFrame, CancelledFrame)):
+            self.close()
+        return response
+
+    def result(self) -> ServiceResult:
+        """Consume the stream; returns the result of a finished job.
+
+        Raises :class:`JobCancelled` if the job was cancelled, or the
+        mapped exception if the server reported an error.
+        """
+        started: StartedFrame | None = None
+        pattern_frames: list[PatternFrame] = []
+        for frame in self:
+            if isinstance(frame, StartedFrame):
+                started = frame
+            elif isinstance(frame, PatternFrame):
+                pattern_frames.append(frame)
+            elif isinstance(frame, CancelledFrame):
+                raise JobCancelled(self.job_id, frame.patterns_completed)
+            elif isinstance(frame, DoneFrame):
+                return ServiceResult(
+                    job_id=self.job_id,
+                    report=frame.report,
+                    timings=frame.timings,
+                    warm=bool(started.warm if started else False),
+                    fingerprint=started.fingerprint if started else "",
+                    started=started,
+                    pattern_frames=pattern_frames,
+                )
+        raise ProtocolError(
+            f"job {self.job_id}: stream ended without a terminal frame"
+        )
+
+    def close(self) -> None:
+        self._finished = True
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close is best effort
+            pass
+
+    def __enter__(self) -> "JobStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ServiceClient:
+    """Blocking client for one fault-simulation server."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        timeout: float = 300.0,
+    ):
+        self.host = host
+        self.port = port
+        #: Socket timeout: generous, because a streaming submit blocks
+        #: for up to one whole pattern between frames.
+        self.timeout = timeout
+
+    def _connect(self) -> socket.socket:
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise SimulationError(
+                f"cannot reach fault-sim service at "
+                f"{self.host}:{self.port}: {exc}"
+            ) from None
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _request(self, frame: dict[str, Any]) -> Response:
+        """One-shot request/response on a fresh connection."""
+        sock = self._connect()
+        try:
+            send_frame(sock, frame)
+            wire = recv_frame(sock)
+        finally:
+            sock.close()
+        if wire is None:
+            raise ProtocolError("server closed the connection on a request")
+        response = parse_response(wire)
+        if isinstance(response, ErrorFrame):
+            raise response.to_exception()
+        return response
+
+    def ping(self) -> PongFrame:
+        response = self._request({"type": "ping"})
+        if not isinstance(response, PongFrame):
+            raise ProtocolError(f"expected pong, got {response.type}")
+        return response
+
+    def status(self, job_id: str) -> StatusFrame:
+        response = self._request({"type": "status", "job_id": job_id})
+        if not isinstance(response, StatusFrame):
+            raise ProtocolError(f"expected status, got {response.type}")
+        return response
+
+    def cancel(self, job_id: str) -> StatusFrame:
+        """Ask the server to cancel a job; returns its status snapshot
+        (the terminal ``cancelled`` frame travels on the submitter's
+        stream, not this connection)."""
+        response = self._request({"type": "cancel", "job_id": job_id})
+        if not isinstance(response, StatusFrame):
+            raise ProtocolError(f"expected status, got {response.type}")
+        return response
+
+    def submit(self, job: JobSpec, stream: bool = True) -> JobStream:
+        """Submit a job; returns its :class:`JobStream` once the server
+        acknowledges it (the ``submitted`` frame)."""
+        sock = self._connect()
+        try:
+            send_frame(
+                sock,
+                {"type": "submit", "job": job.to_wire(), "stream": stream},
+            )
+            wire = recv_frame(sock)
+        except Exception:
+            sock.close()
+            raise
+        if wire is None:
+            sock.close()
+            raise ProtocolError("server closed the connection on submit")
+        response = parse_response(wire)
+        if isinstance(response, ErrorFrame):
+            sock.close()
+            raise response.to_exception()
+        if response.type != "submitted":
+            sock.close()
+            raise ProtocolError(f"expected submitted, got {response.type}")
+        return JobStream(sock, response.job_id)
+
+    def run(self, job: JobSpec, stream: bool = True) -> ServiceResult:
+        """Submit and wait: returns the finished job's result."""
+        return self.submit(job, stream=stream).result()

@@ -1,0 +1,878 @@
+"""The fault-simulation service wire protocol.
+
+Every message is a *frame*: a 4-byte big-endian length prefix followed
+by that many bytes of UTF-8 JSON encoding one object.  Every object
+carries a ``"v"`` protocol-version field and a ``"type"`` tag::
+
+    +----------------+---------------------------------------------+
+    | length (4B BE) | {"v": 1, "type": "submit", ...}  (UTF-8)    |
+    +----------------+---------------------------------------------+
+
+Request frames (client -> server): ``submit``, ``status``, ``cancel``,
+``ping``.  Response frames (server -> client): ``submitted``,
+``started``, ``pattern`` (the per-pattern result stream), ``done``,
+``cancelled``, ``status``, ``error``, ``pong``.  A streaming submit
+produces ``submitted``, then ``started``, then one ``pattern`` frame
+per test pattern *as it lands*, then exactly one terminal frame
+(``done`` / ``cancelled`` / ``error``).
+
+This module owns the framing (:class:`FrameReader` plus sync-socket and
+asyncio helpers), the typed request/response dataclasses, the wire
+codecs for the simulator's value types (faults, patterns, policies,
+detections, run reports), and the error mapping: every malformed frame
+raises :class:`ProtocolError` -- a :class:`~repro.errors.SimulationError`
+subclass -- and server-side failures travel as ``error`` frames whose
+``kind`` maps back onto the :mod:`repro.errors` hierarchy on the client.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Type
+
+from ..core.backends import SimPolicy
+from ..core.detection import Detection, DetectionLog
+from ..core.faults import (
+    Fault,
+    NodeStuckFault,
+    OpenFault,
+    ShortFault,
+    TransistorStuckFault,
+)
+from ..core.report import PatternRecord, RunReport
+from ..errors import (
+    FaultError,
+    NetlistFormatError,
+    NetworkError,
+    PatternError,
+    ReproError,
+    SimulationError,
+)
+from ..patterns.clocking import Phase, TestPattern
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "CancelRequest",
+    "CancelledFrame",
+    "DoneFrame",
+    "ErrorFrame",
+    "FrameReader",
+    "JobSpec",
+    "PatternFrame",
+    "PingRequest",
+    "PongFrame",
+    "ProtocolError",
+    "StartedFrame",
+    "StatusFrame",
+    "StatusRequest",
+    "SubmitRequest",
+    "SubmittedFrame",
+    "circuit_fingerprint",
+    "decode_payload",
+    "encode_frame",
+    "error_kind",
+    "error_to_exception",
+    "fault_from_wire",
+    "fault_to_wire",
+    "parse_request",
+    "parse_response",
+    "pattern_from_wire",
+    "pattern_to_wire",
+    "policy_from_wire",
+    "policy_to_wire",
+    "read_frame",
+    "recv_frame",
+    "report_from_wire",
+    "report_to_wire",
+    "send_frame",
+    "write_frame",
+]
+
+#: Bumped on any incompatible wire change; both sides reject mismatches.
+PROTOCOL_VERSION = 1
+
+#: Frame length prefix: 4-byte big-endian unsigned.
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame's JSON payload.  Netlist text dominates
+#: submit frames; 32 MiB comfortably covers RAM256-scale netlists while
+#: keeping a corrupted length prefix from allocating gigabytes.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7455
+
+
+class ProtocolError(SimulationError):
+    """A wire frame was malformed, oversized, or version-incompatible."""
+
+
+def circuit_fingerprint(netlist_text: str) -> str:
+    """Content hash of a netlist -- the warm-state cache key.
+
+    Textual identity is deliberate: a warm hit must not require parsing,
+    so two netlists that differ only in comments or ordering are
+    distinct circuits as far as the cache is concerned.
+    """
+    return hashlib.sha256(netlist_text.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# framing
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(payload: dict[str, Any]) -> bytes:
+    """Serialize one frame: length prefix + JSON, version stamped."""
+    if "v" not in payload:
+        payload = {"v": PROTOCOL_VERSION, **payload}
+    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(data)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _HEADER.pack(len(data)) + data
+
+
+def decode_payload(data: bytes) -> dict[str, Any]:
+    """Decode one frame's JSON payload and check the protocol version."""
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame payload must be an object, got {type(payload).__name__}"
+        )
+    version = payload.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} "
+            f"(this side speaks {PROTOCOL_VERSION})"
+        )
+    return payload
+
+
+class FrameReader:
+    """Incremental frame decoder for a byte stream.
+
+    Feed it arbitrary chunks; it yields complete decoded payloads and
+    buffers partial frames across :meth:`feed` calls, so it works with
+    any transport and any chunking (the framing fuzz tests feed it one
+    byte at a time).
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def buffered(self) -> int:
+        """Bytes currently buffered (a partial frame, between feeds)."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[dict[str, Any]]:
+        """Add bytes; return every frame completed by them, in order."""
+        self._buffer.extend(data)
+        return list(self._drain())
+
+    def _drain(self) -> Iterator[dict[str, Any]]:
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"declared frame length {length} exceeds the "
+                    f"{MAX_FRAME_BYTES}-byte limit"
+                )
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                return
+            data = bytes(self._buffer[_HEADER.size:end])
+            del self._buffer[:end]
+            yield decode_payload(data)
+
+
+def send_frame(sock: socket.socket, payload: dict[str, Any]) -> None:
+    """Write one frame to a blocking socket."""
+    sock.sendall(encode_frame(payload))
+
+
+def recv_frame(sock: socket.socket) -> dict[str, Any] | None:
+    """Read one frame from a blocking socket.
+
+    Returns ``None`` on a clean EOF at a frame boundary; EOF mid-frame
+    raises :class:`ProtocolError` (the peer truncated a frame).
+    """
+    header = _recv_exact(sock, _HEADER.size, at_boundary=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"declared frame length {length} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    data = _recv_exact(sock, length, at_boundary=False)
+    assert data is not None
+    return decode_payload(data)
+
+
+def _recv_exact(
+    sock: socket.socket, count: int, *, at_boundary: bool
+) -> bytes | None:
+    chunks = bytearray()
+    while len(chunks) < count:
+        chunk = sock.recv(count - len(chunks))
+        if not chunk:
+            if at_boundary and not chunks:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({len(chunks)}/{count} bytes)"
+            )
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+async def read_frame(reader) -> dict[str, Any] | None:
+    """Read one frame from an ``asyncio.StreamReader`` (None on EOF)."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)}/"
+            f"{_HEADER.size} header bytes)"
+        ) from None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"declared frame length {length} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    try:
+        data = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} bytes)"
+        ) from None
+    return decode_payload(data)
+
+
+async def write_frame(writer, payload: dict[str, Any]) -> None:
+    """Write one frame to an ``asyncio.StreamWriter`` and drain."""
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+# ---------------------------------------------------------------------------
+# value codecs: faults, patterns, policy, detections, reports
+# ---------------------------------------------------------------------------
+
+_FAULT_KINDS = {
+    "node-stuck": NodeStuckFault,
+    "transistor-stuck": TransistorStuckFault,
+    "short": ShortFault,
+    "open": OpenFault,
+}
+
+
+def fault_to_wire(fault: Fault) -> dict[str, Any]:
+    if isinstance(fault, NodeStuckFault):
+        return {"kind": fault.kind, "node": fault.node, "value": fault.value}
+    if isinstance(fault, TransistorStuckFault):
+        return {
+            "kind": fault.kind,
+            "transistor": fault.transistor,
+            "closed": fault.closed,
+        }
+    if isinstance(fault, ShortFault):
+        return {
+            "kind": fault.kind,
+            "node_a": fault.node_a,
+            "node_b": fault.node_b,
+        }
+    if isinstance(fault, OpenFault):
+        return {
+            "kind": fault.kind,
+            "node": fault.node,
+            "detached": list(fault.detached),
+        }
+    raise ProtocolError(f"cannot serialize fault type {type(fault).__name__}")
+
+
+def fault_from_wire(wire: dict[str, Any]) -> Fault:
+    kind = wire.get("kind")
+    try:
+        if kind == "node-stuck":
+            return NodeStuckFault(wire["node"], wire["value"])
+        if kind == "transistor-stuck":
+            return TransistorStuckFault(wire["transistor"], wire["closed"])
+        if kind == "short":
+            return ShortFault(wire["node_a"], wire["node_b"])
+        if kind == "open":
+            return OpenFault(wire["node"], tuple(wire["detached"]))
+    except KeyError as exc:
+        raise ProtocolError(
+            f"fault of kind {kind!r} is missing field {exc.args[0]!r}"
+        ) from None
+    raise ProtocolError(
+        f"unknown fault kind {kind!r}; expected one of "
+        + ", ".join(sorted(_FAULT_KINDS))
+    )
+
+
+def pattern_to_wire(pattern: TestPattern) -> dict[str, Any]:
+    return {
+        "label": pattern.label,
+        "phases": [
+            {"settings": dict(phase.settings), "observe": phase.observe}
+            for phase in pattern.phases
+        ],
+    }
+
+
+def pattern_from_wire(wire: dict[str, Any]) -> TestPattern:
+    try:
+        phases = tuple(
+            Phase(dict(p["settings"]), observe=bool(p.get("observe", True)))
+            for p in wire["phases"]
+        )
+        return TestPattern(label=wire["label"], phases=phases)
+    except (KeyError, TypeError) as exc:
+        raise ProtocolError(f"malformed pattern on the wire: {exc!r}") from None
+
+
+def policy_to_wire(policy: SimPolicy) -> dict[str, Any]:
+    return {
+        "detection_policy": policy.detection_policy,
+        "drop_on_detect": policy.drop_on_detect,
+        "max_rounds": policy.max_rounds,
+        "clock": policy.clock,
+    }
+
+
+def policy_from_wire(wire: dict[str, Any]) -> SimPolicy:
+    try:
+        return SimPolicy(
+            detection_policy=wire["detection_policy"],
+            drop_on_detect=bool(wire["drop_on_detect"]),
+            max_rounds=int(wire["max_rounds"]),
+            clock=wire["clock"],
+        )
+    except KeyError as exc:
+        raise ProtocolError(
+            f"policy on the wire is missing field {exc.args[0]!r}"
+        ) from None
+
+
+def detection_to_wire(detection: Detection) -> dict[str, Any]:
+    return {
+        "circuit_id": detection.circuit_id,
+        "description": detection.description,
+        "pattern_index": detection.pattern_index,
+        "phase_index": detection.phase_index,
+        "node": detection.node,
+        "good_state": detection.good_state,
+        "faulty_state": detection.faulty_state,
+    }
+
+
+def detection_from_wire(wire: dict[str, Any]) -> Detection:
+    try:
+        return Detection(
+            circuit_id=int(wire["circuit_id"]),
+            description=wire["description"],
+            pattern_index=int(wire["pattern_index"]),
+            phase_index=int(wire["phase_index"]),
+            node=wire["node"],
+            good_state=int(wire["good_state"]),
+            faulty_state=int(wire["faulty_state"]),
+        )
+    except KeyError as exc:
+        raise ProtocolError(
+            f"detection on the wire is missing field {exc.args[0]!r}"
+        ) from None
+
+
+def record_to_wire(record: PatternRecord) -> dict[str, Any]:
+    return {
+        "index": record.index,
+        "label": record.label,
+        "seconds": record.seconds,
+        "detections": record.detections,
+        "live_after": record.live_after,
+    }
+
+
+def record_from_wire(wire: dict[str, Any]) -> PatternRecord:
+    try:
+        return PatternRecord(
+            index=int(wire["index"]),
+            label=wire["label"],
+            seconds=float(wire["seconds"]),
+            detections=int(wire["detections"]),
+            live_after=int(wire["live_after"]),
+        )
+    except KeyError as exc:
+        raise ProtocolError(
+            f"pattern record on the wire is missing field {exc.args[0]!r}"
+        ) from None
+
+
+def report_to_wire(report: RunReport) -> dict[str, Any]:
+    return {
+        "n_faults": report.n_faults,
+        "backend": report.backend,
+        "total_seconds": report.total_seconds,
+        "oscillation_events": report.oscillation_events,
+        "shard_seconds": list(report.shard_seconds),
+        "solve_cache": report.solve_cache,
+        "patterns": [record_to_wire(p) for p in report.patterns],
+        "detections": [detection_to_wire(d) for d in report.log.detections],
+    }
+
+
+def report_from_wire(wire: dict[str, Any]) -> RunReport:
+    try:
+        log = DetectionLog()
+        for entry in wire["detections"]:
+            log.record(detection_from_wire(entry))
+        return RunReport(
+            n_faults=int(wire["n_faults"]),
+            patterns=[record_from_wire(p) for p in wire["patterns"]],
+            log=log,
+            total_seconds=float(wire["total_seconds"]),
+            oscillation_events=int(wire["oscillation_events"]),
+            backend=wire["backend"],
+            shard_seconds=[float(s) for s in wire["shard_seconds"]],
+            solve_cache=wire["solve_cache"],
+        )
+    except KeyError as exc:
+        raise ProtocolError(
+            f"run report on the wire is missing field {exc.args[0]!r}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# error mapping
+# ---------------------------------------------------------------------------
+
+#: Wire error kinds and the exception classes they round-trip through.
+#: Most-derived classes first so :func:`error_kind` picks the tightest.
+_ERROR_KINDS: tuple[tuple[str, Type[ReproError]], ...] = (
+    ("protocol", ProtocolError),
+    ("netlist", NetlistFormatError),
+    ("pattern", PatternError),
+    ("fault", FaultError),
+    ("network", NetworkError),
+    ("simulation", SimulationError),
+    ("internal", ReproError),
+)
+
+
+def error_kind(exc: BaseException) -> str:
+    """The wire ``kind`` of an exception (``internal`` for non-library)."""
+    for kind, cls in _ERROR_KINDS:
+        if isinstance(exc, cls):
+            return kind
+    return "internal"
+
+
+def error_to_exception(kind: str, message: str) -> ReproError:
+    """Rebuild the client-side exception for a wire error frame."""
+    for known, cls in _ERROR_KINDS:
+        if known == kind:
+            if cls is NetlistFormatError:
+                return NetlistFormatError(message)
+            return cls(message)
+    return SimulationError(f"[{kind}] {message}")
+
+
+# ---------------------------------------------------------------------------
+# typed request / response dataclasses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Everything a fault-simulation job needs, by value.
+
+    ``netlist`` is sim-format *text* (the server parses it; its hash is
+    the circuit fingerprint), faults and patterns are named-element
+    descriptions, so a job is self-contained and survives the wire.
+    """
+
+    netlist: str
+    observed: tuple[str, ...]
+    faults: tuple[Fault, ...]
+    patterns: tuple[TestPattern, ...]
+    policy: SimPolicy = SimPolicy()
+    backend: str = "concurrent"
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "netlist": self.netlist,
+            "observed": list(self.observed),
+            "faults": [fault_to_wire(f) for f in self.faults],
+            "patterns": [pattern_to_wire(p) for p in self.patterns],
+            "policy": policy_to_wire(self.policy),
+            "backend": self.backend,
+            "options": dict(self.options),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "JobSpec":
+        try:
+            return cls(
+                netlist=wire["netlist"],
+                observed=tuple(wire["observed"]),
+                faults=tuple(fault_from_wire(f) for f in wire["faults"]),
+                patterns=tuple(
+                    pattern_from_wire(p) for p in wire["patterns"]
+                ),
+                policy=policy_from_wire(wire["policy"]),
+                backend=wire.get("backend", "concurrent"),
+                options=dict(wire.get("options", {})),
+            )
+        except KeyError as exc:
+            raise ProtocolError(
+                f"job spec on the wire is missing field {exc.args[0]!r}"
+            ) from None
+
+    @property
+    def fingerprint(self) -> str:
+        return circuit_fingerprint(self.netlist)
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """Submit a job; with ``stream`` the connection receives the
+    per-pattern result frames, otherwise only the terminal frame."""
+
+    type = "submit"
+    job: JobSpec
+    stream: bool = True
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"type": "submit", "job": self.job.to_wire(),
+                "stream": self.stream}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "SubmitRequest":
+        job = wire.get("job")
+        if not isinstance(job, dict):
+            raise ProtocolError("submit frame carries no job object")
+        return cls(job=JobSpec.from_wire(job),
+                   stream=bool(wire.get("stream", True)))
+
+
+@dataclass(frozen=True)
+class StatusRequest:
+    type = "status"
+    job_id: str
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"type": "status", "job_id": self.job_id}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "StatusRequest":
+        return cls(job_id=_require_job_id(wire))
+
+
+@dataclass(frozen=True)
+class CancelRequest:
+    type = "cancel"
+    job_id: str
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"type": "cancel", "job_id": self.job_id}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "CancelRequest":
+        return cls(job_id=_require_job_id(wire))
+
+
+@dataclass(frozen=True)
+class PingRequest:
+    type = "ping"
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"type": "ping"}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "PingRequest":
+        return cls()
+
+
+def _require_job_id(wire: dict[str, Any]) -> str:
+    job_id = wire.get("job_id")
+    if not isinstance(job_id, str) or not job_id:
+        raise ProtocolError(
+            f"{wire.get('type', '?')} frame carries no job_id"
+        )
+    return job_id
+
+
+@dataclass(frozen=True)
+class SubmittedFrame:
+    type = "submitted"
+    job_id: str
+    queue_position: int
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"type": "submitted", "job_id": self.job_id,
+                "queue_position": self.queue_position}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "SubmittedFrame":
+        return cls(job_id=_require_job_id(wire),
+                   queue_position=int(wire.get("queue_position", 0)))
+
+
+@dataclass(frozen=True)
+class StartedFrame:
+    """A worker picked the job up; ``warm`` means its circuit cache
+    already held this fingerprint (compile will be skipped)."""
+
+    type = "started"
+    job_id: str
+    worker: int
+    fingerprint: str
+    warm: bool
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"type": "started", "job_id": self.job_id,
+                "worker": self.worker, "fingerprint": self.fingerprint,
+                "warm": self.warm}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "StartedFrame":
+        return cls(
+            job_id=_require_job_id(wire),
+            worker=int(wire.get("worker", -1)),
+            fingerprint=wire.get("fingerprint", ""),
+            warm=bool(wire.get("warm", False)),
+        )
+
+
+@dataclass(frozen=True)
+class PatternFrame:
+    """One pattern's measurements plus the detections it produced."""
+
+    type = "pattern"
+    job_id: str
+    record: PatternRecord
+    detections: tuple[Detection, ...]
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "type": "pattern",
+            "job_id": self.job_id,
+            "record": record_to_wire(self.record),
+            "detections": [detection_to_wire(d) for d in self.detections],
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "PatternFrame":
+        record = wire.get("record")
+        if not isinstance(record, dict):
+            raise ProtocolError("pattern frame carries no record object")
+        return cls(
+            job_id=_require_job_id(wire),
+            record=record_from_wire(record),
+            detections=tuple(
+                detection_from_wire(d) for d in wire.get("detections", ())
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class DoneFrame:
+    """Terminal frame of a successful job: the full report plus the
+    service-level timings (queue / compile / simulate / total)."""
+
+    type = "done"
+    job_id: str
+    report: RunReport
+    timings: dict[str, float]
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"type": "done", "job_id": self.job_id,
+                "report": report_to_wire(self.report),
+                "timings": dict(self.timings)}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "DoneFrame":
+        report = wire.get("report")
+        if not isinstance(report, dict):
+            raise ProtocolError("done frame carries no report object")
+        return cls(
+            job_id=_require_job_id(wire),
+            report=report_from_wire(report),
+            timings=dict(wire.get("timings", {})),
+        )
+
+
+@dataclass(frozen=True)
+class CancelledFrame:
+    type = "cancelled"
+    job_id: str
+    patterns_completed: int = 0
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"type": "cancelled", "job_id": self.job_id,
+                "patterns_completed": self.patterns_completed}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "CancelledFrame":
+        return cls(job_id=_require_job_id(wire),
+                   patterns_completed=int(wire.get("patterns_completed", 0)))
+
+
+@dataclass(frozen=True)
+class StatusFrame:
+    """Snapshot of a job: ``state`` is one of ``queued`` / ``running`` /
+    ``done`` / ``cancelled`` / ``error``."""
+
+    type = "status"
+    job_id: str
+    state: str
+    queue_position: int | None = None
+    patterns_completed: int = 0
+    detections: int = 0
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "type": "status",
+            "job_id": self.job_id,
+            "state": self.state,
+            "queue_position": self.queue_position,
+            "patterns_completed": self.patterns_completed,
+            "detections": self.detections,
+            "timings": dict(self.timings),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "StatusFrame":
+        return cls(
+            job_id=_require_job_id(wire),
+            state=wire.get("state", "unknown"),
+            queue_position=wire.get("queue_position"),
+            patterns_completed=int(wire.get("patterns_completed", 0)),
+            detections=int(wire.get("detections", 0)),
+            timings=dict(wire.get("timings", {})),
+        )
+
+
+@dataclass(frozen=True)
+class ErrorFrame:
+    type = "error"
+    kind: str
+    message: str
+    job_id: str | None = None
+
+    def to_wire(self) -> dict[str, Any]:
+        wire: dict[str, Any] = {"type": "error", "kind": self.kind,
+                                "message": self.message}
+        if self.job_id is not None:
+            wire["job_id"] = self.job_id
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "ErrorFrame":
+        return cls(kind=wire.get("kind", "internal"),
+                   message=wire.get("message", "unspecified error"),
+                   job_id=wire.get("job_id"))
+
+    def to_exception(self) -> ReproError:
+        return error_to_exception(self.kind, self.message)
+
+    @classmethod
+    def from_exception(
+        cls, exc: BaseException, job_id: str | None = None
+    ) -> "ErrorFrame":
+        message = str(exc) or type(exc).__name__
+        if error_kind(exc) == "internal" and not isinstance(exc, ReproError):
+            message = f"{type(exc).__name__}: {message}"
+        return cls(kind=error_kind(exc), message=message, job_id=job_id)
+
+
+@dataclass(frozen=True)
+class PongFrame:
+    type = "pong"
+    protocol: int = PROTOCOL_VERSION
+    workers: int = 0
+    backends: tuple[str, ...] = ()
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"type": "pong", "protocol": self.protocol,
+                "workers": self.workers, "backends": list(self.backends)}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "PongFrame":
+        return cls(protocol=int(wire.get("protocol", 0)),
+                   workers=int(wire.get("workers", 0)),
+                   backends=tuple(wire.get("backends", ())))
+
+
+_REQUEST_TYPES = {
+    "submit": SubmitRequest,
+    "status": StatusRequest,
+    "cancel": CancelRequest,
+    "ping": PingRequest,
+}
+
+_RESPONSE_TYPES = {
+    "submitted": SubmittedFrame,
+    "started": StartedFrame,
+    "pattern": PatternFrame,
+    "done": DoneFrame,
+    "cancelled": CancelledFrame,
+    "status": StatusFrame,
+    "error": ErrorFrame,
+    "pong": PongFrame,
+}
+
+Request = SubmitRequest | StatusRequest | CancelRequest | PingRequest
+Response = (
+    SubmittedFrame | StartedFrame | PatternFrame | DoneFrame
+    | CancelledFrame | StatusFrame | ErrorFrame | PongFrame
+)
+
+
+def parse_request(wire: dict[str, Any]) -> Request:
+    """Decode a client frame into its typed request, or raise
+    :class:`ProtocolError`."""
+    return _parse(wire, _REQUEST_TYPES, "request")
+
+
+def parse_response(wire: dict[str, Any]) -> Response:
+    """Decode a server frame into its typed response, or raise
+    :class:`ProtocolError`."""
+    return _parse(wire, _RESPONSE_TYPES, "response")
+
+
+def _parse(wire: dict[str, Any], table: dict, side: str):
+    frame_type = wire.get("type")
+    try:
+        cls = table[frame_type]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown {side} frame type {frame_type!r}; expected one of "
+            + ", ".join(sorted(table))
+        ) from None
+    return cls.from_wire(wire)

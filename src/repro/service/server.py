@@ -1,0 +1,488 @@
+"""The asyncio TCP front end of the fault-simulation service.
+
+:class:`FaultSimServer` accepts protocol frames (see
+:mod:`~repro.service.protocol`) over TCP, queues submitted jobs, and
+dispatches them onto a persistent :class:`~repro.service.workers.WorkerPool`
+with fingerprint-affinity routing.  Per-pattern results are fanned out
+to every subscribed connection *as they land* -- a streaming submit
+sees ``submitted``, ``started``, one ``pattern`` frame per test
+pattern, then a terminal ``done`` / ``cancelled`` / ``error`` frame.
+
+Three cooperating pieces, all single-threaded on the event loop except
+the pump:
+
+* the **event pump** -- one daemon thread blocking on the pool's
+  result queue, forwarding each worker event into the loop with
+  ``call_soon_threadsafe`` (the only cross-thread hop in the server);
+* the **dispatcher task** -- drains the server-side job queue onto
+  idle workers whenever a job arrives or a worker frees up.  Workers
+  hold at most one job each, so cancelling a *queued* job is a pure
+  state flip here, with no cross-process coordination;
+* the **connection handlers** -- parse request frames, answer
+  status/cancel/ping inline, and for streaming submits forward the
+  job's frames until the terminal one.
+
+Graceful shutdown (:meth:`FaultSimServer.stop`, wired to SIGTERM and
+SIGINT by :meth:`FaultSimServer.serve`): queued jobs are cancelled,
+running jobs are signalled and awaited up to a grace period, every
+subscriber receives a terminal frame, and the pool is shut down with
+its workers joined -- no orphan processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.backends import available_backends
+from ..errors import SimulationError
+from .protocol import (
+    PROTOCOL_VERSION,
+    CancelRequest,
+    ErrorFrame,
+    JobSpec,
+    PingRequest,
+    ProtocolError,
+    StatusRequest,
+    SubmitRequest,
+    parse_request,
+    read_frame,
+    write_frame,
+)
+from .workers import DEFAULT_CACHE_SIZE, WorkerPool
+
+__all__ = ["FaultSimServer"]
+
+#: Frame types that end a job's stream.
+_TERMINAL_TYPES = frozenset({"done", "cancelled", "error"})
+
+#: Event-pump poll interval: bounds both dead-worker detection latency
+#: and shutdown latency of the pump thread.
+_PUMP_POLL_SECONDS = 0.25
+
+
+@dataclass
+class _Job:
+    """Server-side state of one submitted job."""
+
+    job_id: str
+    spec: JobSpec
+    state: str = "queued"  # queued | running | done | cancelled | error
+    worker: int | None = None
+    submitted_at: float = 0.0
+    warm: bool = False
+    patterns_completed: int = 0
+    detections: int = 0
+    timings: dict[str, float] = field(default_factory=dict)
+    #: Per-connection frame queues; every frame of the job is put on
+    #: each (the handler filters for non-streaming subscribers).
+    subscribers: list[asyncio.Queue] = field(default_factory=list)
+
+    def fan_out(self, frame: dict[str, Any]) -> None:
+        for subscriber in self.subscribers:
+            subscriber.put_nowait(frame)
+
+
+class FaultSimServer:
+    """Fault simulation as a service: asyncio TCP server + warm pool.
+
+    ``port=0`` binds an ephemeral port; :attr:`address` carries the
+    actual ``(host, port)`` once :meth:`start` returns.  An existing
+    :class:`~repro.service.workers.WorkerPool` can be injected via
+    ``pool`` (the server then owns neither its creation nor -- unless
+    it shuts down -- its configuration); otherwise one is created with
+    ``workers`` / ``cache_size`` / ``start_method``.
+    """
+
+    def __init__(
+        self,
+        host: str | None = None,
+        port: int = 0,
+        workers: int | None = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        start_method: str | None = None,
+        pool: WorkerPool | None = None,
+        grace_seconds: float = 10.0,
+    ):
+        from .protocol import DEFAULT_HOST
+
+        self.host = host if host is not None else DEFAULT_HOST
+        self.port = port
+        self.grace_seconds = grace_seconds
+        self._pool_config = (workers, cache_size, start_method)
+        self.pool = pool
+        self.address: tuple[str, int] | None = None
+        self._jobs: dict[str, _Job] = {}
+        self._queue: deque[_Job] = deque()
+        self._job_counter = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._dispatch_kick: asyncio.Event | None = None
+        self._pump_thread: threading.Thread | None = None
+        self._pump_stop = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._stopping = False
+        self._stopped = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind, spin up the pool/pump/dispatcher; returns the address."""
+        self._loop = asyncio.get_running_loop()
+        if self.pool is None:
+            workers, cache_size, start_method = self._pool_config
+            # Fork the workers before any server thread exists; mixing
+            # fork with live threads is the classic deadlock recipe.
+            self.pool = WorkerPool(
+                workers=workers,
+                cache_size=cache_size,
+                start_method=start_method,
+            )
+        self._dispatch_kick = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        self._dispatcher = asyncio.create_task(
+            self._dispatch_loop(), name="faultsim-dispatcher"
+        )
+        self._pump_thread = threading.Thread(
+            target=self._pump_events, name="faultsim-event-pump", daemon=True
+        )
+        self._pump_thread.start()
+        return self.address
+
+    async def serve(self, ready=None) -> None:
+        """Start, install SIGTERM/SIGINT handlers, serve until stopped.
+
+        ``ready``, if given, is called with the server once the socket
+        is bound (the CLI prints the listening address from it).
+        """
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                signum, lambda s=signum: asyncio.ensure_future(self.stop())
+            )
+        if ready is not None:
+            ready(self)
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: cancel in-flight work, drain, join workers."""
+        if self._stopping:
+            await self._stopped.wait()
+            return
+        self._stopping = True
+
+        # Queued jobs: a pure server-side state flip plus a terminal
+        # frame for anyone watching.
+        while self._queue:
+            job = self._queue.popleft()
+            if job.state == "queued":
+                self._finish_job(
+                    job,
+                    "cancelled",
+                    {
+                        "type": "cancelled",
+                        "job_id": job.job_id,
+                        "patterns_completed": 0,
+                    },
+                )
+        # Running jobs: signal their workers, then wait out the grace
+        # period for the terminal events to come back through the pump.
+        running = [j for j in self._jobs.values() if j.state == "running"]
+        for job in running:
+            assert self.pool is not None
+            self.pool.cancel(job.job_id)
+        deadline = time.monotonic() + self.grace_seconds
+        while (
+            any(j.state == "running" for j in running)
+            and time.monotonic() < deadline
+        ):
+            await asyncio.sleep(0.05)
+        for job in running:
+            if job.state == "running":
+                self._finish_job(
+                    job,
+                    "cancelled",
+                    {
+                        "type": "cancelled",
+                        "job_id": job.job_id,
+                        "patterns_completed": job.patterns_completed,
+                    },
+                )
+
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+        self._pump_stop.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Joining worker processes blocks; keep the loop responsive so
+        # subscribers still receive their terminal frames.
+        if self.pool is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.pool.shutdown
+            )
+        if self._pump_thread is not None:
+            self._pump_thread.join(timeout=2 * _PUMP_POLL_SECONDS + 1.0)
+        for writer in list(self._writers):
+            writer.close()
+        self._stopped.set()
+
+    # -- worker-event plumbing -----------------------------------------
+
+    def _pump_events(self) -> None:
+        """(thread) Bridge the pool's result queue into the event loop."""
+        assert self.pool is not None and self._loop is not None
+        while not self._pump_stop.is_set():
+            event = self.pool.next_event(timeout=_PUMP_POLL_SECONDS)
+            try:
+                self._loop.call_soon_threadsafe(self._on_pump, event)
+            except RuntimeError:  # loop already closed mid-shutdown
+                return
+
+    def _on_pump(self, event) -> None:
+        """(loop) Handle one pump delivery; None is a poll tick, used to
+        notice workers that died without a terminal event."""
+        if self.pool is None:
+            return
+        if event is None:
+            for synthesized in self.pool.reap():
+                self._on_worker_event(synthesized)
+            return
+        self._on_worker_event(event)
+
+    def _on_worker_event(self, event) -> None:
+        assert self.pool is not None
+        self.pool.note_event(event)
+        kind, worker_id, job_id, payload = event
+        job = self._jobs.get(job_id)
+        if job is None:  # pragma: no cover - defensive
+            self._kick()
+            return
+        if kind == "started":
+            job.state = "running" if job.state != "cancelled" else job.state
+            job.warm = bool(payload.get("warm", False))
+            job.timings["queue_seconds"] = (
+                time.perf_counter() - job.submitted_at
+            )
+            job.fan_out({"type": "started", "job_id": job_id, **payload})
+        elif kind == "pattern":
+            job.patterns_completed += 1
+            job.detections += len(payload.get("detections", ()))
+            job.fan_out({"type": "pattern", "job_id": job_id, **payload})
+        elif kind == "done":
+            timings = dict(payload.get("timings", {}))
+            timings["queue_seconds"] = job.timings.get("queue_seconds", 0.0)
+            timings["total_seconds"] = time.perf_counter() - job.submitted_at
+            job.timings = timings
+            self._finish_job(
+                job,
+                "done",
+                {
+                    "type": "done",
+                    "job_id": job_id,
+                    "report": payload["report"],
+                    "warm": payload.get("warm", False),
+                    "fingerprint": payload.get("fingerprint", ""),
+                    "timings": timings,
+                },
+            )
+        elif kind == "cancelled":
+            self._finish_job(
+                job,
+                "cancelled",
+                {"type": "cancelled", "job_id": job_id, **payload},
+            )
+        elif kind == "error":
+            self._finish_job(
+                job,
+                "error",
+                {"type": "error", "job_id": job_id, **payload},
+            )
+        if kind in ("done", "cancelled", "error"):
+            self._kick()
+
+    def _finish_job(self, job: _Job, state: str, frame: dict) -> None:
+        if job.state in ("done", "cancelled", "error"):
+            return
+        job.state = state
+        job.fan_out(frame)
+        job.subscribers.clear()
+
+    # -- dispatch ------------------------------------------------------
+
+    def _kick(self) -> None:
+        if self._dispatch_kick is not None:
+            self._dispatch_kick.set()
+
+    async def _dispatch_loop(self) -> None:
+        assert self._dispatch_kick is not None and self.pool is not None
+        while True:
+            await self._dispatch_kick.wait()
+            self._dispatch_kick.clear()
+            if self._stopping:
+                return
+            while self._queue and self.pool.has_idle():
+                job = self._queue.popleft()
+                if job.state != "queued":
+                    continue  # cancelled while waiting
+                job.state = "running"
+                job.worker = self.pool.submit(job.job_id, job.spec)
+
+    def _submit(self, spec: JobSpec, subscriber: asyncio.Queue) -> _Job:
+        if self._stopping:
+            raise SimulationError("server is shutting down")
+        self._job_counter += 1
+        job = _Job(
+            job_id=f"job-{self._job_counter}",
+            spec=spec,
+            submitted_at=time.perf_counter(),
+        )
+        job.subscribers.append(subscriber)
+        self._jobs[job.job_id] = job
+        self._queue.append(job)
+        self._kick()
+        return job
+
+    def _cancel(self, job_id: str) -> _Job:
+        try:
+            job = self._jobs[job_id]
+        except KeyError:
+            raise SimulationError(f"unknown job id {job_id!r}") from None
+        if job.state == "queued":
+            self._finish_job(
+                job,
+                "cancelled",
+                {
+                    "type": "cancelled",
+                    "job_id": job_id,
+                    "patterns_completed": 0,
+                },
+            )
+        elif job.state == "running":
+            # The worker's terminal "cancelled" event closes the loop;
+            # if the job just finished (event in flight), the cancel is
+            # simply too late and the done frame stands.
+            assert self.pool is not None
+            self.pool.cancel(job_id)
+        return job
+
+    def _status_frame(self, job_id: str) -> dict[str, Any]:
+        try:
+            job = self._jobs[job_id]
+        except KeyError:
+            raise SimulationError(f"unknown job id {job_id!r}") from None
+        queue_position = None
+        if job.state == "queued":
+            for index, queued in enumerate(self._queue):
+                if queued.job_id == job_id:
+                    queue_position = index
+                    break
+        return {
+            "type": "status",
+            "job_id": job_id,
+            "state": job.state,
+            "queue_position": queue_position,
+            "patterns_completed": job.patterns_completed,
+            "detections": job.detections,
+            "timings": dict(job.timings),
+        }
+
+    # -- connections ---------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except ProtocolError as exc:
+                    # Framing is gone; report and hang up (there is no
+                    # way to find the next frame boundary).
+                    await write_frame(
+                        writer, ErrorFrame.from_exception(exc).to_wire()
+                    )
+                    return
+                if frame is None:
+                    return
+                try:
+                    await self._handle_request(frame, writer)
+                except ProtocolError as exc:
+                    await write_frame(
+                        writer, ErrorFrame.from_exception(exc).to_wire()
+                    )
+                except SimulationError as exc:
+                    await write_frame(
+                        writer, ErrorFrame.from_exception(exc).to_wire()
+                    )
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_request(
+        self, frame: dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        request = parse_request(frame)
+        if isinstance(request, PingRequest):
+            assert self.pool is not None
+            await write_frame(
+                writer,
+                {
+                    "type": "pong",
+                    "protocol": PROTOCOL_VERSION,
+                    "workers": self.pool.workers,
+                    "backends": available_backends(),
+                },
+            )
+        elif isinstance(request, StatusRequest):
+            await write_frame(writer, self._status_frame(request.job_id))
+        elif isinstance(request, CancelRequest):
+            self._cancel(request.job_id)
+            await write_frame(writer, self._status_frame(request.job_id))
+        elif isinstance(request, SubmitRequest):
+            await self._handle_submit(request, writer)
+
+    async def _handle_submit(
+        self, request: SubmitRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        subscriber: asyncio.Queue = asyncio.Queue()
+        job = self._submit(request.job, subscriber)
+        await write_frame(
+            writer,
+            {
+                "type": "submitted",
+                "job_id": job.job_id,
+                "queue_position": len(self._queue) - 1,
+            },
+        )
+        # The connection is dedicated to this job's stream until its
+        # terminal frame; then it returns to the request loop.
+        while True:
+            out = await subscriber.get()
+            terminal = out.get("type") in _TERMINAL_TYPES
+            if request.stream or terminal:
+                await write_frame(writer, out)
+            if terminal:
+                return

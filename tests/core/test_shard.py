@@ -232,3 +232,97 @@ class TestShardedMerge:
             assert detection.description == (
                 faults[detection.circuit_id - 1].describe()
             )
+
+
+class TestExecutorManagement:
+    """The per-run executor is cpu-capped; injected pools are used
+    as-is and never shut down."""
+
+    def test_cpu_cap(self, monkeypatch):
+        from repro.core import shard
+
+        monkeypatch.setattr(shard.os, "cpu_count", lambda: 4)
+        assert shard._cpu_cap(1) == 1
+        assert shard._cpu_cap(4) == 4
+        assert shard._cpu_cap(64) == 4
+        monkeypatch.setattr(shard.os, "cpu_count", lambda: None)
+        assert shard._cpu_cap(64) == 1
+
+    def test_per_run_executor_capped_at_cpu_count(self, monkeypatch):
+        from repro.core import shard
+
+        captured = {}
+        real_executor = shard.ProcessPoolExecutor
+
+        class CapturingExecutor(real_executor):
+            def __init__(self, max_workers=None, **kwargs):
+                captured["max_workers"] = max_workers
+                super().__init__(max_workers=max_workers, **kwargs)
+
+        monkeypatch.setattr(shard, "ProcessPoolExecutor", CapturingExecutor)
+        monkeypatch.setattr(shard.os, "cpu_count", lambda: 2)
+        ram = build_ram(2, 2)
+        patterns = list(sequence1(ram).patterns)
+        faults = sample_faults(ram_fault_universe(ram), 8, seed=3)
+        run_backend(
+            "sharded", ram.net, faults, [ram.dout], patterns,
+            jobs=8, inner_backend="concurrent",
+        )
+        # 8 shards requested, but the pool never exceeds the CPUs.
+        assert captured["max_workers"] == 2
+
+    def test_injected_pool_is_used_and_not_shut_down(self):
+        class RecordingPool:
+            def __init__(self):
+                self.calls = 0
+                self.shut_down = False
+
+            def map(self, fn, tasks):
+                self.calls += 1
+                return [fn(task) for task in tasks]
+
+            def shutdown(self, *args, **kwargs):
+                self.shut_down = True
+
+        pool = RecordingPool()
+        ram = build_ram(2, 2)
+        patterns = list(sequence1(ram).patterns)
+        faults = sample_faults(ram_fault_universe(ram), 8, seed=3)
+        inner = run_backend(
+            "concurrent", ram.net, faults, [ram.dout], patterns
+        )
+        backend = ShardedBackend(jobs=2, inner_backend="concurrent",
+                                 pool=pool)
+        report = backend.run(ram.net, faults, [ram.dout], patterns)
+        assert pool.calls == 1
+        assert pool.shut_down is False
+        # Results through the injected pool stay exact.
+        assert first_detections(report, len(faults)) == first_detections(
+            inner, len(faults)
+        )
+        # A second run reuses the same pool -- no per-run churn.
+        backend.run(ram.net, faults, [ram.dout], patterns)
+        assert pool.calls == 2
+        assert pool.shut_down is False
+
+    def test_single_shard_runs_inline_without_pool(self):
+        class ExplodingPool:
+            def map(self, fn, tasks):  # pragma: no cover - must not run
+                raise AssertionError("single shard must not use the pool")
+
+        ram = build_ram(2, 2)
+        patterns = list(sequence1(ram).patterns)
+        faults = sample_faults(ram_fault_universe(ram), 4, seed=3)
+        backend = ShardedBackend(jobs=1, inner_backend="concurrent",
+                                 pool=ExplodingPool())
+        report = backend.run(ram.net, faults, [ram.dout], patterns)
+        assert report.n_faults == len(faults)
+
+    def test_rejects_pool_without_map(self):
+        with pytest.raises(SimulationError, match="map"):
+            ShardedBackend(pool=object())
+
+    def test_shared_executor_is_a_singleton(self):
+        from repro.core.shard import shared_executor
+
+        assert shared_executor() is shared_executor()

@@ -1,0 +1,433 @@
+"""Server behavior over real TCP: streaming, cancellation, concurrent
+clients, error frames, and graceful shutdown (in-process and SIGTERM)."""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import re
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.circuits.ram import build_ram
+from repro.core.backends import SimPolicy, run_backend
+from repro.core.faults import node_stuck_universe, sample_faults
+from repro.errors import NetworkError, SimulationError
+from repro.patterns.sequences import sequence1
+from repro.service.client import JobCancelled, ServiceClient, job_from_network
+from repro.service.protocol import (
+    CancelledFrame,
+    DoneFrame,
+    PatternFrame,
+    StartedFrame,
+    recv_frame,
+)
+from repro.service.server import FaultSimServer
+
+POLICY = SimPolicy(clock="perf")
+
+
+def make_workload(rows=2, cols=2, n_faults=8, patterns_repeat=1):
+    ram = build_ram(rows, cols)
+    patterns = list(sequence1(ram).patterns) * patterns_repeat
+    universe = node_stuck_universe(ram.net)
+    faults = sample_faults(universe, min(n_faults, len(universe)), seed=7)
+    return ram, faults, patterns
+
+
+def make_job(rows=2, cols=2, n_faults=8, patterns_repeat=1, **overrides):
+    ram, faults, patterns = make_workload(
+        rows, cols, n_faults, patterns_repeat
+    )
+    return job_from_network(
+        ram.net, [ram.dout], faults, patterns, policy=POLICY, **overrides
+    )
+
+
+class ServerHarness:
+    """A FaultSimServer on a background thread's event loop."""
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("port", 0)
+        kwargs.setdefault("workers", 2)
+        self.server = FaultSimServer(**kwargs)
+        self.loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._down = False
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        assert self._ready.wait(timeout=60), "server failed to start"
+
+    def _run(self):
+        asyncio.set_event_loop(self.loop)
+
+        async def main():
+            await self.server.start()
+            self._ready.set()
+            await self.server._stopped.wait()
+
+        self.loop.run_until_complete(main())
+
+    @property
+    def address(self):
+        return self.server.address
+
+    def client(self, **kwargs) -> ServiceClient:
+        host, port = self.address
+        return ServiceClient(host=host, port=port, **kwargs)
+
+    def stop(self, timeout=60.0):
+        if self._down:
+            return
+        self._down = True
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self.loop
+        )
+        future.result(timeout=timeout)
+        self.thread.join(timeout=10)
+        self.loop.close()
+
+
+@pytest.fixture(scope="module")
+def harness():
+    instance = ServerHarness(workers=2)
+    yield instance
+    instance.stop()
+
+
+class TestStreaming:
+    def test_frames_arrive_in_order_and_match_serial(self, harness):
+        """Streamed per-pattern frames reconstruct the run exactly, and
+        the detections match the serial reference backend."""
+        ram, faults, patterns = make_workload()
+        job = job_from_network(ram.net, [ram.dout], faults, patterns,
+                               policy=POLICY)
+        frames = list(harness.client().submit(job))
+
+        assert isinstance(frames[0], StartedFrame)
+        assert isinstance(frames[-1], DoneFrame)
+        pattern_frames = [f for f in frames if isinstance(f, PatternFrame)]
+        assert [f.record.index for f in pattern_frames] == list(
+            range(len(patterns))
+        )
+
+        report = frames[-1].report
+        streamed = [d for f in pattern_frames for d in f.detections]
+        assert streamed == list(report.log.detections)
+
+        serial = run_backend(
+            "serial", ram.net, faults, [ram.dout], patterns, POLICY
+        )
+        assert report.detected == serial.detected
+        assert {
+            cid: report.log.detection_pattern(cid)
+            for cid in range(1, len(faults) + 1)
+        } == {
+            cid: serial.log.detection_pattern(cid)
+            for cid in range(1, len(faults) + 1)
+        }
+
+    def test_timings_in_every_response(self, harness):
+        result = harness.client().run(make_job())
+        for key in ("queue_seconds", "compile_seconds", "simulate_seconds",
+                    "worker_seconds", "total_seconds"):
+            assert key in result.timings, key
+        assert result.report.solve_cache is not None
+
+    def test_warm_second_job(self, harness):
+        job = make_job(rows=4, cols=2, n_faults=12)
+        client = harness.client()
+        cold = client.run(job)
+        warm = client.run(job)
+        assert warm.warm is True
+        assert warm.timings["compile_seconds"] == 0.0
+        assert warm.report.solve_cache["misses"] == 0
+        assert warm.report.detected == cold.report.detected
+
+    def test_no_stream_still_returns_result(self, harness):
+        result = harness.client().run(make_job(), stream=False)
+        assert result.pattern_frames == []
+        assert result.report.n_patterns > 0
+
+    def test_ping_and_status(self, harness):
+        client = harness.client()
+        pong = client.ping()
+        assert pong.workers == 2
+        assert "concurrent" in pong.backends
+
+        stream = client.submit(make_job(rows=4, cols=4, n_faults=24))
+        status = client.status(stream.job_id)
+        assert status.state in ("queued", "running")
+        stream.result()
+        assert client.status(stream.job_id).state == "done"
+
+    def test_unknown_job_id_raises(self, harness):
+        client = harness.client()
+        with pytest.raises(SimulationError, match="unknown job"):
+            client.status("job-999999")
+        with pytest.raises(SimulationError, match="unknown job"):
+            client.cancel("job-999999")
+
+    def test_bad_job_maps_error_onto_exception(self, harness):
+        """A failed job's error frame maps back onto the same typed
+        exception the local backend would raise."""
+        job = make_job()
+        bad = job.__class__(
+            netlist=job.netlist,
+            observed=("no-such-node",),
+            faults=job.faults,
+            patterns=job.patterns,
+            policy=job.policy,
+        )
+        with pytest.raises(NetworkError, match="no-such-node"):
+            harness.client().run(bad)
+
+
+class TestConcurrentClients:
+    def test_three_clients_two_workers(self, harness):
+        """More clients than workers: the third job queues, every job
+        completes, and per-job results stay correct and isolated."""
+        jobs = [
+            make_job(rows=2, cols=2),
+            make_job(rows=4, cols=2),
+            make_job(rows=2, cols=4),
+        ]
+        results = [None] * len(jobs)
+        errors = []
+
+        def run_one(index):
+            try:
+                results[index] = harness.client().run(jobs[index])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append((index, exc))
+
+        threads = [
+            threading.Thread(target=run_one, args=(i,))
+            for i in range(len(jobs))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        assert all(result is not None for result in results)
+        for job, result in zip(jobs, results):
+            local = run_backend(
+                "concurrent",
+                build_ram_from_job(job),
+                list(job.faults),
+                list(job.observed),
+                list(job.patterns),
+                POLICY,
+                locality="compiled",
+            )
+            assert result.report.detected == local.detected
+
+
+def build_ram_from_job(job):
+    from repro.netlist.sim_format import loads
+
+    return loads(job.netlist)
+
+
+class TestCancellation:
+    def test_cancel_mid_run_stops_frames_and_frees_worker(self, harness):
+        client = harness.client()
+        job = make_job(rows=4, cols=4, n_faults=32, patterns_repeat=3)
+        stream = client.submit(job)
+
+        frames = []
+        cancelled_frame = None
+        for frame in stream:
+            frames.append(frame)
+            if isinstance(frame, PatternFrame) and len(frames) >= 2:
+                client.cancel(stream.job_id)
+            if isinstance(frame, CancelledFrame):
+                cancelled_frame = frame
+
+        assert cancelled_frame is not None
+        pattern_count = sum(
+            1 for frame in frames if isinstance(frame, PatternFrame)
+        )
+        # The stream stopped early -- no further result frames arrived
+        # after the cancel took effect at a pattern boundary.
+        assert pattern_count < len(job.patterns)
+        assert client.status(stream.job_id).state == "cancelled"
+
+        # The worker is free for the next queued job.
+        follow_up = client.run(make_job())
+        assert follow_up.report.n_patterns > 0
+
+    def test_cancel_queued_job_never_runs(self, harness):
+        client = harness.client()
+        # Fill both workers with slow jobs, then queue a third and
+        # cancel it while it waits.
+        blockers = [
+            client.submit(make_job(rows=4, cols=4, n_faults=32,
+                                   patterns_repeat=2))
+            for _ in range(2)
+        ]
+        queued = client.submit(make_job(rows=2, cols=2))
+        status = client.status(queued.job_id)
+        if status.state == "queued":  # guard against a fast machine
+            client.cancel(queued.job_id)
+            with pytest.raises(JobCancelled):
+                queued.result()
+            assert client.status(queued.job_id).state == "cancelled"
+            final = client.status(queued.job_id)
+            assert final.patterns_completed == 0
+        for blocker in blockers:
+            blocker.result()
+
+    def test_result_raises_job_cancelled(self, harness):
+        client = harness.client()
+        stream = client.submit(
+            make_job(rows=4, cols=4, n_faults=32, patterns_repeat=3)
+        )
+        time.sleep(0.3)  # let it get into the run
+        client.cancel(stream.job_id)
+        with pytest.raises(JobCancelled):
+            stream.result()
+
+
+class TestProtocolAbuse:
+    def _raw_socket(self, harness):
+        host, port = harness.address
+        return socket.create_connection((host, port), timeout=10)
+
+    def test_garbage_bytes_get_error_frame(self, harness):
+        with self._raw_socket(harness) as sock:
+            # A frame whose declared length is fine but whose payload
+            # is not JSON.
+            sock.sendall(struct.pack(">I", 4) + b"\xff\xfe\x00\x01")
+            reply = recv_frame(sock)
+            assert reply["type"] == "error"
+            assert reply["kind"] == "protocol"
+
+    def test_oversized_declared_length_gets_error_frame(self, harness):
+        with self._raw_socket(harness) as sock:
+            sock.sendall(struct.pack(">I", 1 << 31))
+            reply = recv_frame(sock)
+            assert reply["type"] == "error"
+            assert reply["kind"] == "protocol"
+            # The server hangs up: framing cannot be recovered.
+            assert recv_frame(sock) is None
+
+    def test_truncated_frame_then_eof_is_tolerated(self, harness):
+        with self._raw_socket(harness) as sock:
+            sock.sendall(struct.pack(">I", 100) + b"only-part")
+        # Nothing to assert beyond "the server survives": the next
+        # request on a fresh connection still works.
+        assert harness.client().ping().workers == 2
+
+    def test_unknown_request_type_keeps_connection(self, harness):
+        from repro.service.protocol import send_frame
+
+        with self._raw_socket(harness) as sock:
+            send_frame(sock, {"type": "reboot"})
+            reply = recv_frame(sock)
+            assert reply["type"] == "error"
+            # Content-level errors are recoverable: the connection
+            # still serves well-formed requests.
+            send_frame(sock, {"type": "ping"})
+            assert recv_frame(sock)["type"] == "pong"
+
+
+class TestGracefulShutdown:
+    def test_stop_cancels_running_and_queued_jobs(self):
+        local = ServerHarness(workers=1)
+        try:
+            client = local.client()
+            running = client.submit(
+                make_job(rows=4, cols=4, n_faults=32, patterns_repeat=3)
+            )
+            queued = client.submit(make_job(rows=2, cols=2))
+            time.sleep(0.3)
+            local.stop()
+            with pytest.raises(JobCancelled):
+                running.result()
+            with pytest.raises(JobCancelled):
+                queued.result()
+            exitcodes = local.server.pool.shutdown()
+            assert exitcodes == [0]
+        finally:
+            local.stop()
+
+    def test_sigterm_regression_no_orphans(self, tmp_path):
+        """`fmossim serve` killed with SIGTERM exits 0, reports a clean
+        stop, and leaves no orphaned worker processes behind."""
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+             "--workers", "2"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = server.stdout.readline()
+            match = re.search(r":(\d+) ", banner)
+            assert match, banner
+            children = _worker_pids(server.pid)
+            assert len(children) == 2
+
+            server.send_signal(signal.SIGTERM)
+            rc = server.wait(timeout=60)
+            tail = server.stdout.read()
+            assert rc == 0, tail
+            assert "stopped" in tail
+
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                alive = [pid for pid in children if _pid_alive(pid)]
+                if not alive:
+                    break
+                time.sleep(0.1)
+            assert not alive, f"orphaned workers: {alive}"
+        finally:
+            if server.poll() is None:  # pragma: no cover - cleanup
+                server.kill()
+                server.wait(timeout=10)
+
+
+def _worker_pids(parent_pid: int) -> list[int]:
+    """Child PIDs of ``parent_pid`` (via /proc, retrying while the
+    workers fork)."""
+    deadline = time.monotonic() + 15
+    while time.monotonic() < deadline:
+        children = []
+        for entry in os.listdir("/proc"):
+            if not entry.isdigit():
+                continue
+            try:
+                with open(f"/proc/{entry}/stat", "r") as handle:
+                    fields = handle.read().rsplit(")", 1)[1].split()
+            except OSError:
+                continue
+            if int(fields[1]) == parent_pid:
+                children.append(int(entry))
+        if len(children) >= 2:
+            return children
+        time.sleep(0.1)
+    return children
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - different owner
+        return True
+    return True
