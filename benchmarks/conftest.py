@@ -52,6 +52,13 @@ SCALES = {
         "service": (4, 4, 48),
         "service_min_warm_speedup": 1.3,
         "service_clients": 4,
+        # Collapse + trim benchmark (test_collapse_trim.py): (rows,
+        # cols, serial sample size, concurrent sample size) over the
+        # combined node-stuck + transistor-stuck universe, and the
+        # end-to-end speedup each backend must show against its own
+        # collapse=False, trim=False baseline.
+        "collapse": (4, 4, 60, 150),
+        "collapse_min_speedup": 1.3,
     },
     "paper": {
         "fig1": (8, 8, 428),
@@ -71,6 +78,8 @@ SCALES = {
         "service": (8, 8, 428),
         "service_min_warm_speedup": 1.3,
         "service_clients": 4,
+        "collapse": (4, 4, 120, None),
+        "collapse_min_speedup": 1.3,
     },
 }
 

@@ -32,7 +32,13 @@ import sys
 
 
 def _numeric_leaves(data, prefix=""):
-    """Flatten nested dicts to {dotted.path: number} for timing keys."""
+    """Flatten nested dicts to {dotted.path: number} for timing keys.
+
+    Keys prefixed ``min_``/``max_`` are configured pass thresholds the
+    benchmarks archive for context (e.g. ``min_speedup`` in
+    ``BENCH_collapse.json``), not measurements -- comparing them would
+    only add noise rows.
+    """
     leaves = {}
     if isinstance(data, dict):
         for key, value in sorted(data.items()):
@@ -42,6 +48,8 @@ def _numeric_leaves(data, prefix=""):
             elif isinstance(value, (int, float)) and not isinstance(
                 value, bool
             ):
+                if key.startswith(("min_", "max_")):
+                    continue
                 if "seconds" in key or "speedup" in key:
                     leaves[path] = float(value)
     return leaves

@@ -11,7 +11,8 @@ Subcommands::
                              [--clock process|perf] [--lane-width W]
                              [--jobs N] [--inner-backend NAME]
                              [--locality dynamic|static|compiled]
-                             [--no-solve-cache] [--profile N]
+                             [--no-solve-cache] [--no-collapse]
+                             [--no-trim] [--profile N]
         Fault simulation (strategy selected from the backend registry)
         with randomly ordered input settings or a pattern file (one
         "name=value name=value ..." line per setting, blank line
@@ -313,6 +314,18 @@ def add_backend_option_arguments(subparser) -> None:
         help="compiled locality: disable the memoized per-component "
         "solve cache (measure the compile-only effect)",
     )
+    subparser.add_argument(
+        "--no-collapse",
+        action="store_true",
+        help="simulate every fault individually instead of one "
+        "representative per structural equivalence class",
+    )
+    subparser.add_argument(
+        "--no-trim",
+        action="store_true",
+        help="serial/concurrent: disable checkpoint/warm-start and "
+        "clean-component redundancy trimming (ablation baseline)",
+    )
 
 
 def backend_options_from_args(args) -> dict:
@@ -329,6 +342,10 @@ def backend_options_from_args(args) -> dict:
         options["locality"] = args.locality
     if args.no_solve_cache:
         options["solve_cache"] = False
+    if args.no_collapse:
+        options["collapse"] = False
+    if args.no_trim:
+        options["trim"] = False
     return options
 
 
@@ -421,6 +438,19 @@ def _print_report(report, faults, clock: str) -> None:
         f"in {report.total_seconds:.2f}s {clock_label} "
         f"({report.backend} backend)"
     )
+    if report.collapse is not None:
+        stats = report.collapse
+        print(
+            f"  collapsed {stats['faults']}→{stats['representatives']} "
+            f"simulated circuits ({stats['classes']} equivalence classes)"
+        )
+    if report.trim is not None:
+        counters = ", ".join(
+            f"{value} {key.replace('_', ' ')}"
+            for key, value in sorted(report.trim.items())
+        )
+        if counters:
+            print(f"  trimmed: {counters}")
     if report.solve_cache is not None:
         cache = report.solve_cache
         print(

@@ -50,7 +50,7 @@ from __future__ import annotations
 
 import inspect
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import ClassVar, Iterable, Sequence, Type
 
 from ..errors import SimulationError
@@ -60,12 +60,13 @@ from ..switchlevel.network import Network
 from ..patterns.clocking import TestPattern
 from .batch import DEFAULT_LANE_WIDTH, BatchFaultSimulator
 from .concurrent import ConcurrentFaultSimulator
-from .detection import POLICY_HARD, POLICIES
-from .faults import Fault
-from .report import RunReport
+from .detection import POLICY_HARD, POLICIES, Detection, DetectionLog
+from .faults import Fault, collapse_faults
+from .report import PatternRecord, RunReport
 from .serial import SerialFaultSimulator, serial_run_report
 
 __all__ = [
+    "CollapsePlan",
     "DEFAULT_MAX_ROUNDS",
     "DEFAULT_POLICY",
     "FaultSimBackend",
@@ -216,6 +217,114 @@ def run_backend(
     )
 
 
+class CollapsePlan:
+    """Collapse a fault universe before a run, expand the report after.
+
+    Built by every backend at the top of :meth:`~FaultSimBackend.run`
+    when its ``collapse`` option is on.  ``run_faults`` is what the
+    inner simulator should simulate (one representative per equivalence
+    class); :meth:`finish` rewrites the resulting report back over the
+    full universe -- detections are cloned to every class member, the
+    per-pattern detection/live counts are recomputed, and the
+    ``collapse`` stats block is attached.  When collapsing finds nothing
+    to merge (or is disabled) the plan is inert and :meth:`finish`
+    returns the report untouched.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        faults: Sequence[Fault],
+        observed: Sequence[str],
+        enabled: bool,
+    ):
+        fault_list = list(faults)
+        self.collapsed = None
+        self.run_faults: Sequence[Fault] = fault_list
+        if enabled and fault_list:
+            collapsed = collapse_faults(net, fault_list, observed)
+            if collapsed.collapsed:
+                self.collapsed = collapsed
+                self.run_faults = list(collapsed.representatives)
+                #: representative circuit id (1-based position in
+                #: ``run_faults``) -> global member circuit ids.
+                self._members = {
+                    rep + 1: members
+                    for rep, members in enumerate(collapsed.classes)
+                }
+
+    @property
+    def active(self) -> bool:
+        return self.collapsed is not None
+
+    def _expand(self, detections: Iterable[Detection]) -> list[Detection]:
+        """Clone representative detections to every class member."""
+        faults = self.collapsed.faults
+        expanded = [
+            replace(
+                detection,
+                circuit_id=member,
+                description=faults[member - 1].describe(),
+            )
+            for detection in detections
+            for member in self._members[detection.circuit_id]
+        ]
+        expanded.sort(
+            key=lambda d: (d.pattern_index, d.phase_index, d.circuit_id)
+        )
+        return expanded
+
+    def wrap_progress(self, progress, drop_on_detect: bool):
+        """Per-pattern ``progress`` callback that streams *expanded*
+        detections and full-universe live counts."""
+        if progress is None or not self.active:
+            return progress
+        n_faults = self.collapsed.n_faults
+        detected: set[int] = set()
+
+        def wrapped(record: PatternRecord, detections) -> None:
+            expanded = self._expand(detections)
+            before = len(detected)
+            for detection in expanded:
+                detected.add(detection.circuit_id)
+            progress(
+                PatternRecord(
+                    index=record.index,
+                    label=record.label,
+                    seconds=record.seconds,
+                    detections=len(detected) - before,
+                    live_after=(
+                        n_faults - len(detected)
+                        if drop_on_detect
+                        else n_faults
+                    ),
+                ),
+                tuple(expanded),
+            )
+
+        return wrapped
+
+    def finish(self, report: RunReport, drop_on_detect: bool) -> RunReport:
+        """Rewrite a representative-universe report over the full one."""
+        if not self.active:
+            return report
+        log = DetectionLog()
+        for detection in self._expand(report.log.detections):
+            log.record(detection)
+        report.log = log
+        report.n_faults = self.collapsed.n_faults
+        cumulative = log.cumulative_by_pattern(len(report.patterns))
+        previous = 0
+        for record, total in zip(report.patterns, cumulative):
+            record.detections = total - previous
+            previous = total
+            record.live_after = (
+                report.n_faults - total if drop_on_detect else report.n_faults
+            )
+        report.collapse = self.collapsed.stats()
+        return report
+
+
 # ---------------------------------------------------------------------------
 # the three built-in strategies
 # ---------------------------------------------------------------------------
@@ -254,9 +363,17 @@ class SerialBackend(FaultSimBackend):
 
     name = "serial"
 
-    def __init__(self, locality: str = "dynamic", solve_cache: bool = True):
+    def __init__(
+        self,
+        locality: str = "dynamic",
+        solve_cache: bool = True,
+        collapse: bool = True,
+        trim: bool = True,
+    ):
         self.locality = _validate_locality(locality)
         self.solve_cache = solve_cache
+        self.collapse = collapse
+        self.trim = trim
 
     def run(
         self,
@@ -267,15 +384,17 @@ class SerialBackend(FaultSimBackend):
         policy: SimPolicy = DEFAULT_POLICY,
     ) -> RunReport:
         pattern_list = list(patterns)
+        plan = CollapsePlan(net, faults, observed, self.collapse)
         simulator = SerialFaultSimulator(
             net,
-            faults,
+            plan.run_faults,
             observed,
             detection_policy=policy.detection_policy,
             drop_on_detect=policy.drop_on_detect,
             max_rounds=policy.max_rounds,
             locality=self.locality,
             solve_cache=self.solve_cache,
+            trim=self.trim,
         )
         before = cache_stats(simulator.network)
         serial_report = simulator.run(pattern_list, clock=policy.clock)
@@ -287,7 +406,7 @@ class SerialBackend(FaultSimBackend):
         report.oscillation_events = simulator.oscillation_events
         if self.locality == "compiled":
             report.solve_cache = _cache_delta(simulator.network, before)
-        return report
+        return plan.finish(report, policy.drop_on_detect)
 
 
 @register_backend
@@ -296,9 +415,17 @@ class ConcurrentBackend(FaultSimBackend):
 
     name = "concurrent"
 
-    def __init__(self, locality: str = "dynamic", solve_cache: bool = True):
+    def __init__(
+        self,
+        locality: str = "dynamic",
+        solve_cache: bool = True,
+        collapse: bool = True,
+        trim: bool = True,
+    ):
         self.locality = _validate_locality(locality)
         self.solve_cache = solve_cache
+        self.collapse = collapse
+        self.trim = trim
 
     def run(
         self,
@@ -310,22 +437,27 @@ class ConcurrentBackend(FaultSimBackend):
         *,
         progress=None,
     ) -> RunReport:
+        plan = CollapsePlan(net, faults, observed, self.collapse)
         simulator = ConcurrentFaultSimulator(
             net,
-            faults,
+            plan.run_faults,
             observed,
             detection_policy=policy.detection_policy,
             drop_on_detect=policy.drop_on_detect,
             max_rounds=policy.max_rounds,
             locality=self.locality,
             solve_cache=self.solve_cache,
+            trim=self.trim,
         )
         before = cache_stats(simulator.network)
-        report = simulator.run(patterns, clock=policy.clock,
-                               progress=progress)
+        report = simulator.run(
+            patterns,
+            clock=policy.clock,
+            progress=plan.wrap_progress(progress, policy.drop_on_detect),
+        )
         if self.locality == "compiled":
             report.solve_cache = _cache_delta(simulator.network, before)
-        return report
+        return plan.finish(report, policy.drop_on_detect)
 
 
 @register_backend
@@ -339,10 +471,12 @@ class BatchBackend(FaultSimBackend):
         lane_width: int = DEFAULT_LANE_WIDTH,
         locality: str = "dynamic",
         solve_cache: bool = True,
+        collapse: bool = True,
     ):
         self.lane_width = lane_width
         self.locality = _validate_locality(locality)
         self.solve_cache = solve_cache
+        self.collapse = collapse
 
     def run(
         self,
@@ -354,9 +488,10 @@ class BatchBackend(FaultSimBackend):
         *,
         progress=None,
     ) -> RunReport:
+        plan = CollapsePlan(net, faults, observed, self.collapse)
         simulator = BatchFaultSimulator(
             net,
-            faults,
+            plan.run_faults,
             observed,
             detection_policy=policy.detection_policy,
             drop_on_detect=policy.drop_on_detect,
@@ -367,8 +502,11 @@ class BatchBackend(FaultSimBackend):
         )
         before = cache_stats(simulator.network)
         lane_hits_before, lane_misses_before = simulator.lane_cache_counters()
-        report = simulator.run(patterns, clock=policy.clock,
-                               progress=progress)
+        report = simulator.run(
+            patterns,
+            clock=policy.clock,
+            progress=plan.wrap_progress(progress, policy.drop_on_detect),
+        )
         if self.locality == "compiled":
             # One pool: the scalar good engine's network-level cache
             # plus the per-chunk lane caches.
@@ -384,7 +522,7 @@ class BatchBackend(FaultSimBackend):
                 "misses": misses,
                 "hit_rate": hits / lookups if lookups else 0.0,
             }
-        return report
+        return plan.finish(report, policy.drop_on_detect)
 
 
 # Imported last: shard.py needs the registry above at import time, and

@@ -273,10 +273,14 @@ class BatchFaultSimulator:
             # every circuit; lanes share the same inputs.
             self.good.drive(node, state)
             for chunk in self.chunks:
-                chunk.lanes.drive(node, state)
+                if chunk.lanes.active:
+                    chunk.lanes.drive(node, state)
         self.good.settle()
         for chunk in self.chunks:
-            self._settle_chunk(chunk)
+            # A fully detected chunk has nothing left to simulate; its
+            # lanes stay frozen at their drop-time states.
+            if chunk.lanes.active:
+                self._settle_chunk(chunk)
 
     def circuit_state_of(self, circuit_id: int, name: str) -> int:
         """A faulty circuit's state of a node, by name."""

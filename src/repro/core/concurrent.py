@@ -369,28 +369,12 @@ class _FaultyCircuit:
         self.tstates = _OverlayTransistors(
             sim.network, self.states, self.forced_transistors
         )
-        compiled = sim._compiled
-        if compiled is None:
-            self._fault_comps = None
-        else:
-            # Components this circuit's *fault itself* touches: forced
-            # nodes (pseudo-inputs dirty their own component and, as
-            # gates, their fanout components) and forced transistors.
-            fault_comps: set[int] = set()
-            for node in pf.forced_nodes:
-                fault_comps.add(compiled.node_component[node])
-                fault_comps.update(compiled.gate_fanout[node])
-            for t in pf.forced_transistors:
-                cid_of_t = compiled.t_component[t]
-                if cid_of_t >= 0:
-                    fault_comps.add(cid_of_t)
-            fault_comps.discard(-1)
-            self._fault_comps = fault_comps
+        self._fault_comps = sim._fault_comps.get(cid)
 
     def take_seeds(self) -> set[int]:
         net = self.sim.network
-        compiled = self.sim._compiled
-        if compiled is None:
+        topo = self.sim._topo
+        if topo is None:
             expanded: set[int] = set()
             for raw_seed in self._seeds:
                 expanded.update(
@@ -400,20 +384,23 @@ class _FaultyCircuit:
                 )
             self._seeds = set()
             return expanded
-        # Compiled locality: drop seeds in components where this circuit
-        # provably tracks the good circuit -- no divergence records on
-        # the component's members or on the gates driving its channels,
-        # and no fault site inside it.  Solving there would reproduce
-        # the good circuit's own work (or the identity); the trigger
-        # scan re-triggers the circuit if divergence ever reaches such
-        # a component.  The component check is fused into seed expansion
-        # and runs *before* the conducting-channel test: rail seeds
+        # Drop seeds in components where this circuit provably tracks
+        # the good circuit -- no divergence records on the component's
+        # members or on the gates driving its channels, and no fault
+        # site inside it.  Solving there would reproduce the good
+        # circuit's own work (or the identity); the trigger scan
+        # re-triggers the circuit if divergence ever reaches such a
+        # component.  The filter applies the same expansion rule as
+        # ``expand_seed`` (storage seeds are their own seed, input and
+        # forced seeds perturb the storage nodes they conduct to), so
+        # its output feeds the dynamic kernel directly; the component
+        # check runs *before* the conducting-channel test: rail seeds
         # (vdd/gnd) have channel lists spanning the circuit, and the
         # per-channel transistor-state reads go through the overlay
         # views -- skipping them for clean components is a large win.
         dirty_comps = self.sim._dirty_comp_counts[self.cid]
         fault_comps = self._fault_comps
-        node_component = compiled.node_component
+        node_component = topo.node_component
         node_is_input = net.node_is_input
         node_channels = net.node_channels
         forced = self.forced_nodes
@@ -493,6 +480,7 @@ class ConcurrentFaultSimulator:
         max_rounds: int = DEFAULT_MAX_ROUNDS,
         locality: str = "dynamic",
         solve_cache: bool = True,
+        trim: bool = True,
     ):
         if detection_policy not in POLICIES:
             raise SimulationError(
@@ -513,6 +501,11 @@ class ConcurrentFaultSimulator:
         #: components, so most of its solves hit entries the good
         #: circuit (or a sibling fault) already paid for.
         self.solve_cache = solve_cache
+        #: Redundancy trimming: clean-component seed filtering, whole
+        #: round skips and fault-site index pruning.  All three only
+        #: remove work whose outcome is provably identical to the good
+        #: circuit's; ``trim=False`` is the ablation baseline.
+        self.trim = trim
         self.oscillation_events = 0
         self._kernel = SettleKernel(
             self.network,
@@ -522,6 +515,18 @@ class ConcurrentFaultSimulator:
         )
         self._compiled = (
             compile_network(self.network) if locality == "compiled" else None
+        )
+        #: Channel-connected-component indexes (node_component /
+        #: t_component / gate_fanout) backing the dirty-component
+        #: bookkeeping.  The partition is pure topology -- independent of
+        #: how vicinities are solved -- so when trimming, the dynamic and
+        #: static localities borrow the compiled form's indexes (memoized
+        #: per network; the solve caches stay untouched).  ``None`` only
+        #: for untrimmed non-compiled runs.
+        self._topo = (
+            self._compiled
+            if self._compiled is not None
+            else (compile_network(self.network) if trim else None)
         )
 
         if not observed:
@@ -575,19 +580,50 @@ class ConcurrentFaultSimulator:
                 self._merged_forced_t[cid] = merged
             else:
                 self._merged_forced_t[cid] = self.good_forced_transistors
-        # Fault-site indexes for trigger scanning.
+        # Fault-site indexes for trigger scanning, plus the reverse maps
+        # (circuit -> index keys it occupies) that let _drop prune a
+        # detected circuit's entries so the scan loops shrink as
+        # coverage rises.
         self._node_fault_sites: dict[int, list[tuple[int, int]]] = {}
         self._trans_fault_sites: dict[int, list[tuple[int, int, int]]] = {}
+        self._fault_site_keys: dict[int, tuple[set[int], set[int]]] = {}
         for cid, pf in self.prepared.items():
+            node_keys: set[int] = set()
+            trans_keys: set[int] = set()
             for node, value in pf.forced_nodes.items():
                 self._node_fault_sites.setdefault(node, []).append(
                     (cid, value)
                 )
+                node_keys.add(node)
             for t, state in pf.forced_transistors.items():
                 for node in (net_.t_source[t], net_.t_drain[t]):
                     self._trans_fault_sites.setdefault(node, []).append(
                         (cid, t, state)
                     )
+                    trans_keys.add(node)
+            if node_keys or trans_keys:
+                self._fault_site_keys[cid] = (node_keys, trans_keys)
+        #: Components each circuit's *fault itself* touches (forced
+        #: nodes dirty their own component and, as gates, their fanout;
+        #: forced transistors their component).  Shared by the adapters'
+        #: take_seeds filter and the whole-round skip in _settle_all.
+        self._fault_comps: dict[int, set[int]] = {}
+        if self._topo is not None:
+            topo = self._topo
+            for cid, pf in self.prepared.items():
+                fault_comps: set[int] = set()
+                for node in pf.forced_nodes:
+                    fault_comps.add(topo.node_component[node])
+                    fault_comps.update(topo.gate_fanout[node])
+                for t in pf.forced_transistors:
+                    comp_of_t = topo.t_component[t]
+                    if comp_of_t >= 0:
+                        fault_comps.add(comp_of_t)
+                fault_comps.discard(-1)
+                self._fault_comps[cid] = fault_comps
+        #: Redundancy-trim counters surfaced on the run report.
+        self._round_skips = 0
+        self._sites_pruned = 0
         self._fault_pending: dict[int, set[int]] = {}
         #: Reusable per-circuit round adapters (their overlay views hold
         #: only stable references: records dict, forced map, snapshot).
@@ -664,6 +700,11 @@ class ConcurrentFaultSimulator:
         report.total_seconds = timer() - start_total
         report.log = self.log
         report.oscillation_events = self.oscillation_events
+        if self.trim:
+            report.trim = {
+                "round_skips": self._round_skips,
+                "sites_pruned": self._sites_pruned,
+            }
         return report
 
     def apply_pattern(self, pattern: TestPattern) -> None:
@@ -781,12 +822,12 @@ class ConcurrentFaultSimulator:
             self.node_records[node] = state_list
         state_list.set(cid, state)
         records = self.circuit_records[cid]
-        if node not in records and self._compiled is not None:
+        if node not in records and self._topo is not None:
             counts = self._dirty_comp_counts[cid]
-            compiled = self._compiled
+            topo = self._topo
             for comp in (
-                compiled.node_component[node],
-                *compiled.gate_fanout[node],
+                topo.node_component[node],
+                *topo.gate_fanout[node],
             ):
                 counts[comp] = counts.get(comp, 0) + 1
         records[node] = state
@@ -796,12 +837,12 @@ class ConcurrentFaultSimulator:
         if state_list is not None:
             state_list.remove(cid)
         removed = self.circuit_records[cid].pop(node, None)
-        if removed is not None and self._compiled is not None:
+        if removed is not None and self._topo is not None:
             counts = self._dirty_comp_counts[cid]
-            compiled = self._compiled
+            topo = self._topo
             for comp in (
-                compiled.node_component[node],
-                *compiled.gate_fanout[node],
+                topo.node_component[node],
+                *topo.gate_fanout[node],
             ):
                 remaining = counts[comp] - 1
                 if remaining:
@@ -901,6 +942,21 @@ class ConcurrentFaultSimulator:
                 for cid in sorted(pending):
                     if cid not in self.live:
                         continue
+                    # Whole-round skip: a circuit with no dirty
+                    # components tracks the good circuit everywhere
+                    # except around its own fault sites, so unless a
+                    # seed lands in a fault component this round is
+                    # provably a no-op -- don't even build the adapter
+                    # or expand the seeds.
+                    if (
+                        self.trim
+                        and self._topo is not None
+                        and not self._dirty_comp_counts[cid]
+                        and not self._seeds_matter(cid, pending[cid])
+                    ):
+                        self._round_skips += 1
+                        circuit_rounds[cid] = 0
+                        continue
                     count = circuit_rounds.get(cid, 0) + 1
                     circuit = adapters.get(cid)
                     if circuit is None:
@@ -931,6 +987,34 @@ class ConcurrentFaultSimulator:
             # circuit's round r-1 states where they needed them.
             self._flush_stale_records()
             self._sync_prev_states()
+
+    def _seeds_matter(self, cid: int, seeds: set[int]) -> bool:
+        """Whether any raw seed could survive the adapter's take_seeds
+        filter for a circuit with *no* dirty components.
+
+        A storage seed matters only if its component is a fault
+        component; an input/forced seed only if it conducts toward one.
+        This over-approximates take_seeds (the conducting-channel test
+        is omitted), so a False is always safe to skip on.
+        """
+        fault_comps = self._fault_comps[cid]
+        if not fault_comps:
+            return False
+        net = self.network
+        node_component = self._topo.node_component
+        node_is_input = net.node_is_input
+        forced = self.prepared[cid].forced_nodes
+        for seed in seeds:
+            if not node_is_input[seed] and seed not in forced:
+                if node_component[seed] in fault_comps:
+                    return True
+                continue
+            for _t, partner in net.node_channels[seed]:
+                if node_is_input[partner] or partner in forced:
+                    continue
+                if node_component[partner] in fault_comps:
+                    return True
+        return False
 
     def _sync_prev_states(self) -> None:
         """Fold the round's good changes into the round-start snapshot."""
@@ -1108,7 +1192,8 @@ class ConcurrentFaultSimulator:
                     self._drop(cid)
 
     def _drop(self, cid: int) -> None:
-        """Purge a detected circuit: records, events, liveness."""
+        """Purge a detected circuit: records, events, liveness, and its
+        fault-site index entries (so trigger scans stop visiting it)."""
         records = self.circuit_records[cid]
         for node in list(records):
             state_list = self.node_records[node]
@@ -1118,3 +1203,25 @@ class ConcurrentFaultSimulator:
         self._dirty_comp_counts[cid].clear()
         self.live.discard(cid)
         self._fault_pending.pop(cid, None)
+        if not self.trim:
+            return
+        keys = self._fault_site_keys.pop(cid, None)
+        if keys is None:
+            return
+        node_keys, trans_keys = keys
+        for node in node_keys:
+            entries = self._node_fault_sites[node]
+            kept = [entry for entry in entries if entry[0] != cid]
+            self._sites_pruned += len(entries) - len(kept)
+            if kept:
+                self._node_fault_sites[node] = kept
+            else:
+                del self._node_fault_sites[node]
+        for node in trans_keys:
+            entries = self._trans_fault_sites[node]
+            kept = [entry for entry in entries if entry[0] != cid]
+            self._sites_pruned += len(entries) - len(kept)
+            if kept:
+                self._trans_fault_sites[node] = kept
+            else:
+                del self._trans_fault_sites[node]

@@ -26,7 +26,7 @@ from typing import Iterable, Sequence
 from ..circuits.ram import Ram
 from ..errors import FaultError
 from ..switchlevel.logic import ONE, ZERO
-from ..switchlevel.network import Network
+from ..switchlevel.network import DTYPE, Network
 
 # Fault kind tags.
 NODE_STUCK = "node-stuck"
@@ -84,7 +84,13 @@ class TransistorStuckFault(Fault):
 
 @dataclass(frozen=True)
 class ShortFault(Fault):
-    """Two wires shorted together (bridging fault)."""
+    """Two wires shorted together (bridging fault).
+
+    The node pair is unordered; construction canonicalizes it so
+    ``ShortFault(a, b) == ShortFault(b, a)`` -- ``ram_fault_universe``
+    used to emit the same physical short twice under swapped node
+    order, and every duplicate was a whole extra simulated circuit.
+    """
 
     node_a: str
     node_b: str
@@ -92,6 +98,10 @@ class ShortFault(Fault):
     def __post_init__(self) -> None:
         if self.node_a == self.node_b:
             raise FaultError("cannot short a node to itself")
+        if self.node_b < self.node_a:
+            low, high = self.node_b, self.node_a
+            object.__setattr__(self, "node_a", low)
+            object.__setattr__(self, "node_b", high)
 
     @property
     def kind(self) -> str:
@@ -141,6 +151,8 @@ def node_stuck_universe(
     else:
         names = list(nodes)
         for name in names:
+            if name not in net.node_index:
+                raise FaultError(f"unknown node {name!r} in fault universe")
             if net.node_is_input[net.node(name)]:
                 raise FaultError(f"cannot stick input node {name!r}")
     faults: list[Fault] = []
@@ -158,6 +170,11 @@ def transistor_stuck_universe(
         names = list(net.t_names)
     else:
         names = list(transistors)
+        for name in names:
+            if name not in net.t_index:
+                raise FaultError(
+                    f"unknown transistor {name!r} in fault universe"
+                )
     faults: list[Fault] = []
     for name in names:
         faults.append(TransistorStuckFault(name, closed=False))
@@ -177,7 +194,268 @@ def ram_fault_universe(ram: Ram) -> list[Fault]:
     faults = node_stuck_universe(ram.net)
     for node_a, node_b in ram.bitline_adjacent_pairs():
         faults.append(ShortFault(node_a, node_b))
-    return faults
+    return dedupe_faults(faults)
+
+
+def dedupe_faults(faults: Iterable[Fault]) -> list[Fault]:
+    """Drop exact repeats, keeping first-occurrence order.
+
+    :class:`ShortFault` canonicalizes its node pair, so swapped-order
+    shorts compare equal and are deduplicated here too.
+    """
+    seen: set[Fault] = set()
+    unique: list[Fault] = []
+    for fault in faults:
+        if fault not in seen:
+            seen.add(fault)
+            unique.append(fault)
+    return unique
+
+
+# --- fault collapsing -------------------------------------------------------
+#
+# Structural equivalence classes over a fault universe.  Two faults are
+# merged only when their faulty circuits are *provably identical* as
+# switch-level systems (same reachable states, same observable behavior
+# on every pattern sequence), so simulating one representative per class
+# and copying its detections to every member is exact -- unlike classic
+# dominance-based collapsing, which preserves coverage but not the
+# per-fault detection record this codebase's reports promise.
+#
+# Rules (each argued in docs/ARCHITECTURE.md):
+#
+# 1. *Duplicates*: equal fault descriptions (ShortFault canonicalizes
+#    its node pair; OpenFault detach sets compare unordered).
+# 2. *Null faults*: stuck-closed on a transistor whose channel pair
+#    already carries an always-conducting (d-type) device of >= strength
+#    -- the forced edge is dominated by a permanently present one, so
+#    the faulty circuit IS the good circuit (a d-type stuck-closed is
+#    the degenerate case).  Null faults are never simulated at all.
+# 3. *Parallel stuck-closed twins*: stuck-closed faults on transistors
+#    sharing the same channel pair and strength.  The forced edge is the
+#    same edge; the remaining free twin only ever conducts in parallel
+#    with it at equal strength, adding no reachability and no signal the
+#    forced edge doesn't already carry.
+# 4. *Isomorphic stuck-open twins*: stuck-open faults on transistors
+#    with the same kind, strength, gate and channel pair behave
+#    identically (the devices are interchangeable).
+# 5. *Series-chain stuck-open*: stuck-open faults on the transistors of
+#    a maximal series chain whose internal nodes are invisible (gate
+#    nothing, unobserved, exactly two channel connections) and whose
+#    endpoints are each an input, always driven through d-type channels,
+#    or strictly larger than every internal node -- then which chain
+#    device is open is indistinguishable at the endpoints, because the
+#    internal nodes' charges can never decide an endpoint's state.
+
+
+@dataclass(frozen=True)
+class CollapsedFaults:
+    """Result of :func:`collapse_faults`: what to simulate and how to
+    expand the representative run back over the full universe.
+
+    ``classes[i]`` lists the 1-based circuit ids (positions in the
+    original fault list) covered by ``representatives[i]``;
+    ``null_members`` lists circuit ids equivalent to the good circuit
+    (no representative -- they can never be detected).
+    """
+
+    faults: tuple[Fault, ...]
+    representatives: tuple[Fault, ...]
+    classes: tuple[tuple[int, ...], ...]
+    null_members: tuple[int, ...] = ()
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.faults)
+
+    @property
+    def n_representatives(self) -> int:
+        return len(self.representatives)
+
+    @property
+    def collapsed(self) -> bool:
+        return self.n_representatives < self.n_faults
+
+    def stats(self) -> dict:
+        """The ``RunReport.collapse`` payload.
+
+        ``expansion`` maps each representative circuit id (its 1-based
+        position in the *collapsed* list, as a string for JSON) to the
+        global ids it stands for; only multi-member classes appear, and
+        the key ``"0"`` holds the null class.
+        """
+        expansion: dict[str, list[int]] = {}
+        for index, members in enumerate(self.classes):
+            if len(members) > 1:
+                expansion[str(index + 1)] = list(members)
+        if self.null_members:
+            expansion["0"] = list(self.null_members)
+        return {
+            "faults": self.n_faults,
+            "classes": len(self.classes) + (1 if self.null_members else 0),
+            "representatives": self.n_representatives,
+            "collapsed": self.n_faults - self.n_representatives,
+            "expansion": expansion,
+        }
+
+
+def _always_driven_nodes(net: Network) -> set[int]:
+    """Nodes with a path to an input through always-conducting channels."""
+    reached = set(net.input_nodes())
+    stack = list(reached)
+    while stack:
+        node = stack.pop()
+        for t, other in net.node_channels[node]:
+            if net.t_kind[t] == DTYPE and other not in reached:
+                reached.add(other)
+                stack.append(other)
+    return reached
+
+
+def _series_chain(
+    net: Network,
+    t0: int,
+    observed: set[int],
+    always_driven: set[int],
+) -> frozenset[int] | None:
+    """The maximal collapsible series chain through ``t0``, or None.
+
+    Walks outward from both channel terminals of ``t0`` through
+    *internal* nodes (storage, unobserved, gating nothing, exactly two
+    channel connections) over equal-strength transistors, then checks
+    the endpoint condition of rule 5.  Returns the chain's transistor
+    set when it has at least two members and both endpoints qualify.
+    """
+    strength = net.t_strength[t0]
+    chain: set[int] = {t0}
+    internal: list[int] = []
+    endpoints: list[int] = []
+    for start in (net.t_source[t0], net.t_drain[t0]):
+        current_t, node = t0, start
+        while True:
+            if (
+                net.node_is_input[node]
+                or node in observed
+                or net.node_gates[node]
+                or len(net.node_channels[node]) != 2
+            ):
+                endpoints.append(node)
+                break
+            entries = [
+                (t, other)
+                for t, other in net.node_channels[node]
+                if t != current_t
+            ]
+            if len(entries) != 1:
+                # Both connections are the walked transistor (degenerate
+                # loop) -- treat the node as an endpoint candidate.
+                endpoints.append(node)
+                break
+            next_t, next_node = entries[0]
+            if next_t in chain:
+                return None  # a ring of internal nodes: no endpoint
+            if net.t_strength[next_t] != strength:
+                endpoints.append(node)
+                break
+            chain.add(next_t)
+            internal.append(node)
+            current_t, node = next_t, next_node
+    if len(chain) < 2 or not internal:
+        return None
+    max_internal_size = max(net.node_size[n] for n in internal)
+    for endpoint in endpoints:
+        if net.node_is_input[endpoint] or endpoint in always_driven:
+            continue
+        if net.node_size[endpoint] > max_internal_size:
+            continue
+        return None
+    return frozenset(chain)
+
+
+def collapse_faults(
+    net: Network,
+    faults: Sequence[Fault],
+    observed: Sequence[str] = (),
+) -> CollapsedFaults:
+    """Group ``faults`` into structural equivalence classes.
+
+    ``observed`` names the detection-compared nodes; chain collapsing
+    (rule 5) must know them, since an observed internal node makes the
+    chain's variants distinguishable.  Faults naming unknown elements
+    are passed through as singleton classes -- injection reports them
+    with its usual errors.
+    """
+    fault_list = list(faults)
+    observed_idx = {
+        net.node_index[name] for name in observed if name in net.node_index
+    }
+    always_driven: set[int] | None = None
+    # Strongest always-conducting device per channel pair (rule 2).
+    d_pair_strength: dict[tuple[int, int], int] = {}
+    for t in range(net.n_transistors):
+        if net.t_kind[t] == DTYPE:
+            pair = (
+                min(net.t_source[t], net.t_drain[t]),
+                max(net.t_source[t], net.t_drain[t]),
+            )
+            if net.t_strength[t] > d_pair_strength.get(pair, 0):
+                d_pair_strength[pair] = net.t_strength[t]
+
+    groups: dict[object, list[int]] = {}
+    null_members: list[int] = []
+    order: list[object] = []
+    for position, fault in enumerate(fault_list):
+        gid = position + 1
+        key: object = fault
+        if isinstance(fault, OpenFault):
+            key = ("open", fault.node, frozenset(fault.detached))
+        elif (
+            isinstance(fault, TransistorStuckFault)
+            and fault.transistor in net.t_index
+        ):
+            t = net.t_index[fault.transistor]
+            pair = (
+                min(net.t_source[t], net.t_drain[t]),
+                max(net.t_source[t], net.t_drain[t]),
+            )
+            if fault.closed:
+                if d_pair_strength.get(pair, 0) >= net.t_strength[t]:
+                    null_members.append(gid)
+                    continue
+                key = ("stuck-closed", pair, net.t_strength[t])
+            else:
+                if always_driven is None:
+                    always_driven = _always_driven_nodes(net)
+                chain = _series_chain(net, t, observed_idx, always_driven)
+                if chain is not None:
+                    key = ("chain-open", chain)
+                else:
+                    key = (
+                        "stuck-open",
+                        pair,
+                        net.t_strength[t],
+                        net.t_kind[t],
+                        net.t_gate[t],
+                    )
+        members = groups.get(key)
+        if members is None:
+            groups[key] = [gid]
+            order.append(key)
+        else:
+            members.append(gid)
+
+    representatives: list[Fault] = []
+    classes: list[tuple[int, ...]] = []
+    for key in order:
+        members = groups[key]
+        representatives.append(fault_list[members[0] - 1])
+        classes.append(tuple(members))
+    return CollapsedFaults(
+        faults=tuple(fault_list),
+        representatives=tuple(representatives),
+        classes=tuple(classes),
+        null_members=tuple(null_members),
+    )
 
 
 def sample_faults(

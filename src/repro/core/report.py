@@ -50,6 +50,16 @@ class RunReport:
     #: ``hit_rate``), filled by backends running with the ``compiled``
     #: locality; ``None`` for other localities.
     solve_cache: dict | None = None
+    #: Fault-collapsing stats (``faults`` / ``classes`` /
+    #: ``representatives`` / ``collapsed`` / ``expansion``), filled when
+    #: the run simulated class representatives and expanded detections
+    #: back to the full universe; ``None`` when collapsing was off or
+    #: found nothing to merge.
+    collapse: dict | None = None
+    #: Redundancy-trimming counters: ``patterns_skipped`` /
+    #: ``warm_starts`` for serial, ``round_skips`` / ``sites_pruned``
+    #: for concurrent; ``None`` for backends without a trim layer.
+    trim: dict | None = None
 
     @property
     def n_patterns(self) -> int:
@@ -108,6 +118,9 @@ class SerialRunReport:
     total_seconds: float = 0.0
     log: DetectionLog = field(default_factory=DetectionLog)
     pattern_seconds: list[float] = field(default_factory=list)
+    #: ERASER-style warm-start counters (``patterns_skipped`` /
+    #: ``warm_starts``), filled by the serial simulator.
+    trim: dict = field(default_factory=dict)
 
     @property
     def n_faults(self) -> int:

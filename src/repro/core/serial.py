@@ -29,8 +29,8 @@ from __future__ import annotations
 import time
 from typing import Iterable, Sequence
 
-from ..switchlevel.kernel import LOCALITIES
-from ..switchlevel.network import Network
+from ..switchlevel.kernel import LOCALITIES, SettleStats
+from ..switchlevel.network import Network, TRANS_TABLE
 from ..switchlevel.scheduler import Engine
 from ..patterns.clocking import TestPattern
 from .detection import POLICY_HARD, POLICIES, Detection, differs
@@ -38,6 +38,40 @@ from .faults import Fault
 from .inject import Instrumented, PreparedFault, prepare
 from .report import FaultRecord, PatternRecord, RunReport, SerialRunReport
 from ..errors import SimulationError
+
+#: A faulty circuit differing from the good checkpoint on more nodes
+#: than this is treated as fully divergent (no pattern skipping); it
+#: bounds the per-pattern containment bookkeeping to a small constant.
+_MAX_DIVERGENCE = 32
+
+
+class _GoodTrace:
+    """The good circuit's run, recorded once and reused by every fault.
+
+    Beyond the observed states the detector compares against, the trace
+    carries what the ERASER-style trimming needs: per-pattern state
+    checkpoints, the region each pattern *touched* (every vicinity
+    member/boundary examined plus the driven inputs; ``None`` when the
+    pattern oscillated, which disables skipping), and the transistors
+    whose gate node changed (an over-approximation of the transistors
+    that may have toggled).
+    """
+
+    __slots__ = ("observed", "init_checkpoint", "checkpoints", "touched",
+                 "toggled")
+
+    def __init__(self) -> None:
+        #: [pattern][observation][observed node] good states.
+        self.observed: list[list[list[int]]] = []
+        #: Settled power-up state, before any pattern.
+        self.init_checkpoint: tuple[list[int], list[int]] = ([], [])
+        #: Settled (states, tstates) after each pattern.
+        self.checkpoints: list[tuple[list[int], list[int]]] = []
+        self.touched: list[set[int] | None] = []
+        self.toggled: list[set[int]] = []
+
+    def checkpoint_before(self, k: int) -> tuple[list[int], list[int]]:
+        return self.checkpoints[k - 1] if k else self.init_checkpoint
 
 
 class SerialFaultSimulator:
@@ -60,6 +94,7 @@ class SerialFaultSimulator:
         max_rounds: int = 200,
         locality: str = "dynamic",
         solve_cache: bool = True,
+        trim: bool = True,
     ):
         if detection_policy not in POLICIES:
             raise SimulationError(
@@ -81,6 +116,9 @@ class SerialFaultSimulator:
         self.detection_policy = detection_policy
         self.drop_on_detect = drop_on_detect
         self.max_rounds = max_rounds
+        #: ERASER-style checkpoint trimming (pattern skipping + warm
+        #: starts); off, every faulty circuit replays every pattern.
+        self.trim = trim
         self.oscillation_events = 0
 
     # ------------------------------------------------------------------
@@ -100,6 +138,11 @@ class SerialFaultSimulator:
         report = SerialRunReport(
             n_patterns=len(pattern_list),
             reference_seconds=reference_seconds,
+            trim=(
+                {"patterns_skipped": 0, "warm_starts": 0}
+                if self.trim
+                else {}
+            ),
         )
         report.pattern_seconds = [0.0] * len(pattern_list)
         start_total = timer()
@@ -167,46 +210,228 @@ class SerialFaultSimulator:
             engine.drive(net.node(name), state)
         engine.settle()
 
-    def _reference_trace(
-        self, patterns: list[TestPattern]
-    ) -> list[list[list[int]]]:
-        """Observed good-circuit states: [pattern][observed phase][node]."""
+    def _reference_trace(self, patterns: list[TestPattern]) -> _GoodTrace:
+        """Run the good circuit once, recording observed states plus the
+        per-pattern checkpoints and touched regions trimming needs."""
+        net = self.network
         engine = self._make_engine(None)
-        trace: list[list[list[int]]] = []
+        trace = _GoodTrace()
+        trace.init_checkpoint = engine.snapshot()
         for pattern in patterns:
             pattern_trace: list[list[int]] = []
+            pattern_touched: set[int] = set()
+            pattern_changed: set[int] = set()
+            oscillated = False
             for phase in pattern.phases:
-                self._drive_phase(engine, phase.settings)
+                for name, state in phase.settings.items():
+                    node = net.node(name)
+                    engine.drive(node, state)
+                    pattern_touched.add(node)
+                    pattern_changed.add(node)
+                stats = engine.settle(SettleStats(touched_nodes=set()))
+                if stats.oscillated:
+                    oscillated = True
+                pattern_touched |= stats.touched_nodes
+                pattern_changed |= stats.changed_nodes
                 if phase.observe:
                     pattern_trace.append(
                         [engine.states[node] for node in self.observed]
                     )
-            trace.append(pattern_trace)
+            trace.observed.append(pattern_trace)
+            trace.checkpoints.append(engine.snapshot())
+            trace.touched.append(None if oscillated else pattern_touched)
+            toggled: set[int] = set()
+            for node in pattern_changed:
+                toggled.update(net.node_gates[node])
+            trace.toggled.append(toggled)
         self.oscillation_events += engine.oscillation_events
         return trace
+
+    def _divergence(
+        self, engine: Engine, checkpoint: tuple[list[int], list[int]]
+    ) -> dict[int, int] | None:
+        """Where (and how) the faulty state differs from a good
+        checkpoint: ``{node: faulty state}``.
+
+        Returns ``None`` -- meaning "treat as fully divergent, never
+        skip" -- when the divergence exceeds ``_MAX_DIVERGENCE`` nodes
+        (bounding the per-pattern bookkeeping) or reaches an observed
+        node (a divergent output may constitute a detection at any
+        observe phase, so those patterns must actually run)."""
+        states = engine.states
+        good = checkpoint[0]
+        if states == good:
+            return {}
+        div: dict[int, int] = {}
+        for node, (faulty, good_state) in enumerate(zip(states, good)):
+            if faulty != good_state:
+                div[node] = faulty
+                if len(div) > _MAX_DIVERGENCE:
+                    return None
+        for node in self.observed:
+            if node in div:
+                return None
+        return div
+
+    def _site_set(self, div: dict[int, int]) -> set[int]:
+        """Nodes the good run must stay away from for ``div`` to stay
+        contained: the divergent nodes themselves plus the channel
+        terminals of every transistor they gate (a divergent gate value
+        means divergent conduction there).
+
+        Input terminals (vdd/gnd, driven pins) are excluded: vicinity
+        exploration never traverses *through* an input, so divergent
+        conduction toward one only matters when the transistor's other
+        terminal is examined -- and that terminal is in the set."""
+        net = self.network
+        is_input = net.node_is_input
+        sites = set(div)
+        for node in div:
+            for t in net.node_gates[node]:
+                for terminal in (net.t_source[t], net.t_drain[t]):
+                    if not is_input[terminal]:
+                        sites.add(terminal)
+        return sites
+
+    def _pattern_is_inert(
+        self,
+        sites: set[int],
+        forced_node_list: list[int],
+        forced_t_list: list[tuple[int, int, tuple[int, ...]]],
+        k: int,
+        trace: _GoodTrace,
+    ) -> bool:
+        """True when the faulty circuit provably tracks the good circuit
+        through pattern ``k`` -- same observations, same end-state delta
+        -- so simulating it is pure redundancy.
+
+        The argument is inductive: while the faulty state equals the
+        good checkpoint outside ``sites``, the faulty settle explores
+        the same vicinities as the good one *until* it reaches a
+        divergent node or fault site.  The good run's touched region
+        covers everything either run examines in that window, so sites
+        outside it (and, for a forced transistor, one the good run
+        never toggles away from the forced state) can never be reached
+        and never inject a difference.
+        """
+        touched = trace.touched[k]
+        if touched is None:
+            return False  # the good pattern oscillated: never skip
+        if not touched.isdisjoint(sites):
+            return False
+        for node in forced_node_list:
+            if node in touched:
+                return False
+        if forced_t_list:
+            toggled = trace.toggled[k]
+            cp_tstates = trace.checkpoints[k][1]
+            for t, state, terminals in forced_t_list:
+                if t not in toggled and cp_tstates[t] == state:
+                    # Held the forced state all pattern anyway.
+                    continue
+                for terminal in terminals:
+                    if terminal in touched:
+                        return False
+        return True
+
+    def _warm_start(
+        self,
+        engine: Engine,
+        div: dict[int, int],
+        k: int,
+        trace: _GoodTrace,
+    ) -> None:
+        """Resume a faulty circuit at pattern ``k`` from the good
+        checkpoint instead of replaying the skipped patterns: restore
+        the checkpoint, re-apply the (unchanged) divergence delta, and
+        re-pin the fault's forced elements."""
+        net = self.network
+        engine.restore(trace.checkpoint_before(k))
+        states, tstates = engine.states, engine.tstates
+        forced_transistors = engine.forced_transistors
+        for node, state in div.items():
+            states[node] = state
+        for node in div:
+            for t in net.node_gates[node]:
+                if t not in forced_transistors:
+                    tstates[t] = (
+                        TRANS_TABLE[net.t_kind[t]][states[net.t_gate[t]]]
+                    )
+        for node, state in engine.forced_nodes.items():
+            states[node] = state
+        for t, state in forced_transistors.items():
+            tstates[t] = state
 
     def _simulate_fault(
         self,
         pf: PreparedFault,
         patterns: list[TestPattern],
-        reference: list[list[list[int]]],
+        reference: _GoodTrace,
         report: SerialRunReport,
         timer,
     ) -> tuple[int, int] | None:
         """Run one faulty circuit, logging detections; returns (pattern,
-        phase) of the first detection or None."""
+        phase) of the first detection or None.
+
+        ERASER-style trimming: whenever the faulty state has converged
+        back onto the good checkpoint, patterns whose touched region
+        avoids every fault site are skipped outright (they cannot
+        produce a detection or a new state), and the next divergent
+        pattern warm-starts from the preceding good checkpoint instead
+        of replaying the skipped stretch.
+        """
         engine = self._make_engine(pf)
         names = self.network.node_names
+        net = self.network
+        forced_node_list = list(pf.forced_nodes)
+        # Only non-input channel terminals can carry a forced-conduction
+        # difference into a vicinity (see _site_set).
+        forced_t_list = [
+            (
+                t,
+                state,
+                tuple(
+                    terminal
+                    for terminal in (net.t_source[t], net.t_drain[t])
+                    if not net.node_is_input[terminal]
+                ),
+            )
+            for t, state in pf.forced_transistors.items()
+        ]
+        trim = report.trim
         first: tuple[int, int] | None = None
+        div = (
+            self._divergence(engine, reference.init_checkpoint)
+            if self.trim
+            else None
+        )
+        sites = self._site_set(div) if div is not None else None
+        stale = False  # True after skips: engine memory lags the sequence
         try:
             for pattern_index, pattern in enumerate(patterns):
+                if div is not None and self._pattern_is_inert(
+                    sites,
+                    forced_node_list,
+                    forced_t_list,
+                    pattern_index,
+                    reference,
+                ):
+                    trim["patterns_skipped"] += 1
+                    stale = True
+                    continue
                 pattern_start = timer()
+                if stale:
+                    self._warm_start(engine, div, pattern_index, reference)
+                    trim["warm_starts"] += 1
+                    stale = False
                 observation = 0
                 for phase_index, phase in enumerate(pattern.phases):
                     self._drive_phase(engine, phase.settings)
                     if not phase.observe:
                         continue
-                    good_states = reference[pattern_index][observation]
+                    good_states = reference.observed[pattern_index][
+                        observation
+                    ]
                     observation += 1
                     # Every differing observed node is logged, exactly
                     # like the concurrent and batch observers; with
@@ -235,6 +460,14 @@ class SerialFaultSimulator:
                                 timer() - pattern_start
                             )
                             return first
+                div = (
+                    self._divergence(
+                        engine, reference.checkpoints[pattern_index]
+                    )
+                    if self.trim
+                    else None
+                )
+                sites = self._site_set(div) if div is not None else None
                 report.pattern_seconds[pattern_index] += (
                     timer() - pattern_start
                 )
@@ -263,6 +496,7 @@ def serial_run_report(
         n_faults=serial_report.n_faults,
         log=serial_report.log,
         backend="serial",
+        trim=dict(serial_report.trim) or None,
     )
     n_patterns = len(patterns)
     cumulative = serial_report.log.cumulative_by_pattern(n_patterns)

@@ -67,6 +67,7 @@ from ..patterns.clocking import TestPattern
 from ..switchlevel.network import Network
 from .backends import (
     DEFAULT_POLICY,
+    CollapsePlan,
     FaultSimBackend,
     SimPolicy,
     get_backend,
@@ -237,6 +238,15 @@ def merge_shard_reports(
         r.report.oscillation_events for r in results
     )
     merged.shard_seconds = [r.wall_seconds for r in results]
+    trims = [r.report.trim for r in results if r.report.trim]
+    if trims:
+        # Shards may run different inner backends over time; sum
+        # counter-wise over whatever keys each shard reported.
+        merged.trim = {
+            key: sum(t.get(key, 0) for t in trims)
+            for t in trims
+            for key in t
+        }
     caches = [
         r.report.solve_cache for r in results if r.report.solve_cache
     ]
@@ -315,14 +325,32 @@ class ShardedBackend(FaultSimBackend):
     ) -> RunReport:
         pattern_list = tuple(patterns)
         fault_list = tuple(faults)
-        slices = shard_slices(len(fault_list), self.jobs)
+        # Collapse once, over the whole universe: equivalences that
+        # straddle a shard boundary would be invisible to the shards
+        # themselves.  The inner backends then run with collapsing off
+        # (when they know the option) so classes are not re-derived per
+        # shard; detections expand back after the merge.
+        inner_options = dict(self.inner_options)
+        collapse_enabled = bool(inner_options.pop("collapse", True))
+        plan = CollapsePlan(net, fault_list, observed, collapse_enabled)
+        run_faults = tuple(plan.run_faults)
+        try:
+            get_backend(
+                self.inner_backend, **{**inner_options, "collapse": False}
+            )
+            inner_options["collapse"] = False
+        except SimulationError:
+            # Third-party inner backend without a collapse option: it
+            # cannot double-collapse, so forward the options untouched.
+            pass
+        slices = shard_slices(len(run_faults), self.jobs)
         tasks = [
             _ShardTask(
                 offset=start,
                 inner_backend=self.inner_backend,
-                inner_options=self.inner_options,
+                inner_options=inner_options,
                 net=net,
-                faults=fault_list[start:end],
+                faults=run_faults[start:end],
                 observed=tuple(observed),
                 patterns=pattern_list,
                 policy=policy,
@@ -342,10 +370,10 @@ class ShardedBackend(FaultSimBackend):
                 results = list(pool.map(_simulate_shard, tasks))
         wall_seconds = time.perf_counter() - start
         tag = f"sharded({self.inner_backend}x{len(tasks)})"
-        return merge_shard_reports(
+        merged = merge_shard_reports(
             results,
             pattern_list,
-            len(fault_list),
+            len(run_faults),
             tag,
             # The perf clock asks for wall time: the shards overlap, so
             # the parent's fan-out wall clock is the run's cost.  The
@@ -354,3 +382,4 @@ class ShardedBackend(FaultSimBackend):
                 wall_seconds if policy.clock == "perf" else None
             ),
         )
+        return plan.finish(merged, policy.drop_on_detect)

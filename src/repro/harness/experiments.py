@@ -86,6 +86,13 @@ class CurveResult:
     #: Solve-cache counters (hits/misses/hit_rate) when the backend ran
     #: with the compiled locality; ``None`` otherwise.
     solve_cache: dict | None = None
+    #: Fault-collapsing stats (faults/classes/representatives/...) when
+    #: the run simulated class representatives; ``None`` otherwise.
+    collapse: dict | None = None
+    #: Redundancy-trim counters (patterns_skipped/warm_starts for
+    #: serial, round_skips/sites_pruned for concurrent); ``None`` for
+    #: backends without a trim layer.
+    trim: dict | None = None
     seconds_per_pattern: list[float] = field(default_factory=list)
     cumulative_detections: list[int] = field(default_factory=list)
     live_after_pattern: list[int] = field(default_factory=list)
@@ -220,6 +227,8 @@ def run_curve_experiment(
         head_seconds=report.section_seconds(0, head),
         oscillation_events=report.oscillation_events,
         solve_cache=report.solve_cache,
+        collapse=report.collapse,
+        trim=report.trim,
         seconds_per_pattern=report.seconds_per_pattern(),
         cumulative_detections=report.cumulative_detections(),
         live_after_pattern=[p.live_after for p in report.patterns],

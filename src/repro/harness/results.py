@@ -49,8 +49,11 @@ def write_curve_csv(result: CurveResult, stream: TextIO) -> None:
     The backend and backend_options columns keep archived rows
     attributable when runs of several strategies (or several tunings of
     one strategy -- lane widths, shard counts) are concatenated for
-    comparison; oscillation_events is run-level (repeated per row) so
-    oscillation regressions are visible in concatenated archives.
+    comparison; oscillation_events, collapsed and trim are run-level
+    (repeated per row) so redundancy-elimination regressions are
+    visible in concatenated archives -- ``collapsed`` is the
+    ``faults->representatives`` reduction, ``trim`` the flattened
+    skip/warm-start counters.
     """
     writer = csv.writer(stream)
     writer.writerow(
@@ -62,9 +65,22 @@ def write_curve_csv(result: CurveResult, stream: TextIO) -> None:
             "cumulative_detected",
             "live_after",
             "oscillation_events",
+            "collapsed",
+            "trim",
         ]
     )
     options = format_backend_options(result.backend_options)
+    collapsed = ""
+    if result.collapse:
+        collapsed = (
+            f"{result.collapse['faults']}->"
+            f"{result.collapse['representatives']}"
+        )
+    trim = ""
+    if result.trim:
+        trim = ";".join(
+            f"{key}={result.trim[key]}" for key in sorted(result.trim)
+        )
     for index in range(result.n_patterns):
         writer.writerow(
             [
@@ -75,6 +91,8 @@ def write_curve_csv(result: CurveResult, stream: TextIO) -> None:
                 result.cumulative_detections[index],
                 result.live_after_pattern[index],
                 result.oscillation_events,
+                collapsed,
+                trim,
             ]
         )
 

@@ -439,6 +439,8 @@ def report_to_wire(report: RunReport) -> dict[str, Any]:
         "oscillation_events": report.oscillation_events,
         "shard_seconds": list(report.shard_seconds),
         "solve_cache": report.solve_cache,
+        "collapse": report.collapse,
+        "trim": report.trim,
         "patterns": [record_to_wire(p) for p in report.patterns],
         "detections": [detection_to_wire(d) for d in report.log.detections],
     }
@@ -458,6 +460,9 @@ def report_from_wire(wire: dict[str, Any]) -> RunReport:
             backend=wire["backend"],
             shard_seconds=[float(s) for s in wire["shard_seconds"]],
             solve_cache=wire["solve_cache"],
+            # Tolerate reports from peers predating these fields.
+            collapse=wire.get("collapse"),
+            trim=wire.get("trim"),
         )
     except KeyError as exc:
         raise ProtocolError(

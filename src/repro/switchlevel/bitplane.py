@@ -289,6 +289,18 @@ class LaneSimulator:
         after ``max_rounds`` rounds -- the caller hands those lanes to a
         scalar engine for the oscillation fallback (see module docs).
         """
+        # Converged (dropped) lanes are masked out of the pending set up
+        # front: entries they alone seeded vanish before the first round
+        # instead of feeding the union BFS every round until compaction.
+        pending = self.pending
+        if pending:
+            active = self.active
+            for node, lanes in list(pending.items()):
+                live = lanes & active
+                if live:
+                    pending[node] = live
+                else:
+                    del pending[node]
         rounds = 0
         while self.pending:
             if rounds >= max_rounds:

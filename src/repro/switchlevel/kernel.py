@@ -79,6 +79,13 @@ class SettleStats:
     #: How many times the force-to-X fallback ran (0 when no oscillation).
     x_fallbacks: int = 0
     changed_nodes: set[int] = field(default_factory=set)
+    #: When a caller seeds this with a set, :meth:`SettleKernel.step`
+    #: records every vicinity member and boundary node examined -- the
+    #: region a settle *looked at*.  ``None`` (the default) disables
+    #: tracking.  The serial simulator's checkpoint trimming uses this
+    #: to prove a faulty circuit cannot diverge on a pattern whose
+    #: touched region avoids every fault site.
+    touched_nodes: set[int] | None = None
 
     def merge(self, other: "SettleStats") -> None:
         self.rounds += other.rounds
@@ -88,6 +95,10 @@ class SettleStats:
         self.oscillated = self.oscillated or other.oscillated
         self.x_fallbacks += other.x_fallbacks
         self.changed_nodes |= other.changed_nodes
+        if other.touched_nodes:
+            if self.touched_nodes is None:
+                self.touched_nodes = set()
+            self.touched_nodes |= other.touched_nodes
 
 
 @dataclass(slots=True)
@@ -321,6 +332,11 @@ class SettleKernel:
             forced_transistors=getattr(circuit, "forced_transistors", None),
             sig_cache=getattr(circuit, "compiled_sig_cache", None),
         )
+        if stats is not None and stats.touched_nodes is not None:
+            touched = stats.touched_nodes
+            for solution in solutions:
+                touched.update(solution.members)
+                touched.update(solution.boundary)
         circuit.apply_round(solutions, stats)
 
     def force_x(

@@ -166,10 +166,15 @@ class Engine:
             stats.changes += sum(len(s.changes) for s in solutions)
 
     # --- stepping ---------------------------------------------------------
-    def settle(self) -> SettleStats:
-        """Run rounds until the circuit is stable; handle oscillation."""
+    def settle(self, stats: SettleStats | None = None) -> SettleStats:
+        """Run rounds until the circuit is stable; handle oscillation.
+
+        Callers may pass a prepared :class:`SettleStats` (e.g. with
+        ``touched_nodes`` seeded to enable region tracking); the same
+        object is returned filled in.
+        """
         try:
-            stats = self.kernel.settle(self)
+            stats = self.kernel.settle(self, stats)
         except OscillationError:
             self.oscillation_events += 1
             raise

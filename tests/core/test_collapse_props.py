@@ -1,0 +1,241 @@
+"""Fault collapsing is invisible in the results: property + unit tests.
+
+Collapsing simulates one representative per structural equivalence
+class and copies its detections to every member, so a collapsed run
+must be *bit-identical* (post-expansion) to the uncollapsed run -- per
+fault, per pattern, per phase -- on every backend and locality.  The
+property is checked on the random network/fault/stimulus generator the
+flagship equivalence suite uses, with trimming left at its default so
+the checkpoint/warm-start and clean-component machinery is exercised
+by the same oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(__file__))
+from test_equivalence_props import fault_sim_case  # noqa: E402
+
+from repro.circuits.ram import build_ram
+from repro.core.backends import SimPolicy, run_backend
+from repro.core.faults import (
+    NodeStuckFault,
+    TransistorStuckFault,
+    collapse_faults,
+    ram_fault_universe,
+    sample_faults,
+    transistor_stuck_universe,
+)
+from repro.patterns.sequences import sequence1
+
+PROP_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def first_detections(report, n_faults):
+    result = {}
+    for circuit_id in range(1, n_faults + 1):
+        detection = report.log.first_detection(circuit_id)
+        result[circuit_id] = (
+            (detection.pattern_index, detection.phase_index)
+            if detection
+            else None
+        )
+    return result
+
+
+class TestCollapseParityProperty:
+    @PROP_SETTINGS
+    @given(fault_sim_case())
+    def test_collapsed_matches_uncollapsed_everywhere(self, case):
+        net, faults, observed, patterns = case
+        policy = SimPolicy(max_rounds=60)
+        baseline = first_detections(
+            run_backend(
+                "serial", net, faults, observed, patterns, policy,
+                collapse=False, trim=False,
+            ),
+            len(faults),
+        )
+        for backend in ("serial", "concurrent", "batch"):
+            for locality in ("dynamic", "compiled"):
+                report = run_backend(
+                    backend, net, faults, observed, patterns, policy,
+                    locality=locality,
+                )
+                assert first_detections(report, len(faults)) == baseline, (
+                    backend, locality,
+                )
+                # Stats appear only when collapsing actually merged
+                # something; random cases may be all-singletons.
+                if report.collapse is not None:
+                    assert (
+                        report.collapse["representatives"]
+                        < report.collapse["faults"]
+                        == len(faults)
+                    )
+
+
+class TestCollapseOnRam:
+    @pytest.fixture(scope="class")
+    def ram_case(self):
+        ram = build_ram(2, 2)
+        universe = ram_fault_universe(ram) + transistor_stuck_universe(
+            ram.net
+        )
+        faults = sample_faults(universe, 48, seed=3)
+        # Guarantee at least one multi-member class in the sample.
+        faults.append(faults[0])
+        return ram.net, faults, [ram.dout], list(sequence1(ram).patterns)
+
+    def test_ram_collapsed_parity_all_backends(self, ram_case):
+        net, faults, observed, patterns = ram_case
+        baseline = first_detections(
+            run_backend(
+                "serial", net, faults, observed, patterns,
+                collapse=False, trim=False,
+            ),
+            len(faults),
+        )
+        for backend in ("serial", "concurrent", "batch", "sharded"):
+            report = run_backend(
+                backend, net, faults, observed, patterns
+            )
+            assert first_detections(report, len(faults)) == baseline, backend
+            assert report.collapse is not None
+            assert report.collapse["representatives"] < len(faults)
+
+    def test_class_members_share_detections(self, ram_case):
+        net, faults, observed, patterns = ram_case
+        report = run_backend("concurrent", net, faults, observed, patterns)
+        detections = first_detections(report, len(faults))
+        collapsed = collapse_faults(net, faults, observed)
+        for members in collapsed.classes:
+            hits = {detections[gid] for gid in members}
+            assert len(hits) == 1, members
+        for gid in collapsed.null_members:
+            assert detections[gid] is None
+
+    def test_report_counts_cover_full_universe(self, ram_case):
+        net, faults, observed, patterns = ram_case
+        report = run_backend("serial", net, faults, observed, patterns)
+        assert report.n_faults == len(faults)
+        assert report.detected == sum(
+            1
+            for gid in range(1, len(faults) + 1)
+            if report.log.first_detection(gid) is not None
+        )
+        # Per-pattern live counts decay to n_faults - detected, i.e. the
+        # expansion rewrote the pattern records, not just the log.
+        assert report.patterns[-1].live_after == (
+            report.n_faults - report.detected
+        )
+
+
+class TestCollapseClassRules:
+    """Unit checks of the five class rules on a hand-built network."""
+
+    @pytest.fixture
+    def net(self):
+        from repro.netlist.builder import NetworkBuilder
+
+        b = NetworkBuilder()
+        b.input("a")
+        b.input("b")
+        b.node("mid")
+        b.node("out")
+        b.node("load")
+        # Parallel twins: same channel pair, same strength.
+        b.ntrans("a", "out", "gnd", strength=2, name="par1")
+        b.ntrans("b", "out", "gnd", strength=2, name="par2")
+        # Isomorphic twins: same gate, kind, strength and channel pair.
+        b.ntrans("a", "out", "mid", strength=1, name="iso1")
+        b.ntrans("a", "out", "mid", strength=1, name="iso2")
+        # An always-on pullup shadowing a weak stuck-closed candidate.
+        b.dtrans("load", "vdd", "load", strength=2, name="dep")
+        b.ntrans("a", "vdd", "load", strength=1, name="weak")
+        return b.build()
+
+    def test_parallel_stuck_closed_twins_merge(self, net):
+        faults = [
+            TransistorStuckFault("par1", closed=True),
+            TransistorStuckFault("par2", closed=True),
+        ]
+        collapsed = collapse_faults(net, faults)
+        assert collapsed.classes == ((1, 2),)
+        assert collapsed.representatives == (faults[0],)
+
+    def test_isomorphic_stuck_open_twins_merge(self, net):
+        faults = [
+            TransistorStuckFault("iso1", closed=False),
+            TransistorStuckFault("iso2", closed=False),
+        ]
+        collapsed = collapse_faults(net, faults)
+        assert collapsed.classes == ((1, 2),)
+
+    def test_differing_gates_do_not_merge_stuck_open(self, net):
+        faults = [
+            TransistorStuckFault("par1", closed=False),
+            TransistorStuckFault("par2", closed=False),
+        ]
+        collapsed = collapse_faults(net, faults)
+        assert len(collapsed.classes) == 2
+
+    def test_null_stuck_closed_never_simulated(self, net):
+        faults = [
+            TransistorStuckFault("weak", closed=True),
+            TransistorStuckFault("dep", closed=True),
+            NodeStuckFault("out", 0),
+        ]
+        collapsed = collapse_faults(net, faults)
+        assert collapsed.null_members == (1, 2)
+        assert collapsed.representatives == (faults[2],)
+        stats = collapsed.stats()
+        assert stats["expansion"]["0"] == [1, 2]
+        assert stats["collapsed"] == 2
+
+    def test_duplicate_descriptions_merge(self, net):
+        faults = [
+            NodeStuckFault("out", 1),
+            NodeStuckFault("mid", 0),
+            NodeStuckFault("out", 1),
+        ]
+        collapsed = collapse_faults(net, faults)
+        assert collapsed.classes == ((1, 3), (2,))
+        stats = collapsed.stats()
+        assert stats["expansion"] == {"1": [1, 3]}
+        assert stats["faults"] == 3
+        assert stats["representatives"] == 2
+        assert stats["classes"] == 2
+
+    def test_series_chain_stuck_open_merges(self):
+        from repro.netlist.builder import NetworkBuilder
+
+        b = NetworkBuilder()
+        b.input("g")
+        b.node("top", size=2)
+        b.node("m1")
+        b.node("m2")
+        # top -- c1 -- m1 -- c2 -- m2 -- c3 -- gnd, internal nodes
+        # invisible and smaller than the top endpoint.
+        b.ntrans("g", "top", "m1", strength=1, name="c1")
+        b.ntrans("g", "m1", "m2", strength=1, name="c2")
+        b.ntrans("g", "m2", "gnd", strength=1, name="c3")
+        net = b.build()
+        faults = [
+            TransistorStuckFault(name, closed=False)
+            for name in ("c1", "c2", "c3")
+        ]
+        collapsed = collapse_faults(net, faults)
+        assert collapsed.classes == ((1, 2, 3),)
+        # An observed internal node keeps the chain distinguishable.
+        split = collapse_faults(net, faults, observed=["m1"])
+        assert len(split.classes) == 3

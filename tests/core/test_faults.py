@@ -7,6 +7,7 @@ from repro.core.faults import (
     OpenFault,
     ShortFault,
     TransistorStuckFault,
+    dedupe_faults,
     node_stuck_universe,
     ram_fault_universe,
     sample_faults,
@@ -52,6 +53,28 @@ class TestFaultDescriptions:
         assert NodeStuckFault("n", 0) == NodeStuckFault("n", 0)
         assert len({NodeStuckFault("n", 0), NodeStuckFault("n", 0)}) == 1
 
+    def test_short_canonicalizes_node_order(self):
+        # The node pair is unordered: swapped spellings are the same
+        # physical short, so they compare (and hash) equal.
+        assert ShortFault("b", "a") == ShortFault("a", "b")
+        assert ShortFault("b", "a").node_a == "a"
+        assert ShortFault("b", "a").describe() == "short a~b"
+        assert len({ShortFault("x", "y"), ShortFault("y", "x")}) == 1
+
+    def test_dedupe_faults_keeps_first_occurrence_order(self):
+        faults = [
+            NodeStuckFault("n", 0),
+            ShortFault("a", "b"),
+            ShortFault("b", "a"),
+            NodeStuckFault("n", 0),
+            NodeStuckFault("n", 1),
+        ]
+        assert dedupe_faults(faults) == [
+            NodeStuckFault("n", 0),
+            ShortFault("a", "b"),
+            NodeStuckFault("n", 1),
+        ]
+
 
 class TestUniverses:
     def test_node_stuck_universe_covers_storage_nodes(self, inverter_net):
@@ -67,6 +90,14 @@ class TestUniverses:
     def test_node_stuck_universe_rejects_inputs(self, inverter_net):
         with pytest.raises(FaultError):
             node_stuck_universe(inverter_net, ["a"])
+
+    def test_node_stuck_universe_rejects_unknown_names(self, inverter_net):
+        with pytest.raises(FaultError, match="unknown node 'typo'"):
+            node_stuck_universe(inverter_net, ["typo"])
+
+    def test_transistor_universe_rejects_unknown_names(self, inverter_net):
+        with pytest.raises(FaultError, match="unknown transistor 'typo'"):
+            transistor_stuck_universe(inverter_net, ["typo"])
 
     def test_transistor_universe(self, inverter_net):
         faults = transistor_stuck_universe(inverter_net)

@@ -144,7 +144,8 @@ class TestResults:
         lines = stream.getvalue().strip().splitlines()
         assert lines[0] == (
             "backend,backend_options,pattern,seconds,"
-            "cumulative_detected,live_after,oscillation_events"
+            "cumulative_detected,live_after,oscillation_events,"
+            "collapsed,trim"
         )
         assert len(lines) == tiny_fig1.n_patterns + 1
         assert all(line.startswith("concurrent,") for line in lines[1:])
@@ -159,7 +160,7 @@ class TestResults:
         write_curve_csv(tiny_fig1, stream)
         rows = stream.getvalue().strip().splitlines()[1:]
         expected = str(tiny_fig1.oscillation_events)
-        assert all(row.split(",")[-1] == expected for row in rows)
+        assert all(row.split(",")[6] == expected for row in rows)
 
     def test_result_to_dict_records_backend(self, tiny_fig1):
         data = result_to_dict(tiny_fig1)

@@ -81,6 +81,32 @@ def test_speedup_compared_when_cpus_match(tmp_path, capsys):
     assert "+50.0%" in out
 
 
+def test_threshold_leaves_not_compared(tmp_path, capsys):
+    baseline = tmp_path / "base"
+    current = tmp_path / "cur"
+    baseline.mkdir()
+    current.mkdir()
+    payload = {
+        "min_speedup": 1.3,
+        "backends": {"serial": {"speedup": 1.6, "optimized_seconds": 2.0}},
+    }
+    _write(baseline / "BENCH_collapse.json", payload)
+    _write(
+        current / "BENCH_collapse.json",
+        {
+            "min_speedup": 1.3,
+            "backends": {
+                "serial": {"speedup": 1.8, "optimized_seconds": 1.8}
+            },
+        },
+    )
+    out = _run(capsys, baseline, current)
+    # Measurements are compared; the configured pass bar is not a
+    # measurement and stays out of the table.
+    assert "backends.serial.speedup" in out
+    assert "min_speedup" not in out
+
+
 def test_missing_baseline_marks_new(tmp_path, capsys):
     baseline = tmp_path / "base"
     current = tmp_path / "cur"
