@@ -59,6 +59,17 @@ SCALES = {
         # collapse=False, trim=False baseline.
         "collapse": (4, 4, 60, 150),
         "collapse_min_speedup": 1.3,
+        # Static-prune benchmark (test_static_prune.py): (rows, cols,
+        # serial sample of the combined universe, batch sample of the
+        # transistor-stuck universe or None=full) with the dynamic
+        # redundancy eliminators off on both legs (collapse and the
+        # serial trim would null the same d-type faults), and the
+        # end-to-end speedup each backend must show against its own
+        # static_prune=False baseline.  The prune removes work
+        # proportional to the pruned fraction (serial) or to dropped
+        # lane planes (batch), so the floor is modest.
+        "static": (4, 4, 60, None),
+        "static_min_speedup": 1.02,
     },
     "paper": {
         "fig1": (8, 8, 428),
@@ -80,6 +91,8 @@ SCALES = {
         "service_clients": 4,
         "collapse": (4, 4, 120, None),
         "collapse_min_speedup": 1.3,
+        "static": (8, 8, 120, None),
+        "static_min_speedup": 1.02,
     },
 }
 

@@ -98,12 +98,15 @@ def test_collapse_trim_speedup(bench_scale):
         ("serial", pick(n_serial)),
         ("concurrent", pick(n_concurrent)),
     ):
+        # static_prune is off on both legs so the measurement isolates
+        # collapse + trim (test_static_prune.py measures the pruner).
         optimized = _timed_leg(
-            backend, ram.net, faults, [ram.dout], patterns
+            backend, ram.net, faults, [ram.dout], patterns,
+            static_prune=False,
         )
         baseline = _timed_leg(
             backend, ram.net, faults, [ram.dout], patterns,
-            collapse=False, trim=False,
+            collapse=False, trim=False, static_prune=False,
         )
 
         # Redundancy elimination must not change the answer: identical

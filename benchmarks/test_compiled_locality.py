@@ -1,4 +1,4 @@
-"""Compiled vs dynamic locality on the Figure-1 workload -> BENCH_compiled.json.
+"""Compiled vs dynamic locality, Figure-1 -> BENCH_compiled.json.
 
 Runs the RAM16 / Test Sequence 1 / sampled-fault workload (the same
 workload as ``test_backend_comparison.py``) through the serial,

@@ -109,7 +109,9 @@ def test_shard_scaling(bench_scale):
         "runs": {
             str(jobs): {
                 "wall_seconds": round(run["wall"], 6),
-                "speedup_vs_jobs1": round(base_wall / max(run["wall"], 1e-9), 3),
+                "speedup_vs_jobs1": round(
+                    base_wall / max(run["wall"], 1e-9), 3
+                ),
                 "shard_wall_seconds": [
                     round(s, 6) for s in run["report"].shard_seconds
                 ],

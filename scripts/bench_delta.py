@@ -9,8 +9,9 @@ Usage::
 them aside before the test run overwrites them); ``CURRENT_DIR``
 defaults to the working tree root.  Prints a GitHub-flavored Markdown
 table of every numeric leaf whose key mentions seconds (wall times,
-per-shard times) with the relative delta, suitable for piping into
-``$GITHUB_STEP_SUMMARY``.
+per-shard times), speedup, or pruned-fault counts (``BENCH_static``'s
+static-analysis yield) with the relative delta, suitable for piping
+into ``$GITHUB_STEP_SUMMARY``.
 
 Speedup metrics are only comparable between machines with the same
 parallelism: a shard speedup recorded on a 1-CPU box says nothing
@@ -50,7 +51,11 @@ def _numeric_leaves(data, prefix=""):
             ):
                 if key.startswith(("min_", "max_")):
                     continue
-                if "seconds" in key or "speedup" in key:
+                if (
+                    "seconds" in key
+                    or "speedup" in key
+                    or "pruned" in key
+                ):
                     leaves[path] = float(value)
     return leaves
 

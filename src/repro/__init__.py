@@ -15,8 +15,8 @@ Quick tour
 * Regenerate the paper's figures with :mod:`repro.harness.experiments`.
 """
 
-from .switchlevel import ONE, Simulator, X, ZERO
 from .netlist import NetworkBuilder
+from .switchlevel import ONE, X, ZERO, Simulator
 
 __version__ = "1.0.0"
 

@@ -1,0 +1,359 @@
+"""Static testability analysis: prove faults untestable without simulating.
+
+The dynamic simulator spends its time discovering, pattern by pattern,
+that most faults never change an observed value.  A one-pass static
+analysis of the switch-level network can prove a useful slice of that up
+front, so the backends never simulate those circuits at all:
+
+**Controllability** -- for every node, the over-approximate set of logic
+states the environment can ever put it in.  Inputs are free (patterns
+may drive 0, 1 or X); the rails are pinned to their conventional values
+(``vdd`` = 1, ``gnd`` = 0, exactly what every engine drives at setup);
+storage nodes start at X (the power-up state) and additionally acquire
+any state transmittable from a channel neighbor through a transistor
+that can conduct.  The fixpoint ignores strengths, which only ever
+*adds* states -- the result is a superset of the truly reachable ones,
+which is the safe direction for pruning.
+
+**Observability** -- for every node, whether its state can influence any
+observed output.  Influence follows exactly the two mechanisms the
+simulator has: channel connectivity inside a channel-connected component
+(reused from the compiled partition of
+:mod:`repro.switchlevel.compiled`), and gate fan-out from a node to the
+components whose channels it switches.  Transistor states are ignored
+(assumed conducting), again an over-approximation.
+
+**Fault classification** -- each fault in a universe is then classified:
+
+``unexcitable``
+    The faulty circuit provably behaves identically to the good one.
+    Only claimed from the transistor conduction table: a stuck-closed
+    d-type device (always conducting anyway), or a stuck fault whose
+    forced state is the only state the gate's controllability allows
+    (e.g. an n-type gated by ``vdd`` stuck closed).  Node-stuck faults
+    are never claimed here: forcing a node pins it at rail strength, so
+    even a permanently-X node can beat a driver it used to lose to.
+
+``unobservable``
+    No influence path from any node whose state the fault can change to
+    any observed node.  The fault may flip states locally forever, but
+    the difference is confined to components that never reach an
+    output, so neither detection policy can ever fire.
+
+``testable``
+    Everything else -- including faults naming unknown elements, which
+    are passed through so injection raises its normal error.
+
+Both claims hold for the ``hard`` and the ``any`` detection policy: an
+unexcitable fault produces bit-identical states everywhere, and an
+unobservable one produces bit-identical states at every observed node.
+The Hypothesis suite (``tests/analysis/test_static_props.py``) checks
+the soundness end to end against the serial reference simulator.
+
+The one modeling assumption is the rails: patterns that deliberately
+drive ``vdd`` low (or ``gnd`` high) break the controllability seed, so
+such torture patterns should run with ``static_prune=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.faults import (
+    Fault,
+    NodeStuckFault,
+    OpenFault,
+    ShortFault,
+    TransistorStuckFault,
+)
+from ..switchlevel.compiled import NO_COMPONENT, compile_network
+from ..switchlevel.logic import ONE, X, ZERO
+from ..switchlevel.network import (
+    DTYPE,
+    GND_NAME,
+    TRANS_TABLE,
+    VDD_NAME,
+    Network,
+)
+
+__all__ = [
+    "CAN_ONE",
+    "CAN_X",
+    "CAN_ZERO",
+    "StaticAnalysis",
+    "StaticClassification",
+    "TESTABLE",
+    "UNEXCITABLE",
+    "UNOBSERVABLE",
+    "analyze",
+    "classify_faults",
+    "controllability_masks",
+    "observable_nodes",
+]
+
+#: Controllability bitmask: which states a node can ever hold.
+CAN_ZERO = 1
+CAN_ONE = 2
+CAN_X = 4
+_CAN_BIT = {ZERO: CAN_ZERO, ONE: CAN_ONE, X: CAN_X}
+_CAN_ALL = CAN_ZERO | CAN_ONE | CAN_X
+
+# Classification verdicts.
+TESTABLE = "testable"
+UNEXCITABLE = "unexcitable"
+UNOBSERVABLE = "unobservable"
+
+
+def controllability_masks(net: Network) -> list[int]:
+    """Per-node achievable-state bitmask (``CAN_ZERO | CAN_ONE | CAN_X``).
+
+    Over-approximate: a set bit means the state *might* be reachable, a
+    clear bit means it provably is not.  Rails are pinned to their
+    conventional single state; every other input is free; storage nodes
+    start at X and gain whatever a possibly-conducting channel neighbor
+    can hold.
+    """
+    net.require_finalized()
+    masks = [0] * net.n_nodes
+    for index in net.storage_nodes():
+        masks[index] = CAN_X  # the power-up state
+    for index in net.input_nodes():
+        name = net.node_names[index]
+        if name == VDD_NAME:
+            masks[index] = CAN_ONE
+        elif name == GND_NAME:
+            masks[index] = CAN_ZERO
+        else:
+            masks[index] = _CAN_ALL
+    # Fixpoint: a conducting channel copies the neighbor's states.  The
+    # masks only grow and are 3 bits wide, so this settles in a handful
+    # of sweeps even on deep pass-transistor chains.
+    changed = True
+    while changed:
+        changed = False
+        for t in range(net.n_transistors):
+            states = _switch_states(net.t_kind[t], masks[net.t_gate[t]])
+            if not states & (CAN_ONE | CAN_X):  # can never conduct
+                continue
+            source, drain = net.t_source[t], net.t_drain[t]
+            for near, far in ((source, drain), (drain, source)):
+                if net.node_is_input[far]:
+                    continue  # inputs never take values from channels
+                merged = masks[far] | masks[near]
+                if merged != masks[far]:
+                    masks[far] = merged
+                    changed = True
+    return masks
+
+
+def _switch_states(kind: int, gate_mask: int) -> int:
+    """Achievable transistor states (as a CAN_* mask over open=0,
+    closed=1, X) given the gate's controllability mask."""
+    states = 0
+    for gate_state in (ZERO, ONE, X):
+        if gate_mask & _CAN_BIT[gate_state]:
+            states |= _CAN_BIT[TRANS_TABLE[kind][gate_state]]
+    if kind == DTYPE:
+        states |= CAN_ONE  # always conducting, even with a dead gate
+    return states
+
+
+def observable_nodes(net: Network, observed: Sequence[str]) -> frozenset[int]:
+    """Indices of nodes whose state can influence an observed node.
+
+    Built backwards from the observed set over the compiled
+    channel-connected-component partition: once any member of a
+    component is influential, every member is (channel influence is
+    symmetric inside a component), and so are the component's boundary
+    inputs and the gates of its channel transistors.  Unknown observed
+    names are ignored here; the simulator raises its own error for them.
+    """
+    net.require_finalized()
+    compiled = compile_network(net)
+    influential: set[int] = set()
+    live: set[int] = set()
+    stack: list[int] = []
+
+    def reach(node: int) -> None:
+        if node in influential:
+            return
+        influential.add(node)
+        component = compiled.node_component[node]
+        if component != NO_COMPONENT and component not in live:
+            stack.append(component)
+
+    for name in observed:
+        if name in net.node_index:
+            reach(net.node_index[name])
+    while stack:
+        index = stack.pop()
+        if index in live:
+            continue
+        live.add(index)
+        component = compiled.components[index]
+        for member in component.members:
+            influential.add(member)  # same component: already live
+        for boundary in component.boundary:
+            influential.add(boundary)  # inputs: no component of their own
+        for gate in component.edge_gates:
+            reach(gate)
+    return frozenset(influential)
+
+
+@dataclass(frozen=True)
+class StaticAnalysis:
+    """The per-network half of the analysis, reusable across universes."""
+
+    net: Network
+    controllability: tuple[int, ...]
+    observable: frozenset[int]
+
+    def classify(self, fault: Fault) -> str:
+        """One of ``TESTABLE`` / ``UNEXCITABLE`` / ``UNOBSERVABLE``."""
+        if isinstance(fault, TransistorStuckFault):
+            return self._classify_transistor(fault)
+        if isinstance(fault, NodeStuckFault):
+            return self._classify_node(fault)
+        if isinstance(fault, ShortFault):
+            return self._classify_sites((fault.node_a, fault.node_b))
+        if isinstance(fault, OpenFault):
+            return self._classify_open(fault)
+        return TESTABLE  # unknown fault type: never prune
+
+    # -- per-kind rules ---------------------------------------------------
+
+    def _classify_transistor(self, fault: TransistorStuckFault) -> str:
+        net = self.net
+        if fault.transistor not in net.t_index:
+            return TESTABLE  # let injection raise
+        t = net.t_index[fault.transistor]
+        states = _switch_states(
+            net.t_kind[t], self.controllability[net.t_gate[t]]
+        )
+        forced = CAN_ONE if fault.closed else CAN_ZERO
+        if states == forced:
+            # The gate can only ever hold the forced state: the faulty
+            # circuit is the good circuit.
+            return UNEXCITABLE
+        return self._classify_sites_idx((net.t_source[t], net.t_drain[t]))
+
+    def _classify_node(self, fault: NodeStuckFault) -> str:
+        net = self.net
+        if fault.node not in net.node_index:
+            return TESTABLE
+        index = net.node_index[fault.node]
+        if net.node_is_input[index]:
+            return TESTABLE  # injection rejects this; surface that error
+        # Never claimed unexcitable: the forced node also gains rail
+        # strength, so value-set reasoning alone cannot prove equality.
+        return self._classify_sites_idx((index,))
+
+    def _classify_open(self, fault: OpenFault) -> str:
+        net = self.net
+        if fault.node not in net.node_index:
+            return TESTABLE
+        sites = [net.node_index[fault.node]]
+        for name in fault.detached:
+            if name not in net.t_index:
+                return TESTABLE
+            t = net.t_index[name]
+            sites.extend((net.t_source[t], net.t_drain[t]))
+        return self._classify_sites_idx(tuple(sites))
+
+    def _classify_sites(self, names: Sequence[str]) -> str:
+        indices = []
+        for name in names:
+            if name not in self.net.node_index:
+                return TESTABLE
+            indices.append(self.net.node_index[name])
+        return self._classify_sites_idx(tuple(indices))
+
+    def _classify_sites_idx(self, sites: Sequence[int]) -> str:
+        """Observability of the nodes whose state the fault can change.
+
+        Input nodes are pinned at rail strength by the environment, so
+        their states never differ between good and faulty circuits; a
+        fault whose every site is an input has no effect at all.
+        """
+        changeable = [s for s in sites if not self.net.node_is_input[s]]
+        if any(s in self.observable for s in changeable):
+            return TESTABLE
+        return UNOBSERVABLE
+
+
+def analyze(net: Network, observed: Sequence[str]) -> StaticAnalysis:
+    """Run both analyses once for a (network, observed set) pair."""
+    return StaticAnalysis(
+        net=net,
+        controllability=tuple(controllability_masks(net)),
+        observable=observable_nodes(net, observed),
+    )
+
+
+@dataclass(frozen=True)
+class StaticClassification:
+    """Verdict over a whole universe, in original circuit-id space.
+
+    ``kept`` / ``unexcitable`` / ``unobservable`` partition the 1-based
+    circuit ids of the input fault list (ascending within each tuple).
+    """
+
+    n_faults: int
+    kept: tuple[int, ...]
+    unexcitable: tuple[int, ...]
+    unobservable: tuple[int, ...]
+
+    @property
+    def pruned(self) -> int:
+        return len(self.unexcitable) + len(self.unobservable)
+
+    def pruned_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self.unexcitable + self.unobservable))
+
+    def stats(self) -> dict:
+        """The ``RunReport.static_pruned`` payload (counters only)."""
+        return {
+            "faults": self.n_faults,
+            "kept": len(self.kept),
+            "pruned": self.pruned,
+            "unexcitable": len(self.unexcitable),
+            "unobservable": len(self.unobservable),
+        }
+
+
+def classify_faults(
+    net: Network, faults: Sequence[Fault], observed: Sequence[str]
+) -> StaticClassification:
+    """Classify every fault of a universe against one observed set.
+
+    If no observed name resolves, the whole analysis is inert (all
+    faults kept): the simulator's own "unknown observed node" error
+    must not be masked by an empty-prune short circuit.
+    """
+    fault_list = list(faults)
+    if not any(name in net.node_index for name in observed):
+        return StaticClassification(
+            n_faults=len(fault_list),
+            kept=tuple(range(1, len(fault_list) + 1)),
+            unexcitable=(),
+            unobservable=(),
+        )
+    analysis = analyze(net, observed)
+    kept: list[int] = []
+    unexcitable: list[int] = []
+    unobservable: list[int] = []
+    for circuit_id, fault in enumerate(fault_list, start=1):
+        verdict = analysis.classify(fault)
+        if verdict == UNEXCITABLE:
+            unexcitable.append(circuit_id)
+        elif verdict == UNOBSERVABLE:
+            unobservable.append(circuit_id)
+        else:
+            kept.append(circuit_id)
+    return StaticClassification(
+        n_faults=len(fault_list),
+        kept=tuple(kept),
+        unexcitable=tuple(unexcitable),
+        unobservable=tuple(unobservable),
+    )

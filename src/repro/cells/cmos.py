@@ -34,7 +34,9 @@ def inverter(
     return out
 
 
-def nand(b: NetworkBuilder, inputs: Sequence[str], out: str | None = None) -> str:
+def nand(
+    b: NetworkBuilder, inputs: Sequence[str], out: str | None = None
+) -> str:
     """Static CMOS NAND: parallel p pull-ups, series n pull-downs."""
     if not inputs:
         raise ValueError("nand needs at least one input")
@@ -50,7 +52,9 @@ def nand(b: NetworkBuilder, inputs: Sequence[str], out: str | None = None) -> st
     return out
 
 
-def nor(b: NetworkBuilder, inputs: Sequence[str], out: str | None = None) -> str:
+def nor(
+    b: NetworkBuilder, inputs: Sequence[str], out: str | None = None
+) -> str:
     """Static CMOS NOR: series p pull-ups, parallel n pull-downs."""
     if not inputs:
         raise ValueError("nor needs at least one input")

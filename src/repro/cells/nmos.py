@@ -39,18 +39,24 @@ def inverter(b: NetworkBuilder, a: str, out: str | None = None) -> str:
     return out
 
 
-def nor(b: NetworkBuilder, inputs: Sequence[str], out: str | None = None) -> str:
+def nor(
+    b: NetworkBuilder, inputs: Sequence[str], out: str | None = None
+) -> str:
     """``out = not (i0 or i1 or ...)``: parallel pull-downs."""
     if not inputs:
         raise ValueError("nor needs at least one input")
     out = b.ensure_node(out if out is not None else b.gensym("nor"))
     pullup(b, out)
     for name in inputs:
-        b.ntrans(gate=name, source=out, drain=b.gnd, strength=PULLDOWN_STRENGTH)
+        b.ntrans(
+            gate=name, source=out, drain=b.gnd, strength=PULLDOWN_STRENGTH
+        )
     return out
 
 
-def nand(b: NetworkBuilder, inputs: Sequence[str], out: str | None = None) -> str:
+def nand(
+    b: NetworkBuilder, inputs: Sequence[str], out: str | None = None
+) -> str:
     """``out = not (i0 and i1 and ...)``: series pull-down chain."""
     if not inputs:
         raise ValueError("nand needs at least one input")
@@ -60,7 +66,9 @@ def nand(b: NetworkBuilder, inputs: Sequence[str], out: str | None = None) -> st
     # Build the chain bottom-up so the last transistor lands on the output.
     for name in inputs[:-1]:
         mid = b.node(b.gensym("nx"))
-        b.ntrans(gate=name, source=mid, drain=lower, strength=PULLDOWN_STRENGTH)
+        b.ntrans(
+            gate=name, source=mid, drain=lower, strength=PULLDOWN_STRENGTH
+        )
         lower = mid
     b.ntrans(
         gate=inputs[-1], source=out, drain=lower, strength=PULLDOWN_STRENGTH

@@ -1,7 +1,7 @@
 """Generated demonstration circuits: RAMs, registers, a small ALU."""
 
 from .alu import Alu, build_alu
-from .ram import Ram, build_ram, ram16, ram64, ram256
+from .ram import Ram, build_ram, ram16, ram256, ram64
 from .registers import (
     RegisterFile,
     ShiftRegister,

@@ -41,7 +41,9 @@ class Alu:
         try:
             op1, op0 = table[operation]
         except KeyError:
-            raise NetworkError(f"unknown ALU operation {operation!r}") from None
+            raise NetworkError(
+                f"unknown ALU operation {operation!r}"
+            ) from None
         return {self.op[0]: op1, self.op[1]: op0}
 
 

@@ -38,13 +38,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..cells import decode, memory, nmos
 from ..errors import NetworkError
 from ..netlist.builder import (
     NetworkBuilder,
     bus_assignment,
     declare_bus,
 )
-from ..cells import decode, memory, nmos
 from ..switchlevel.network import Network
 
 
@@ -137,7 +137,7 @@ def build_ram(rows: int, cols: int) -> Ram:
     read_wordlines = decode.enabled_lines(b, row_sel, phi_r, "rwl")
     write_wordlines = decode.enabled_lines(b, row_sel, phi_w, "wwl")
 
-    # --- shared busses --------------------------------------------------------
+    # --- shared busses ---------------------------------------------------
     read_bus = memory.precharged_bus(b, "rbus", phi_p)
     # Dynamic input latch: din is sampled onto the write data bus during
     # the read phase and held by charge through the write phase.
@@ -162,7 +162,7 @@ def build_ram(rows: int, cols: int) -> Ram:
         nmos.pass_transistor(b, write_select, write_bus, wbl)
         nmos.pass_transistor(b, write_back, refresh_value, wbl)
 
-    # --- cell array -----------------------------------------------------------
+    # --- cell array ------------------------------------------------------
     store: list[list[str]] = []
     for i in range(rows):
         row_nodes: list[str] = []

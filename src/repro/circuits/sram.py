@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from ..cells import cmos, decode, memory, nmos
 from ..errors import NetworkError
 from ..netlist.builder import NetworkBuilder, bus_assignment, declare_bus
-from ..patterns.clocking import Phase, RamOp, TestPattern, READ, WRITE
+from ..patterns.clocking import WRITE, Phase, RamOp, TestPattern
 from ..switchlevel.network import Network
 
 #: Strength of the cell's internal feedback inverters.

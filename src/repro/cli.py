@@ -12,7 +12,8 @@ Subcommands::
                              [--jobs N] [--inner-backend NAME]
                              [--locality dynamic|static|compiled]
                              [--no-solve-cache] [--no-collapse]
-                             [--no-trim] [--profile N]
+                             [--no-trim] [--no-static-prune]
+                             [--no-lint] [--profile N]
         Fault simulation (strategy selected from the backend registry)
         with randomly ordered input settings or a pattern file (one
         "name=value name=value ..." line per setting, blank line
@@ -20,8 +21,10 @@ Subcommands::
         run in cProfile and prints the top N cumulative entries to
         stderr.
 
-    fmossim validate NETLIST
-        Run the netlist lints.
+    fmossim lint NETLIST [--json]
+        Run the netlist lints (exit 1 if any error-severity finding).
+        --json prints the findings as structured JSON instead of text.
+        ``validate`` is kept as an alias.
 
     fmossim experiment {fig1,fig2,fig3,scaling} [--rows R --cols C ...]
         Reproduce one of the paper's experiments and print the figure.
@@ -47,7 +50,6 @@ import sys
 
 from . import __version__
 from .core.backends import SimPolicy, available_backends, run_backend
-from .switchlevel.kernel import LOCALITIES
 from .core.faults import (
     node_stuck_universe,
     sample_faults,
@@ -57,6 +59,7 @@ from .errors import ReproError
 from .harness import experiments
 from .netlist import sim_format, validate
 from .patterns.clocking import Phase, TestPattern
+from .switchlevel.kernel import LOCALITIES
 from .switchlevel.simulator import Simulator
 
 
@@ -111,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
         "channel-connected components with the solve cache "
         "(default: dynamic)",
     )
+    _add_lint_option(simulate)
     simulate.set_defaults(handler=cmd_simulate)
 
     faultsim = commands.add_parser(
@@ -152,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_policy_arguments(faultsim)
     add_backend_option_arguments(faultsim)
+    _add_lint_option(faultsim)
     faultsim.set_defaults(handler=cmd_faultsim)
 
     serve = commands.add_parser(
@@ -226,11 +231,20 @@ def build_parser() -> argparse.ArgumentParser:
     add_backend_option_arguments(submit)
     submit.set_defaults(handler=cmd_submit)
 
-    validate_cmd = commands.add_parser(
-        "validate", help="run netlist lints"
-    )
-    validate_cmd.add_argument("netlist")
-    validate_cmd.set_defaults(handler=cmd_validate)
+    lint_help = {
+        "lint": "run netlist lints (exit 1 on errors)",
+        "validate": "run netlist lints (alias of lint)",
+    }
+    for name, help_text in lint_help.items():
+        lint_cmd = commands.add_parser(name, help=help_text)
+        lint_cmd.add_argument("netlist")
+        lint_cmd.add_argument(
+            "--json",
+            action="store_true",
+            dest="as_json",
+            help="print findings as structured JSON",
+        )
+        lint_cmd.set_defaults(handler=cmd_lint)
 
     experiment = commands.add_parser(
         "experiment", help="reproduce a paper experiment"
@@ -241,7 +255,9 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--rows", type=int, default=4)
     experiment.add_argument("--cols", type=int, default=4)
     experiment.add_argument("--faults", type=int, default=None)
-    experiment.add_argument("--seed", type=int, default=experiments.DEFAULT_SEED)
+    experiment.add_argument(
+        "--seed", type=int, default=experiments.DEFAULT_SEED
+    )
     experiment.add_argument(
         "--backend",
         choices=available_backends(),
@@ -326,6 +342,21 @@ def add_backend_option_arguments(subparser) -> None:
         help="serial/concurrent: disable checkpoint/warm-start and "
         "clean-component redundancy trimming (ablation baseline)",
     )
+    subparser.add_argument(
+        "--no-static-prune",
+        action="store_true",
+        help="simulate faults the static testability analysis proved "
+        "unexcitable or unobservable instead of pruning them up front",
+    )
+
+
+def _add_lint_option(subparser) -> None:
+    subparser.add_argument(
+        "--no-lint",
+        action="store_true",
+        help="skip the automatic netlist lints (warnings to stderr, "
+        "errors fatal)",
+    )
 
 
 def backend_options_from_args(args) -> dict:
@@ -346,7 +377,25 @@ def backend_options_from_args(args) -> dict:
         options["collapse"] = False
     if args.no_trim:
         options["trim"] = False
+    if args.no_static_prune:
+        options["static_prune"] = False
     return options
+
+
+def _lint_netlist(net, skip: bool) -> None:
+    """The faultsim/simulate pre-flight: warn on stderr, die on errors."""
+    if skip:
+        return
+    findings = validate.validate(net)
+    for lint in findings:
+        if lint.severity == validate.WARNING:
+            print(f"lint: {lint}", file=sys.stderr)
+    errors = [lint for lint in findings if lint.severity == validate.ERROR]
+    if errors:
+        raise ReproError(
+            "netlist failed lint (use --no-lint to run anyway):\n"
+            + "\n".join(f"  {lint}" for lint in errors)
+        )
 
 
 def _parse_assignment(text: str) -> tuple[str, int]:
@@ -360,6 +409,7 @@ def _parse_assignment(text: str) -> tuple[str, int]:
 
 def cmd_simulate(args) -> int:
     net = sim_format.load_path(args.netlist)
+    _lint_netlist(net, args.no_lint)
     sim = Simulator(net, locality=args.locality)
     show = args.show or sorted(
         name for name in net.node_index if name not in ("vdd", "gnd")
@@ -444,6 +494,13 @@ def _print_report(report, faults, clock: str) -> None:
             f"  collapsed {stats['faults']}→{stats['representatives']} "
             f"simulated circuits ({stats['classes']} equivalence classes)"
         )
+    if report.static_pruned is not None:
+        stats = report.static_pruned
+        print(
+            f"  statically pruned {stats['pruned']}/{stats['faults']} "
+            f"faults ({stats['unexcitable']} unexcitable, "
+            f"{stats['unobservable']} unobservable)"
+        )
     if report.trim is not None:
         counters = ", ".join(
             f"{value} {key.replace('_', ' ')}"
@@ -468,6 +525,7 @@ def _print_report(report, faults, clock: str) -> None:
 
 def cmd_faultsim(args) -> int:
     net = sim_format.load_path(args.netlist)
+    _lint_netlist(net, args.no_lint)
     faults, patterns, policy = _build_workload(args, net)
     run = lambda: run_backend(  # noqa: E731 - one invocation, two modes
         args.backend, net, faults, args.observe, patterns, policy,
@@ -599,14 +657,29 @@ def cmd_submit(args) -> int:
     return 0
 
 
-def cmd_validate(args) -> int:
+def cmd_lint(args) -> int:
+    import json
+
     net = sim_format.load_path(args.netlist)
     findings = validate.validate(net)
-    for lint in findings:
-        print(lint)
     errors = [lint for lint in findings if lint.severity == validate.ERROR]
-    if not findings:
-        print("clean: no findings")
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "netlist": args.netlist,
+                    "errors": len(errors),
+                    "warnings": len(findings) - len(errors),
+                    "findings": [lint.to_json() for lint in findings],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for lint in findings:
+            print(lint)
+        if not findings:
+            print("clean: no findings")
     return 1 if errors else 0
 
 

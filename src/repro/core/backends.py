@@ -51,19 +51,23 @@ from __future__ import annotations
 import inspect
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, replace
-from typing import ClassVar, Iterable, Sequence, Type
+from typing import Any, Callable, ClassVar, Iterable, Sequence, Type
 
 from ..errors import SimulationError
+from ..patterns.clocking import TestPattern
 from ..switchlevel.compiled import cache_stats
 from ..switchlevel.kernel import DEFAULT_MAX_ROUNDS, LOCALITIES
 from ..switchlevel.network import Network
-from ..patterns.clocking import TestPattern
 from .batch import DEFAULT_LANE_WIDTH, BatchFaultSimulator
 from .concurrent import ConcurrentFaultSimulator
-from .detection import POLICY_HARD, POLICIES, Detection, DetectionLog
+from .detection import POLICIES, POLICY_HARD, Detection, DetectionLog
 from .faults import Fault, collapse_faults
 from .report import PatternRecord, RunReport
 from .serial import SerialFaultSimulator, serial_run_report
+
+#: Per-pattern streaming callback: called with the pattern record
+#: and the detections that pattern produced.
+ProgressCallback = Callable[[PatternRecord, list[Detection]], None]
 
 __all__ = [
     "CollapsePlan",
@@ -167,7 +171,7 @@ def backend_options_summary(name: str) -> str:
     return "accepts: " + ", ".join(parts)
 
 
-def get_backend(name: str, **options) -> FaultSimBackend:
+def get_backend(name: str, **options: Any) -> FaultSimBackend:
     """Instantiate the backend registered as ``name``.
 
     ``options`` are forwarded to the backend constructor (e.g.
@@ -209,7 +213,7 @@ def run_backend(
     observed: Sequence[str],
     patterns: Iterable[TestPattern],
     policy: SimPolicy = DEFAULT_POLICY,
-    **options,
+    **options: Any,
 ) -> RunReport:
     """One-shot convenience: resolve ``name``, run, return the report."""
     return get_backend(name, **options).run(
@@ -218,17 +222,27 @@ def run_backend(
 
 
 class CollapsePlan:
-    """Collapse a fault universe before a run, expand the report after.
+    """Shrink a fault universe before a run, expand the report after.
 
-    Built by every backend at the top of :meth:`~FaultSimBackend.run`
-    when its ``collapse`` option is on.  ``run_faults`` is what the
-    inner simulator should simulate (one representative per equivalence
-    class); :meth:`finish` rewrites the resulting report back over the
-    full universe -- detections are cloned to every class member, the
-    per-pattern detection/live counts are recomputed, and the
-    ``collapse`` stats block is attached.  When collapsing finds nothing
-    to merge (or is disabled) the plan is inert and :meth:`finish`
-    returns the report untouched.
+    Built by every backend at the top of :meth:`~FaultSimBackend.run`.
+    Two stages, each independently optional:
+
+    1. **Static pruning** (``static_prune``): the testability analysis
+       of :mod:`repro.analysis.static` proves part of the universe
+       unexcitable or unobservable; those faults are never simulated
+       (they stay in the reported universe as permanently-undetected
+       members, so the answer is bit-identical to a full run).
+    2. **Collapsing** (``enabled``): the surviving faults are grouped
+       into structural equivalence classes and one representative per
+       class is simulated.
+
+    ``run_faults`` is what the inner simulator should simulate;
+    :meth:`finish` rewrites the resulting report back over the full
+    universe -- detections are cloned to every class member and mapped
+    to their original circuit ids, the per-pattern detection/live
+    counts are recomputed, and the ``collapse`` / ``static_pruned``
+    stats blocks are attached.  When neither stage removes anything the
+    plan is inert and :meth:`finish` returns the report untouched.
     """
 
     def __init__(
@@ -237,17 +251,36 @@ class CollapsePlan:
         faults: Sequence[Fault],
         observed: Sequence[str],
         enabled: bool,
+        static_prune: bool = False,
     ):
         fault_list = list(faults)
+        self.faults: tuple[Fault, ...] = tuple(fault_list)
+        self.n_universe = len(fault_list)
+        self.static = None
+        #: kept-space circuit id (1-based) -> original circuit id, when
+        #: static pruning removed anything; ``None`` when inert.
+        self._origin: tuple[int, ...] | None = None
+        kept = fault_list
+        if static_prune and fault_list:
+            # Deferred import: repro.analysis pulls in the harness,
+            # which imports this module back at startup.
+            from ..analysis.static import classify_faults
+
+            classification = classify_faults(net, fault_list, observed)
+            if classification.pruned:
+                self.static = classification
+                self._origin = classification.kept
+                kept = [fault_list[gid - 1] for gid in classification.kept]
         self.collapsed = None
-        self.run_faults: Sequence[Fault] = fault_list
-        if enabled and fault_list:
-            collapsed = collapse_faults(net, fault_list, observed)
+        self._members: dict[int, tuple[int, ...]] | None = None
+        self.run_faults: Sequence[Fault] = kept
+        if enabled and kept:
+            collapsed = collapse_faults(net, kept, observed)
             if collapsed.collapsed:
                 self.collapsed = collapsed
                 self.run_faults = list(collapsed.representatives)
                 #: representative circuit id (1-based position in
-                #: ``run_faults``) -> global member circuit ids.
+                #: ``run_faults``) -> kept-space member circuit ids.
                 self._members = {
                     rep + 1: members
                     for rep, members in enumerate(collapsed.classes)
@@ -255,34 +288,51 @@ class CollapsePlan:
 
     @property
     def active(self) -> bool:
-        return self.collapsed is not None
+        return self.collapsed is not None or self.static is not None
+
+    def _to_universe(self, kept_id: int) -> int:
+        """Map a kept-space circuit id back to the original universe."""
+        if self._origin is None:
+            return kept_id
+        return self._origin[kept_id - 1]
 
     def _expand(self, detections: Iterable[Detection]) -> list[Detection]:
-        """Clone representative detections to every class member."""
-        faults = self.collapsed.faults
-        expanded = [
-            replace(
-                detection,
-                circuit_id=member,
-                description=faults[member - 1].describe(),
+        """Clone representative detections to every class member and
+        restore original circuit ids."""
+        expanded = []
+        for detection in detections:
+            members = (
+                self._members[detection.circuit_id]
+                if self._members is not None
+                else (detection.circuit_id,)
             )
-            for detection in detections
-            for member in self._members[detection.circuit_id]
-        ]
+            for member in members:
+                gid = self._to_universe(member)
+                expanded.append(
+                    replace(
+                        detection,
+                        circuit_id=gid,
+                        description=self.faults[gid - 1].describe(),
+                    )
+                )
         expanded.sort(
             key=lambda d: (d.pattern_index, d.phase_index, d.circuit_id)
         )
         return expanded
 
-    def wrap_progress(self, progress, drop_on_detect: bool):
+    def wrap_progress(
+        self, progress: ProgressCallback | None, drop_on_detect: bool
+    ) -> ProgressCallback | None:
         """Per-pattern ``progress`` callback that streams *expanded*
         detections and full-universe live counts."""
         if progress is None or not self.active:
             return progress
-        n_faults = self.collapsed.n_faults
+        n_faults = self.n_universe
         detected: set[int] = set()
 
-        def wrapped(record: PatternRecord, detections) -> None:
+        def wrapped(
+            record: PatternRecord, detections: list[Detection]
+        ) -> None:
             expanded = self._expand(detections)
             before = len(detected)
             for detection in expanded:
@@ -312,7 +362,7 @@ class CollapsePlan:
         for detection in self._expand(report.log.detections):
             log.record(detection)
         report.log = log
-        report.n_faults = self.collapsed.n_faults
+        report.n_faults = self.n_universe
         cumulative = log.cumulative_by_pattern(len(report.patterns))
         previous = 0
         for record, total in zip(report.patterns, cumulative):
@@ -321,7 +371,18 @@ class CollapsePlan:
             record.live_after = (
                 report.n_faults - total if drop_on_detect else report.n_faults
             )
-        report.collapse = self.collapsed.stats()
+        if self.collapsed is not None:
+            stats = self.collapsed.stats()
+            if self._origin is not None:
+                # The collapse ran over the kept subset; translate its
+                # expansion map back to original circuit ids.
+                stats["expansion"] = {
+                    key: [self._to_universe(m) for m in members]
+                    for key, members in stats["expansion"].items()
+                }
+            report.collapse = stats
+        if self.static is not None:
+            report.static_pruned = self.static.stats()
         return report
 
 
@@ -369,11 +430,13 @@ class SerialBackend(FaultSimBackend):
         solve_cache: bool = True,
         collapse: bool = True,
         trim: bool = True,
+        static_prune: bool = True,
     ):
         self.locality = _validate_locality(locality)
         self.solve_cache = solve_cache
         self.collapse = collapse
         self.trim = trim
+        self.static_prune = static_prune
 
     def run(
         self,
@@ -384,7 +447,10 @@ class SerialBackend(FaultSimBackend):
         policy: SimPolicy = DEFAULT_POLICY,
     ) -> RunReport:
         pattern_list = list(patterns)
-        plan = CollapsePlan(net, faults, observed, self.collapse)
+        plan = CollapsePlan(
+            net, faults, observed, self.collapse,
+            static_prune=self.static_prune,
+        )
         simulator = SerialFaultSimulator(
             net,
             plan.run_faults,
@@ -421,11 +487,13 @@ class ConcurrentBackend(FaultSimBackend):
         solve_cache: bool = True,
         collapse: bool = True,
         trim: bool = True,
+        static_prune: bool = True,
     ):
         self.locality = _validate_locality(locality)
         self.solve_cache = solve_cache
         self.collapse = collapse
         self.trim = trim
+        self.static_prune = static_prune
 
     def run(
         self,
@@ -435,9 +503,12 @@ class ConcurrentBackend(FaultSimBackend):
         patterns: Iterable[TestPattern],
         policy: SimPolicy = DEFAULT_POLICY,
         *,
-        progress=None,
+        progress: ProgressCallback | None = None,
     ) -> RunReport:
-        plan = CollapsePlan(net, faults, observed, self.collapse)
+        plan = CollapsePlan(
+            net, faults, observed, self.collapse,
+            static_prune=self.static_prune,
+        )
         simulator = ConcurrentFaultSimulator(
             net,
             plan.run_faults,
@@ -472,11 +543,13 @@ class BatchBackend(FaultSimBackend):
         locality: str = "dynamic",
         solve_cache: bool = True,
         collapse: bool = True,
+        static_prune: bool = True,
     ):
         self.lane_width = lane_width
         self.locality = _validate_locality(locality)
         self.solve_cache = solve_cache
         self.collapse = collapse
+        self.static_prune = static_prune
 
     def run(
         self,
@@ -486,9 +559,12 @@ class BatchBackend(FaultSimBackend):
         patterns: Iterable[TestPattern],
         policy: SimPolicy = DEFAULT_POLICY,
         *,
-        progress=None,
+        progress: ProgressCallback | None = None,
     ) -> RunReport:
-        plan = CollapsePlan(net, faults, observed, self.collapse)
+        plan = CollapsePlan(
+            net, faults, observed, self.collapse,
+            static_prune=self.static_prune,
+        )
         simulator = BatchFaultSimulator(
             net,
             plan.run_faults,

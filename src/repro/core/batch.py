@@ -31,19 +31,21 @@ property-tested in ``tests/core/test_backends.py``.
 from __future__ import annotations
 
 import time
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from ..errors import FaultError, SimulationError
+from ..patterns.clocking import TestPattern
 from ..switchlevel.bitplane import LaneSimulator
 from ..switchlevel.compiled import compile_network
 from ..switchlevel.kernel import DEFAULT_MAX_ROUNDS, LOCALITIES, SettleStats
 from ..switchlevel.network import GND_NAME, VDD_NAME, Network
 from ..switchlevel.scheduler import Engine
-from ..patterns.clocking import TestPattern
-from .detection import POLICY_HARD, POLICIES, Detection, DetectionLog
+from .detection import POLICIES, POLICY_HARD, Detection, DetectionLog
 from .faults import Fault
 from .inject import CLOSED_STATE, Instrumented, PreparedFault, prepare
 from .report import PatternRecord, RunReport
+
+ProgressCallback = Callable[[PatternRecord, list[Detection]], None]
 
 #: Default number of faulty circuits packed per integer bit-plane.
 DEFAULT_LANE_WIDTH = 64
@@ -217,7 +219,7 @@ class BatchFaultSimulator:
         patterns: Iterable[TestPattern],
         *,
         clock: str = "process",
-        progress=None,
+        progress: ProgressCallback | None = None,
     ) -> RunReport:
         """Simulate a pattern sequence; returns the measurement report.
 
@@ -289,7 +291,9 @@ class BatchFaultSimulator:
             for index, pf in enumerate(chunk.pfs):
                 if pf.circuit_id == circuit_id:
                     return chunk.lanes.lane_state(node, index)
-        raise FaultError(f"no circuit {circuit_id} (compacted away or unknown)")
+        raise FaultError(
+            f"no circuit {circuit_id} (compacted away or unknown)"
+        )
 
     @property
     def live_circuits(self) -> set[int]:

@@ -65,9 +65,10 @@ fault dropping, responsible for the cheap Figure-1 "tail").
 from __future__ import annotations
 
 import time
-from typing import Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..errors import FaultError, SimulationError
+from ..patterns.clocking import TestPattern
 from ..switchlevel.compiled import _np, compile_network
 from ..switchlevel.kernel import (
     DEFAULT_MAX_ROUNDS,
@@ -79,10 +80,9 @@ from ..switchlevel.kernel import (
 from ..switchlevel.logic import STATES
 from ..switchlevel.network import GND_NAME, TRANS_TABLE, VDD_NAME, Network
 from ..switchlevel.vicinity import expand_seed
-from ..patterns.clocking import TestPattern
 from .detection import (
-    POLICY_HARD,
     POLICIES,
+    POLICY_HARD,
     Detection,
     DetectionLog,
     differs,
@@ -91,6 +91,8 @@ from .faults import Fault
 from .inject import Instrumented, PreparedFault, prepare
 from .report import PatternRecord, RunReport
 from .statelist import StateList
+
+ProgressCallback = Callable[[PatternRecord, list[Detection]], None]
 
 #: Reserved ``base_key_cache`` slot holding the numpy snapshot of the
 #: round-start good states (key tokens are ints, so ``None`` is free).
@@ -121,7 +123,9 @@ class _OverlayStates:
         #: every faulty circuit of a round reads the same round-start
         #: snapshot, so the bulk of each solve-cache key is computed
         #: once per component per round instead of once per circuit.
-        self.base_key_cache = base_key_cache if base_key_cache is not None else {}
+        self.base_key_cache = (
+            base_key_cache if base_key_cache is not None else {}
+        )
 
     def __getitem__(self, node: int) -> int:
         state = self.records.get(node)
@@ -129,7 +133,9 @@ class _OverlayStates:
             return self.base[node]
         return state
 
-    def _base_bytes(self, nodes, token, idx) -> bytes:
+    def _base_bytes(
+        self, nodes: tuple, token: int | None, idx: Any
+    ) -> bytes:
         """Round-start states of ``nodes``, memoized across circuits.
 
         Every faulty circuit of a round reads the same snapshot, so the
@@ -161,7 +167,7 @@ class _OverlayStates:
         nodes: tuple,
         positions: Mapping[int, int],
         token: int | None = None,
-        idx=None,
+        idx: Any = None,
     ) -> bytes:
         """States of ``nodes`` as bytes (solve-cache key fast path).
 
@@ -230,7 +236,7 @@ class _OverlayStatesForced(_OverlayStates):
         nodes: tuple,
         positions: Mapping[int, int],
         token: int | None = None,
-        idx=None,
+        idx: Any = None,
     ) -> bytes:
         raw = self._base_bytes(nodes, token, idx)
         patched = None
@@ -300,7 +306,12 @@ class _OverlayTransistors:
 class _GoodCircuit:
     """The good circuit as a kernel :class:`RoundCircuit`."""
 
-    __slots__ = ("sim", "forced_nodes", "forced_transistors", "compiled_sig_cache")
+    __slots__ = (
+        "sim",
+        "forced_nodes",
+        "forced_transistors",
+        "compiled_sig_cache",
+    )
 
     def __init__(self, sim: "ConcurrentFaultSimulator"):
         self.sim = sim
@@ -309,11 +320,11 @@ class _GoodCircuit:
         self.compiled_sig_cache: dict[int, tuple] = {}
 
     @property
-    def states(self):
+    def states(self) -> list[int]:
         return self.sim.states
 
     @property
-    def tstates(self):
+    def tstates(self) -> list[int]:
         return self.sim.tstates
 
     def take_seeds(self) -> set[int]:
@@ -661,7 +672,7 @@ class ConcurrentFaultSimulator:
         patterns: Iterable[TestPattern],
         *,
         clock: str = "process",
-        progress=None,
+        progress: ProgressCallback | None = None,
     ) -> RunReport:
         """Simulate a pattern sequence; returns the measurement report.
 

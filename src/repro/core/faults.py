@@ -56,7 +56,9 @@ class NodeStuckFault(Fault):
 
     def __post_init__(self) -> None:
         if self.value not in (ZERO, ONE):
-            raise FaultError(f"node stuck-at value must be 0 or 1, got {self.value}")
+            raise FaultError(
+                f"node stuck-at value must be 0 or 1, got {self.value}"
+            )
 
     @property
     def kind(self) -> str:
@@ -125,7 +127,9 @@ class OpenFault(Fault):
 
     def __post_init__(self) -> None:
         if not self.detached:
-            raise FaultError("an open fault must detach at least one transistor")
+            raise FaultError(
+                "an open fault must detach at least one transistor"
+            )
 
     @property
     def kind(self) -> str:

@@ -60,6 +60,13 @@ class RunReport:
     #: ``warm_starts`` for serial, ``round_skips`` / ``sites_pruned``
     #: for concurrent; ``None`` for backends without a trim layer.
     trim: dict | None = None
+    #: Static-pruning counters (``faults`` / ``kept`` / ``pruned`` /
+    #: ``unexcitable`` / ``unobservable``), filled when the static
+    #: testability analysis proved part of the universe undetectable
+    #: before simulation; ``None`` when pruning was off or proved
+    #: nothing.  Pruned faults stay in ``n_faults`` and simply never
+    #: appear in the detection log.
+    static_pruned: dict | None = None
 
     @property
     def n_patterns(self) -> int:

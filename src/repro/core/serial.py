@@ -27,17 +27,17 @@ per-pattern seconds, so the ``serial`` entry of the backend registry
 from __future__ import annotations
 
 import time
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
-from ..switchlevel.kernel import LOCALITIES, SettleStats
-from ..switchlevel.network import Network, TRANS_TABLE
-from ..switchlevel.scheduler import Engine
+from ..errors import SimulationError
 from ..patterns.clocking import TestPattern
-from .detection import POLICY_HARD, POLICIES, Detection, differs
+from ..switchlevel.kernel import LOCALITIES, SettleStats
+from ..switchlevel.network import TRANS_TABLE, Network
+from ..switchlevel.scheduler import Engine
+from .detection import POLICIES, POLICY_HARD, Detection, differs
 from .faults import Fault
 from .inject import Instrumented, PreparedFault, prepare
 from .report import FaultRecord, PatternRecord, RunReport, SerialRunReport
-from ..errors import SimulationError
 
 #: A faulty circuit differing from the good checkpoint on more nodes
 #: than this is treated as fully divergent (no pattern skipping); it
@@ -368,7 +368,7 @@ class SerialFaultSimulator:
         patterns: list[TestPattern],
         reference: _GoodTrace,
         report: SerialRunReport,
-        timer,
+        timer: Callable[[], float],
     ) -> tuple[int, int] | None:
         """Run one faulty circuit, logging detections; returns (pattern,
         phase) of the first detection or None.

@@ -60,7 +60,7 @@ import os
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from ..errors import SimulationError
 from ..patterns.clocking import TestPattern
@@ -289,7 +289,7 @@ class ShardedBackend(FaultSimBackend):
         jobs: int = DEFAULT_JOBS,
         inner_backend: str = "concurrent",
         pool: Executor | None = None,
-        **inner_options,
+        **inner_options: Any,
     ):
         if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
             raise SimulationError(
@@ -332,17 +332,25 @@ class ShardedBackend(FaultSimBackend):
         # shard; detections expand back after the merge.
         inner_options = dict(self.inner_options)
         collapse_enabled = bool(inner_options.pop("collapse", True))
-        plan = CollapsePlan(net, fault_list, observed, collapse_enabled)
+        static_enabled = bool(inner_options.pop("static_prune", True))
+        plan = CollapsePlan(
+            net,
+            fault_list,
+            observed,
+            collapse_enabled,
+            static_prune=static_enabled,
+        )
         run_faults = tuple(plan.run_faults)
-        try:
-            get_backend(
-                self.inner_backend, **{**inner_options, "collapse": False}
-            )
-            inner_options["collapse"] = False
-        except SimulationError:
-            # Third-party inner backend without a collapse option: it
-            # cannot double-collapse, so forward the options untouched.
-            pass
+        for option in ("collapse", "static_prune"):
+            try:
+                get_backend(
+                    self.inner_backend, **{**inner_options, option: False}
+                )
+                inner_options[option] = False
+            except SimulationError:
+                # Third-party inner backend without the option: it
+                # cannot redo the stage, so forward options untouched.
+                pass
         slices = shard_slices(len(run_faults), self.jobs)
         tasks = [
             _ShardTask(

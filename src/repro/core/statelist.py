@@ -18,7 +18,7 @@ missing record means "same as the good circuit".
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
+from bisect import bisect_left
 from typing import Iterator
 
 

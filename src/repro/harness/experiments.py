@@ -93,6 +93,10 @@ class CurveResult:
     #: serial, round_skips/sites_pruned for concurrent); ``None`` for
     #: backends without a trim layer.
     trim: dict | None = None
+    #: Static-prune counters (faults/kept/pruned/unexcitable/
+    #: unobservable) when the testability analysis removed part of the
+    #: universe before simulation; ``None`` otherwise.
+    static_pruned: dict | None = None
     seconds_per_pattern: list[float] = field(default_factory=list)
     cumulative_detections: list[int] = field(default_factory=list)
     live_after_pattern: list[int] = field(default_factory=list)
@@ -229,6 +233,7 @@ def run_curve_experiment(
         solve_cache=report.solve_cache,
         collapse=report.collapse,
         trim=report.trim,
+        static_pruned=report.static_pruned,
         seconds_per_pattern=report.seconds_per_pattern(),
         cumulative_detections=report.cumulative_detections(),
         live_after_pattern=[p.live_after for p in report.patterns],
@@ -448,7 +453,7 @@ class Fig3Result:
                 ],
             },
             title=(
-                f"FIG3: avg seconds/pattern vs faults "
+                "FIG3: avg seconds/pattern vs faults "
                 f"({self.circuit}, {self.n_patterns} patterns)"
             ),
         )

@@ -53,7 +53,8 @@ def write_curve_csv(result: CurveResult, stream: TextIO) -> None:
     (repeated per row) so redundancy-elimination regressions are
     visible in concatenated archives -- ``collapsed`` is the
     ``faults->representatives`` reduction, ``trim`` the flattened
-    skip/warm-start counters.
+    skip/warm-start counters and ``static_pruned`` the flattened
+    testability-analysis counters.
     """
     writer = csv.writer(stream)
     writer.writerow(
@@ -67,6 +68,7 @@ def write_curve_csv(result: CurveResult, stream: TextIO) -> None:
             "oscillation_events",
             "collapsed",
             "trim",
+            "static_pruned",
         ]
     )
     options = format_backend_options(result.backend_options)
@@ -81,6 +83,12 @@ def write_curve_csv(result: CurveResult, stream: TextIO) -> None:
         trim = ";".join(
             f"{key}={result.trim[key]}" for key in sorted(result.trim)
         )
+    static_pruned = ""
+    if result.static_pruned:
+        static_pruned = ";".join(
+            f"{key}={result.static_pruned[key]}"
+            for key in sorted(result.static_pruned)
+        )
     for index in range(result.n_patterns):
         writer.writerow(
             [
@@ -93,6 +101,7 @@ def write_curve_csv(result: CurveResult, stream: TextIO) -> None:
                 result.oscillation_events,
                 collapsed,
                 trim,
+                static_pruned,
             ]
         )
 

@@ -21,7 +21,6 @@ finalizes and returns the immutable-topology network.
 
 from __future__ import annotations
 
-from typing import Iterable
 
 from ..errors import NetworkError, UnknownNodeError
 from ..switchlevel.network import (
@@ -68,13 +67,16 @@ class NetworkBuilder:
         while True:
             self._gensym_counter += 1
             name = f"{prefix}${self._gensym_counter}"
-            if name not in self._net.node_index and name not in self._net.t_index:
+            if (
+                name not in self._net.node_index
+                and name not in self._net.t_index
+            ):
                 return name
 
     def has_node(self, name: str) -> bool:
         return name in self._net.node_index
 
-    # --- nodes -----------------------------------------------------------------
+    # --- nodes -----------------------------------------------------------
     def node(self, name: str | None = None, *, size: int | str = 1) -> str:
         """Declare a storage node; returns its name (generated if omitted).
 
@@ -165,7 +167,7 @@ class NetworkBuilder:
         )
         return name
 
-    # --- translation helpers ---------------------------------------------------
+    # --- translation helpers ---------------------------------------------
     def _node_index(self, name: str) -> int:
         try:
             return self._net.node_index[name]

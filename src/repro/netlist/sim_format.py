@@ -28,11 +28,8 @@ from typing import TextIO
 
 from ..errors import NetlistFormatError
 from ..switchlevel.network import (
-    DTYPE,
     KIND_FROM_NAME,
     KIND_NAMES,
-    NTYPE,
-    PTYPE,
     Network,
 )
 from ..switchlevel.strength import StrengthSystem
@@ -46,7 +43,9 @@ def loads(text: str, *, strengths: StrengthSystem | None = None) -> Network:
     return load(io.StringIO(text), strengths=strengths)
 
 
-def load(stream: TextIO, *, strengths: StrengthSystem | None = None) -> Network:
+def load(
+    stream: TextIO, *, strengths: StrengthSystem | None = None
+) -> Network:
     """Parse a netlist from a text stream; returns a finalized network."""
     builder: NetworkBuilder | None = None
     pending: list[tuple[int, list[str]]] = []
@@ -83,7 +82,9 @@ def load(stream: TextIO, *, strengths: StrengthSystem | None = None) -> Network:
     return builder.build()
 
 
-def load_path(path: str, *, strengths: StrengthSystem | None = None) -> Network:
+def load_path(
+    path: str, *, strengths: StrengthSystem | None = None
+) -> Network:
     """Parse a netlist file by path."""
     with open(path, "r", encoding="utf-8") as stream:
         return load(stream, strengths=strengths)

@@ -1,9 +1,41 @@
 """Netlist sanity lints.
 
 Switch-level netlists have a handful of structural mistakes that simulate
-"fine" but produce permanent X states or dead logic (floating gates,
-nodes with no drive path, missing rails).  :func:`validate` returns a
-list of :class:`Lint` findings; :func:`check` raises on errors.
+"fine" but produce permanent X states, dead logic or pathological
+performance (floating gates, nodes with no drive path, missing rails,
+rail-to-rail fights, giant channel-connected components).
+:func:`validate` returns a deterministically ordered list of
+:class:`Lint` findings; :func:`check` raises on errors.
+
+Lint codes (stable; golden-tested in ``tests/netlist/test_validate.py``):
+
+====================  ========  =======================================
+code                  severity  meaning
+====================  ========  =======================================
+``rail-not-input``    error     ``vdd``/``gnd`` exists but is not an
+                                input
+``floating-gate``     error     a gate node nothing can ever drive
+``drive-fight``       error     equal-strength always-on paths to both
+                                rails (a permanent X generator)
+``no-rail``           warning   ``vdd``/``gnd`` not declared
+``isolated-node``     warning   a node with no gates and no channels
+``undrivable-node``   warning   no channel path to any input at all
+``unreachable-node``  warning   channel paths exist but every one is
+                                blocked by never-conducting transistors
+``gate-tied-rail``    warning   transistor gated by a rail (always on
+                                or always off -- dead or should be
+                                d-type)
+``channel-loop``      warning   a cycle in the storage-node channel
+                                graph (charge-sharing / perf hazard)
+``oversized-ccc``     warning   a channel-connected component larger
+                                than ``OVERSIZED_CCC_LIMIT`` nodes
+                                (perf hazard for the compiled kernel)
+====================  ========  =======================================
+
+Each finding carries a structured :class:`Subject` (what kind of element
+it is about, by name) so aggregated output -- JSON, golden tests, the
+service's diagnostics -- never loses the element identity the way plain
+message strings used to.
 """
 
 from __future__ import annotations
@@ -11,11 +43,33 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import NetworkError
-from ..switchlevel.network import DTYPE, Network
+from ..switchlevel.network import (
+    DTYPE,
+    GND_NAME,
+    NTYPE,
+    PTYPE,
+    VDD_NAME,
+    Network,
+)
 
 #: Lint severities.
 ERROR = "error"
 WARNING = "warning"
+
+#: ``oversized-ccc`` fires above this many member nodes per component.
+OVERSIZED_CCC_LIMIT = 64
+
+
+@dataclass(frozen=True)
+class Subject:
+    """The element a finding is about: ``kind`` is ``node``,
+    ``transistor``, ``component`` or ``network``."""
+
+    kind: str
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.kind} {self.name!r}"
 
 
 @dataclass(frozen=True)
@@ -25,19 +79,54 @@ class Lint:
     severity: str
     code: str
     message: str
+    subject: Subject | None = None
 
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"{self.severity}[{self.code}]: {self.message}"
+    def __str__(self) -> str:
+        where = f" {self.subject}:" if self.subject is not None else ""
+        return f"{self.severity}[{self.code}]{where} {self.message}"
+
+    def sort_key(self) -> tuple:
+        """Deterministic ordering: errors first, then by code/subject."""
+        subject = self.subject or Subject("", "")
+        return (
+            0 if self.severity == ERROR else 1,
+            self.code,
+            subject.kind,
+            subject.name,
+            self.message,
+        )
+
+    def to_json(self) -> dict:
+        """JSON-serializable form (``fmossim lint --json``, the service)."""
+        payload: dict = {
+            "severity": self.severity,
+            "code": self.code,
+            "message": self.message,
+        }
+        if self.subject is not None:
+            payload["subject"] = {
+                "kind": self.subject.kind,
+                "name": self.subject.name,
+            }
+        return payload
 
 
-def validate(net: Network) -> list[Lint]:
-    """Run all lints over a finalized network."""
+def validate(
+    net: Network, *, ccc_limit: int = OVERSIZED_CCC_LIMIT
+) -> list[Lint]:
+    """Run all lints over a finalized network, in stable order."""
     net.require_finalized()
     lints: list[Lint] = []
     lints.extend(_check_rails(net))
     lints.extend(_check_isolated_nodes(net))
     lints.extend(_check_floating_gates(net))
     lints.extend(_check_undrivable_nodes(net))
+    lints.extend(_check_unreachable_nodes(net))
+    lints.extend(_check_drive_fights(net))
+    lints.extend(_check_rail_gates(net))
+    lints.extend(_check_channel_loops(net))
+    lints.extend(_check_oversized_components(net, ccc_limit))
+    lints.sort(key=Lint.sort_key)
     return lints
 
 
@@ -53,14 +142,24 @@ def check(net: Network) -> None:
 
 def _check_rails(net: Network) -> list[Lint]:
     lints = []
-    for rail in ("vdd", "gnd"):
+    for rail in (VDD_NAME, GND_NAME):
         if rail not in net.node_index:
             lints.append(
-                Lint(WARNING, "no-rail", f"no {rail!r} node declared")
+                Lint(
+                    WARNING,
+                    "no-rail",
+                    f"no {rail!r} node declared",
+                    Subject("network", rail),
+                )
             )
         elif not net.node_is_input[net.node(rail)]:
             lints.append(
-                Lint(ERROR, "rail-not-input", f"{rail!r} is not an input node")
+                Lint(
+                    ERROR,
+                    "rail-not-input",
+                    "power rail is not an input node",
+                    Subject("node", rail),
+                )
             )
     return lints
 
@@ -73,7 +172,8 @@ def _check_isolated_nodes(net: Network) -> list[Lint]:
                 Lint(
                     WARNING,
                     "isolated-node",
-                    f"node {net.node_names[index]!r} connects to nothing",
+                    "node connects to nothing",
+                    Subject("node", net.node_names[index]),
                 )
             )
     return lints
@@ -97,20 +197,16 @@ def _check_floating_gates(net: Network) -> list[Lint]:
                 Lint(
                     ERROR,
                     "floating-gate",
-                    f"transistor {info.name!r} is gated by "
-                    f"{net.node_names[gate]!r}, which nothing can drive",
+                    f"gated by {net.node_names[gate]!r}, "
+                    "which nothing can drive",
+                    Subject("transistor", info.name),
                 )
             )
     return lints
 
 
-def _check_undrivable_nodes(net: Network) -> list[Lint]:
-    """Storage nodes with no channel path to any input node.
-
-    They can only ever hold their initial X (or charge-share it around),
-    which is almost always a netlist bug.  Paths ignore transistor states
-    (this is a static reachability check).
-    """
+def _channel_reachable(net: Network) -> set[int]:
+    """Nodes with *some* channel path from an input, any transistor state."""
     reachable: set[int] = set()
     stack = list(net.input_nodes())
     reachable.update(stack)
@@ -120,6 +216,17 @@ def _check_undrivable_nodes(net: Network) -> list[Lint]:
             if other not in reachable:
                 reachable.add(other)
                 stack.append(other)
+    return reachable
+
+
+def _check_undrivable_nodes(net: Network) -> list[Lint]:
+    """Storage nodes with no channel path to any input node.
+
+    They can only ever hold their initial X (or charge-share it around),
+    which is almost always a netlist bug.  Paths ignore transistor states
+    (this is a static reachability check).
+    """
+    reachable = _channel_reachable(net)
     lints = []
     for index in net.storage_nodes():
         if index not in reachable and net.node_channels[index]:
@@ -127,8 +234,197 @@ def _check_undrivable_nodes(net: Network) -> list[Lint]:
                 Lint(
                     WARNING,
                     "undrivable-node",
-                    f"storage node {net.node_names[index]!r} has no channel "
-                    "path to any input node",
+                    "storage node has no channel path to any input node",
+                    Subject("node", net.node_names[index]),
+                )
+            )
+    return lints
+
+
+def _check_unreachable_nodes(net: Network) -> list[Lint]:
+    """Storage nodes whose every channel path is permanently blocked.
+
+    Stricter than ``undrivable-node``: a path exists, but every path
+    runs through a transistor that can never conduct (for example a
+    pass transistor gated by ``gnd``), so the node still holds X
+    forever.  Powered by the controllability fixpoint of
+    :mod:`repro.analysis.static`.
+    """
+    # Deferred import: repro.analysis pulls in the harness (and through
+    # it the backends), which imports this module's package at startup.
+    from ..analysis.static import CAN_X, controllability_masks
+
+    masks = controllability_masks(net)
+    reachable = _channel_reachable(net)
+    lints = []
+    for index in net.storage_nodes():
+        if not net.node_channels[index] or index not in reachable:
+            continue  # isolated-node / undrivable-node territory
+        if masks[index] == CAN_X:
+            lints.append(
+                Lint(
+                    WARNING,
+                    "unreachable-node",
+                    "every channel path from an input is blocked by "
+                    "never-conducting transistors",
+                    Subject("node", net.node_names[index]),
+                )
+            )
+    return lints
+
+
+def _always_on(net: Network, t: int) -> bool:
+    """Conducts under every input assignment (given conventional rails)."""
+    kind = net.t_kind[t]
+    if kind == DTYPE:
+        return True
+    gate = net.node_names[net.t_gate[t]]
+    return (kind == NTYPE and gate == VDD_NAME) or (
+        kind == PTYPE and gate == GND_NAME
+    )
+
+
+def _check_drive_fights(net: Network) -> list[Lint]:
+    """Equal-strength always-on paths to both rails: a permanent X.
+
+    Only single-transistor paths are claimed (longer always-on chains
+    degrade through intermediate nodes and need the full strength
+    lattice to judge); that is exactly the classic mistake of a
+    depletion load fighting a grounded pulldown of the same strength.
+    """
+    vdd = net.node_index.get(VDD_NAME)
+    gnd = net.node_index.get(GND_NAME)
+    if vdd is None or gnd is None:
+        return []
+    lints = []
+    for index in net.storage_nodes():
+        pull_up = pull_down = 0
+        for t, other in net.node_channels[index]:
+            if not _always_on(net, t):
+                continue
+            if other == vdd:
+                pull_up = max(pull_up, net.t_strength[t])
+            elif other == gnd:
+                pull_down = max(pull_down, net.t_strength[t])
+        if pull_up and pull_down and pull_up == pull_down:
+            lints.append(
+                Lint(
+                    ERROR,
+                    "drive-fight",
+                    "equal-strength always-on paths to both rails "
+                    "fight forever (node is permanently X)",
+                    Subject("node", net.node_names[index]),
+                )
+            )
+    # The degenerate case: an always-on device directly across the rails.
+    for info in net.iter_transistors():
+        terminals = {info.source, info.drain}
+        if terminals == {vdd, gnd} and _always_on(net, info.index):
+            lints.append(
+                Lint(
+                    ERROR,
+                    "drive-fight",
+                    "always-on transistor shorts vdd to gnd",
+                    Subject("transistor", info.name),
+                )
+            )
+    return lints
+
+
+def _check_rail_gates(net: Network) -> list[Lint]:
+    """Non-d-type transistors gated by a rail: always on or always off.
+
+    Always-off devices are dead silicon; always-on ones should be
+    d-type (and defeat fault models that toggle the gate).
+    """
+    lints = []
+    for info in net.iter_transistors():
+        if info.kind == DTYPE:
+            continue
+        gate = net.node_names[info.gate]
+        if gate not in (VDD_NAME, GND_NAME):
+            continue
+        on = (info.kind == NTYPE) == (gate == VDD_NAME)
+        mode = "always on" if on else "always off (dead)"
+        lints.append(
+            Lint(
+                WARNING,
+                "gate-tied-rail",
+                f"gate is tied to {gate!r}: transistor is {mode}",
+                Subject("transistor", info.name),
+            )
+        )
+    return lints
+
+
+def _check_channel_loops(net: Network) -> list[Lint]:
+    """Cycles in the storage-node channel graph.
+
+    Loops through pass-transistor networks charge-share in
+    order-dependent ways and blow up component sizes; parallel devices
+    between the *same* node pair (transmission gates) are idiomatic and
+    not counted.  Reported once per cycle-closing transistor, in index
+    order.
+    """
+    parent = list(range(net.n_nodes))
+
+    def find(node: int) -> int:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    seen_pairs: set[tuple[int, int]] = set()
+    lints = []
+    for info in net.iter_transistors():
+        if net.node_is_input[info.source] or net.node_is_input[info.drain]:
+            continue  # inputs are cut points, not loop members
+        pair = (min(info.source, info.drain), max(info.source, info.drain))
+        if pair in seen_pairs:
+            continue  # parallel device (e.g. a transmission gate)
+        seen_pairs.add(pair)
+        root_a, root_b = find(pair[0]), find(pair[1])
+        if root_a == root_b:
+            lints.append(
+                Lint(
+                    WARNING,
+                    "channel-loop",
+                    "closes a channel loop between "
+                    f"{net.node_names[info.source]!r} and "
+                    f"{net.node_names[info.drain]!r}",
+                    Subject("transistor", info.name),
+                )
+            )
+        else:
+            parent[root_a] = root_b
+    return lints
+
+
+def _check_oversized_components(net: Network, limit: int) -> list[Lint]:
+    """Channel-connected components above the size limit.
+
+    Every event in a component settles the whole component under the
+    compiled locality, so one giant component (a shorted bus, a missing
+    cut point) quietly dominates the run time.  Reuses the compiled
+    partition; the limit is :data:`OVERSIZED_CCC_LIMIT` by default.
+    """
+    # Deferred for consistency with the analysis import above (and so a
+    # plain validate() on a tiny net does not pay the full lowering
+    # import chain at module load).
+    from ..switchlevel.compiled import compile_network
+
+    lints = []
+    for component in compile_network(net).components:
+        if len(component.members) > limit:
+            anchor = net.node_names[component.members[0]]
+            lints.append(
+                Lint(
+                    WARNING,
+                    "oversized-ccc",
+                    "channel-connected component has "
+                    f"{len(component.members)} nodes (> {limit}); events "
+                    "anywhere in it settle all of it",
+                    Subject("component", anchor),
                 )
             )
     return lints

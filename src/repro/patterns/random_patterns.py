@@ -9,7 +9,6 @@ circuits with these patterns.
 from __future__ import annotations
 
 import random
-from typing import Sequence
 
 from ..switchlevel.network import GND_NAME, VDD_NAME, Network
 from .clocking import Phase, TestPattern

@@ -44,7 +44,9 @@ class RamSequence:
         return start
 
 
-def _assemble(name: str, ram: Ram, parts: list[tuple[str, list[RamOp]]]) -> RamSequence:
+def _assemble(
+    name: str, ram: Ram, parts: list[tuple[str, list[RamOp]]]
+) -> RamSequence:
     ops: list[RamOp] = []
     sections: dict[str, tuple[int, int]] = {}
     for section_name, section_ops in parts:

@@ -190,7 +190,7 @@ class JobStream:
     def __enter__(self) -> "JobStream":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
@@ -216,7 +216,7 @@ class ServiceClient:
             )
         except OSError as exc:
             raise SimulationError(
-                f"cannot reach fault-sim service at "
+                "cannot reach fault-sim service at "
                 f"{self.host}:{self.port}: {exc}"
             ) from None
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)

@@ -32,7 +32,7 @@ import json
 import socket
 import struct
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Type
+from typing import TYPE_CHECKING, Any, Iterator, Type
 
 from ..core.backends import SimPolicy
 from ..core.detection import Detection, DetectionLog
@@ -53,6 +53,9 @@ from ..errors import (
     SimulationError,
 )
 from ..patterns.clocking import Phase, TestPattern
+
+if TYPE_CHECKING:
+    import asyncio
 
 __all__ = [
     "DEFAULT_HOST",
@@ -242,7 +245,9 @@ def _recv_exact(
     return bytes(chunks)
 
 
-async def read_frame(reader) -> dict[str, Any] | None:
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> dict[str, Any] | None:
     """Read one frame from an ``asyncio.StreamReader`` (None on EOF)."""
     import asyncio
 
@@ -270,7 +275,9 @@ async def read_frame(reader) -> dict[str, Any] | None:
     return decode_payload(data)
 
 
-async def write_frame(writer, payload: dict[str, Any]) -> None:
+async def write_frame(
+    writer: asyncio.StreamWriter, payload: dict[str, Any]
+) -> None:
     """Write one frame to an ``asyncio.StreamWriter`` and drain."""
     writer.write(encode_frame(payload))
     await writer.drain()
@@ -351,7 +358,9 @@ def pattern_from_wire(wire: dict[str, Any]) -> TestPattern:
         )
         return TestPattern(label=wire["label"], phases=phases)
     except (KeyError, TypeError) as exc:
-        raise ProtocolError(f"malformed pattern on the wire: {exc!r}") from None
+        raise ProtocolError(
+            f"malformed pattern on the wire: {exc!r}"
+        ) from None
 
 
 def policy_to_wire(policy: SimPolicy) -> dict[str, Any]:
@@ -441,6 +450,7 @@ def report_to_wire(report: RunReport) -> dict[str, Any]:
         "solve_cache": report.solve_cache,
         "collapse": report.collapse,
         "trim": report.trim,
+        "static_pruned": report.static_pruned,
         "patterns": [record_to_wire(p) for p in report.patterns],
         "detections": [detection_to_wire(d) for d in report.log.detections],
     }
@@ -463,6 +473,7 @@ def report_from_wire(wire: dict[str, Any]) -> RunReport:
             # Tolerate reports from peers predating these fields.
             collapse=wire.get("collapse"),
             trim=wire.get("trim"),
+            static_pruned=wire.get("static_pruned"),
         )
     except KeyError as exc:
         raise ProtocolError(
@@ -789,19 +800,28 @@ class ErrorFrame:
     kind: str
     message: str
     job_id: str | None = None
+    #: Structured lint findings (``Lint.to_json()`` dicts) when the
+    #: server rejected a submitted netlist at lint time; ``None`` for
+    #: every other error.
+    diagnostics: tuple[dict, ...] | None = None
 
     def to_wire(self) -> dict[str, Any]:
         wire: dict[str, Any] = {"type": "error", "kind": self.kind,
                                 "message": self.message}
         if self.job_id is not None:
             wire["job_id"] = self.job_id
+        if self.diagnostics is not None:
+            wire["diagnostics"] = list(self.diagnostics)
         return wire
 
     @classmethod
     def from_wire(cls, wire: dict[str, Any]) -> "ErrorFrame":
+        diagnostics = wire.get("diagnostics")
         return cls(kind=wire.get("kind", "internal"),
                    message=wire.get("message", "unspecified error"),
-                   job_id=wire.get("job_id"))
+                   job_id=wire.get("job_id"),
+                   diagnostics=(tuple(diagnostics)
+                                if diagnostics is not None else None))
 
     def to_exception(self) -> ReproError:
         return error_to_exception(self.kind, self.message)
@@ -871,7 +891,7 @@ def parse_response(wire: dict[str, Any]) -> Response:
     return _parse(wire, _RESPONSE_TYPES, "response")
 
 
-def _parse(wire: dict[str, Any], table: dict, side: str):
+def _parse(wire: dict[str, Any], table: dict[str, Any], side: str) -> Any:
     frame_type = wire.get("type")
     try:
         cls = table[frame_type]

@@ -37,7 +37,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from ..core.backends import available_backends
 from ..errors import SimulationError
@@ -159,7 +159,9 @@ class FaultSimServer:
         self._pump_thread.start()
         return self.address
 
-    async def serve(self, ready=None) -> None:
+    async def serve(
+        self, ready: Callable[[FaultSimServer], None] | None = None
+    ) -> None:
         """Start, install SIGTERM/SIGINT handlers, serve until stopped.
 
         ``ready``, if given, is called with the server once the socket
@@ -254,7 +256,7 @@ class FaultSimServer:
             except RuntimeError:  # loop already closed mid-shutdown
                 return
 
-    def _on_pump(self, event) -> None:
+    def _on_pump(self, event: tuple[str, int, str, Any] | None) -> None:
         """(loop) Handle one pump delivery; None is a poll tick, used to
         notice workers that died without a terminal event."""
         if self.pool is None:
@@ -265,7 +267,7 @@ class FaultSimServer:
             return
         self._on_worker_event(event)
 
-    def _on_worker_event(self, event) -> None:
+    def _on_worker_event(self, event: tuple[str, int, str, Any]) -> None:
         assert self.pool is not None
         self.pool.note_event(event)
         kind, worker_id, job_id, payload = event
@@ -464,9 +466,42 @@ class FaultSimServer:
         elif isinstance(request, SubmitRequest):
             await self._handle_submit(request, writer)
 
+    @staticmethod
+    def _lint_submission(netlist_text: str) -> ErrorFrame | None:
+        """Reject bad netlists at submit time, before a worker sees them.
+
+        Unparseable text or error-severity lints come back as one
+        structured :class:`ErrorFrame` (with per-finding diagnostics)
+        on the submitting connection instead of a worker-side failure
+        mid-job.
+        """
+        from ..errors import ReproError
+        from ..netlist import sim_format, validate
+
+        try:
+            net = sim_format.loads(netlist_text)
+        except ReproError as exc:
+            return ErrorFrame.from_exception(exc)
+        findings = validate.validate(net)
+        errors = [f for f in findings if f.severity == validate.ERROR]
+        if not errors:
+            return None
+        return ErrorFrame(
+            kind="network",
+            message=(
+                "submitted netlist failed lint:\n"
+                + "\n".join(f"  {lint}" for lint in errors)
+            ),
+            diagnostics=tuple(f.to_json() for f in findings),
+        )
+
     async def _handle_submit(
         self, request: SubmitRequest, writer: asyncio.StreamWriter
     ) -> None:
+        rejection = self._lint_submission(request.job.netlist)
+        if rejection is not None:
+            await write_frame(writer, rejection.to_wire())
+            return
         subscriber: asyncio.Queue = asyncio.Queue()
         job = self._submit(request.job, subscriber)
         await write_frame(

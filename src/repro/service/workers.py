@@ -51,20 +51,25 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
+import multiprocessing.queues
 import os
 import queue as queue_module
 import signal
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from multiprocessing.synchronize import Event as MpEvent
 from typing import Any, Callable, Iterable
 
 from ..core import shard as shard_module
 from ..core.backends import get_backend, supports_progress
+from ..core.detection import Detection
+from ..core.report import PatternRecord
 from ..errors import SimulationError
 from ..netlist.sim_format import loads as load_netlist
 from ..patterns.clocking import TestPattern
 from ..switchlevel.compiled import compile_network
+from ..switchlevel.network import Network
 from .protocol import (
     ErrorFrame,
     JobSpec,
@@ -96,16 +101,16 @@ class CircuitCache:
                 f"circuit cache capacity must be >= 1, got {capacity}"
             )
         self.capacity = capacity
-        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._entries: OrderedDict[str, Network] = OrderedDict()
 
-    def get(self, fingerprint: str):
+    def get(self, fingerprint: str) -> Network | None:
         """The cached network for ``fingerprint`` (refreshed), or None."""
         entry = self._entries.get(fingerprint)
         if entry is not None:
             self._entries.move_to_end(fingerprint)
         return entry
 
-    def put(self, fingerprint: str, network) -> None:
+    def put(self, fingerprint: str, network: Network) -> None:
         self._entries[fingerprint] = network
         self._entries.move_to_end(fingerprint)
         while len(self._entries) > self.capacity:
@@ -134,7 +139,9 @@ class _Cancelled(Exception):
 
 
 def _cancellable(
-    patterns: Iterable[TestPattern], cancel_event, counter: list[int]
+    patterns: Iterable[TestPattern],
+    cancel_event: MpEvent,
+    counter: list[int],
 ) -> Iterable[TestPattern]:
     """Wrap a pattern sequence with a cancel check before each yield.
 
@@ -154,7 +161,7 @@ def _execute_job(
     job_id: str,
     spec: JobSpec,
     cache: CircuitCache,
-    cancel_event,
+    cancel_event: MpEvent,
     emit: Callable[[str, str, dict], None],
 ) -> None:
     """Run one job inside a worker process, emitting result events."""
@@ -200,7 +207,9 @@ def _execute_job(
 
     patterns_completed = [0]
 
-    def progress(record, detections) -> None:
+    def progress(
+        record: PatternRecord, detections: list[Detection]
+    ) -> None:
         patterns_completed[0] += 1
         emit(
             "pattern",
@@ -270,7 +279,11 @@ def _execute_job(
 
 
 def _worker_main(
-    worker_id: int, task_queue, result_queue, cancel_event, cache_size: int
+    worker_id: int,
+    task_queue: multiprocessing.queues.Queue[Any],
+    result_queue: multiprocessing.queues.Queue[Any],
+    cancel_event: MpEvent,
+    cache_size: int,
 ) -> None:
     """Worker process entry point: serve jobs until the None sentinel."""
     # The parent coordinates shutdown through sentinels (and SIGTERM as
@@ -436,7 +449,9 @@ class WorkerPool:
 
     # -- events --------------------------------------------------------
 
-    def next_event(self, timeout: float | None = None):
+    def next_event(
+        self, timeout: float | None = None
+    ) -> tuple[str, int, str, Any] | None:
         """The next worker event ``(kind, worker_id, job_id, payload)``,
         or None on timeout.  Call :meth:`note_event` on every event so
         busy/idle bookkeeping stays truthful."""
@@ -445,7 +460,7 @@ class WorkerPool:
         except queue_module.Empty:
             return None
 
-    def note_event(self, event) -> None:
+    def note_event(self, event: tuple[str, int, str, Any]) -> None:
         """Record an event's effect on worker state (terminal events
         free the worker for the next dispatch)."""
         kind, worker_id, _job_id, _payload = event
@@ -519,5 +534,5 @@ class WorkerPool:
     def __enter__(self) -> "WorkerPool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.shutdown()

@@ -50,7 +50,7 @@ from __future__ import annotations
 from operator import itemgetter
 from typing import TYPE_CHECKING, Mapping
 
-from .network import Network, NTYPE, PTYPE
+from .network import NTYPE, PTYPE, Network
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from .compiled import CompiledNetwork
@@ -331,7 +331,9 @@ class LaneSimulator:
         for node, _lanes, _p0, _p1 in changed:
             self._node_changed(node)
 
-    def _compiled_round(self, seeds: list[int]) -> list[tuple[int, int, int, int]]:
+    def _compiled_round(
+        self, seeds: list[int]
+    ) -> list[tuple[int, int, int, int]]:
         """One round over precompiled components instead of a union BFS.
 
         Each dirty component is split into mask-filtered regions grown
@@ -971,7 +973,12 @@ class LaneSimulator:
                 lanes = packed_flat[pos]
                 if lanes:
                     new_changed.append(
-                        (node, lanes, packed_flat[pos + 1], packed_flat[pos + 2])
+                        (
+                            node,
+                            lanes,
+                            packed_flat[pos + 1],
+                            packed_flat[pos + 2],
+                        )
                     )
                     new_union |= lanes
                 pos += 3

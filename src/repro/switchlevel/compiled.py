@@ -533,7 +533,12 @@ class CompiledNetwork:
         sig_cache: dict | None = None,
         keys=None,
     ) -> list[
-        tuple[tuple[int, ...], tuple[int, ...], tuple[tuple[int, int], ...], list[int]]
+        tuple[
+            tuple[int, ...],
+            tuple[int, ...],
+            tuple[tuple[int, int], ...],
+            list[int],
+        ]
     ]:
         """Steady state of the seeded conducting regions of one component.
 

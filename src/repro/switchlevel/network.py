@@ -115,7 +115,9 @@ class Network:
     """
 
     def __init__(self, strengths: StrengthSystem | None = None):
-        self.strengths = strengths if strengths is not None else DEFAULT_STRENGTHS
+        self.strengths = (
+            strengths if strengths is not None else DEFAULT_STRENGTHS
+        )
         # node arrays
         self.node_names: list[str] = []
         self.node_index: dict[str, int] = {}
@@ -135,7 +137,9 @@ class Network:
         self._finalized = False
 
     # --- construction ------------------------------------------------------
-    def add_node(self, name: str, *, is_input: bool = False, size: int = 1) -> int:
+    def add_node(
+        self, name: str, *, is_input: bool = False, size: int = 1
+    ) -> int:
         """Add a node and return its index.
 
         ``size`` is the node's charge-storage size rank (1-based); it is
@@ -183,7 +187,8 @@ class Network:
         for terminal in (gate, source, drain):
             if not 0 <= terminal < len(self.node_names):
                 raise UnknownNodeError(
-                    f"transistor {name!r}: node index {terminal} does not exist"
+                    f"transistor {name!r}: node index {terminal} "
+                    "does not exist"
                 )
         if source == drain:
             raise NetworkError(
@@ -251,7 +256,9 @@ class Network:
         copy.t_drain = list(self.t_drain)
         return copy
 
-    def rewire_channel(self, transistor: int, old_node: int, new_node: int) -> None:
+    def rewire_channel(
+        self, transistor: int, old_node: int, new_node: int
+    ) -> None:
         """Move one channel terminal of ``transistor`` to ``new_node``.
 
         Only valid before finalization; used to split nodes when
@@ -375,7 +382,8 @@ class Network:
         states = list(states)
         if len(states) != self.n_nodes:
             raise NetworkError(
-                f"state vector has {len(states)} entries, expected {self.n_nodes}"
+                f"state vector has {len(states)} entries, "
+                f"expected {self.n_nodes}"
             )
         for i, state in enumerate(states):
             if state not in STATES:

@@ -39,7 +39,7 @@ from .kernel import (
     VicinitySolution,
 )
 from .logic import STATES
-from .network import Network, TRANS_TABLE
+from .network import TRANS_TABLE, Network
 from .vicinity import expand_seed, perturbations_from_transistor
 
 __all__ = ["DEFAULT_MAX_ROUNDS", "Engine", "SettleStats"]
@@ -78,7 +78,9 @@ class Engine:
         self.max_rounds = max_rounds
         self.on_oscillation = on_oscillation
         self.forced_nodes: dict[int, int] = dict(forced_nodes or {})
-        self.forced_transistors: dict[int, int] = dict(forced_transistors or {})
+        self.forced_transistors: dict[int, int] = dict(
+            forced_transistors or {}
+        )
         #: Per-component forced-signature memo for the compiled
         #: locality; valid for this engine's lifetime (its forcing maps
         #: never change after construction).
@@ -181,7 +183,7 @@ class Engine:
         self.oscillation_events += stats.x_fallbacks
         return stats
 
-    # --- inspection -----------------------------------------------------------
+    # --- inspection -----------------------------------------------------
     def state_of(self, node: int) -> int:
         return self.states[node]
 

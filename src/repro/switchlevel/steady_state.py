@@ -51,7 +51,7 @@ from typing import Mapping, Sequence
 
 from .logic import BIT0, BIT1, ONE, X, ZERO
 from .network import Network
-from .vicinity import Adjacency, NO_FORCED
+from .vicinity import NO_FORCED, Adjacency
 
 #: Shared empty edge list for nodes with no conducting edges.
 _NO_EDGES: tuple = ()
@@ -169,7 +169,7 @@ def solve_vicinity(
                 changes.append((n, new_state))
         return changes
 
-    # ---- possible passes ------------------------------------------------------
+    # ---- possible passes ----------------------------------------------
     arr0 = _possible_pass(
         net, member_states, boundary_states, adjacency_get, ds, ZERO, omega
     )
@@ -177,7 +177,7 @@ def solve_vicinity(
         net, member_states, boundary_states, adjacency_get, ds, ONE, omega
     )
 
-    # ---- resolution -------------------------------------------------------------
+    # ---- resolution -----------------------------------------------------
     arr0_get = arr0.get
     arr1_get = arr1.get
     for n in members:

@@ -51,7 +51,9 @@ class StrengthSystem:
     n_sizes: int = 2
     n_strengths: int = 3
     size_names: tuple[str, ...] = field(default=("small", "large"))
-    strength_names: tuple[str, ...] = field(default=("weak", "strong", "short"))
+    strength_names: tuple[str, ...] = field(
+        default=("weak", "strong", "short")
+    )
 
     def __post_init__(self) -> None:
         if self.n_sizes < 1:

@@ -1,0 +1,262 @@
+"""Unit tests for the static testability analysis.
+
+Hand-built networks where controllability, observability and the fault
+verdicts can be checked by eye.  The end-to-end soundness property
+(pruned faults are never detected by the dynamic simulator) lives in
+``test_static_props.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.static import (
+    CAN_ONE,
+    CAN_X,
+    CAN_ZERO,
+    TESTABLE,
+    UNEXCITABLE,
+    UNOBSERVABLE,
+    analyze,
+    classify_faults,
+    controllability_masks,
+    observable_nodes,
+)
+from repro.core.faults import (
+    NodeStuckFault,
+    OpenFault,
+    ShortFault,
+    TransistorStuckFault,
+)
+from repro.netlist.builder import NetworkBuilder
+
+ALL = CAN_ZERO | CAN_ONE | CAN_X
+
+
+def inverter():
+    """nMOS inverter: d-load pulls out high, n-device pulls it low."""
+    b = NetworkBuilder()
+    b.input("a")
+    b.node("out")
+    b.dtrans("out", "vdd", "out", strength=1, name="load")
+    b.ntrans("a", "out", "gnd", strength=2, name="pull")
+    return b.build()
+
+
+class TestControllability:
+    def test_rails_are_pinned(self):
+        net = inverter()
+        masks = controllability_masks(net)
+        assert masks[net.node_index["vdd"]] == CAN_ONE
+        assert masks[net.node_index["gnd"]] == CAN_ZERO
+
+    def test_inputs_are_free(self):
+        net = inverter()
+        masks = controllability_masks(net)
+        assert masks[net.node_index["a"]] == ALL
+
+    def test_driven_storage_reaches_all_states(self):
+        # out: X at power-up, 1 through the load, 0 through the pull.
+        net = inverter()
+        masks = controllability_masks(net)
+        assert masks[net.node_index["out"]] == ALL
+
+    def test_node_behind_dead_switch_stays_x(self):
+        # An n-type gated by gnd never conducts: the node it "drives"
+        # can only ever hold its power-up X.
+        b = NetworkBuilder()
+        b.input("a")
+        b.node("dead")
+        b.ntrans("gnd", "vdd", "dead", strength=1, name="never")
+        net = b.build()
+        masks = controllability_masks(net)
+        assert masks[net.node_index["dead"]] == CAN_X
+
+    def test_states_flow_through_pass_chain(self):
+        # a -> chain of pass transistors -> far end sees {0,1,X} too.
+        b = NetworkBuilder()
+        b.input("a")
+        b.input("g")
+        prev = "a"
+        for k in range(4):
+            node = b.node(f"m{k}")
+            b.ntrans("g", prev, node, strength=1, name=f"p{k}")
+            prev = node
+        net = b.build()
+        masks = controllability_masks(net)
+        assert masks[net.node_index["m3"]] == ALL
+
+    def test_inputs_never_gain_states_from_channels(self):
+        # A channel onto gnd must not teach the rail new states.
+        net = inverter()
+        masks = controllability_masks(net)
+        assert masks[net.node_index["gnd"]] == CAN_ZERO
+
+
+class TestObservability:
+    def test_observed_component_members_influential(self):
+        net = inverter()
+        observable = observable_nodes(net, ["out"])
+        assert net.node_index["out"] in observable
+        # gnd/vdd are boundary inputs of out's component.
+        assert net.node_index["gnd"] in observable
+
+    def test_gate_fanin_is_influential(self):
+        net = inverter()
+        observable = observable_nodes(net, ["out"])
+        assert net.node_index["a"] in observable
+
+    def test_disconnected_island_is_not(self):
+        b = NetworkBuilder()
+        b.input("a")
+        b.node("out")
+        b.node("island")
+        b.ntrans("a", "out", "gnd", strength=1, name="t0")
+        b.ntrans("a", "island", "gnd", strength=1, name="t1")
+        net = b.build()
+        observable = observable_nodes(net, ["out"])
+        assert net.node_index["island"] not in observable
+
+    def test_unknown_observed_names_ignored(self):
+        net = inverter()
+        assert observable_nodes(net, ["nope"]) == frozenset()
+
+
+class TestClassify:
+    def test_dtype_stuck_closed_unexcitable(self):
+        net = inverter()
+        analysis = analyze(net, ["out"])
+        verdict = analysis.classify(
+            TransistorStuckFault("load", closed=True)
+        )
+        assert verdict == UNEXCITABLE
+
+    def test_dtype_stuck_open_not_unexcitable(self):
+        net = inverter()
+        analysis = analyze(net, ["out"])
+        verdict = analysis.classify(
+            TransistorStuckFault("load", closed=False)
+        )
+        assert verdict == TESTABLE
+
+    def test_rail_gated_device_unexcitable_in_forced_state(self):
+        b = NetworkBuilder()
+        b.input("a")
+        b.node("out")
+        b.ntrans("vdd", "a", "out", strength=1, name="alwayson")
+        b.ntrans("gnd", "out", "gnd", strength=1, name="alwaysoff")
+        net = b.build()
+        analysis = analyze(net, ["out"])
+        assert (
+            analysis.classify(TransistorStuckFault("alwayson", closed=True))
+            == UNEXCITABLE
+        )
+        assert (
+            analysis.classify(TransistorStuckFault("alwaysoff", closed=False))
+            == UNEXCITABLE
+        )
+        # The opposite polarities do change behavior.
+        assert (
+            analysis.classify(TransistorStuckFault("alwayson", closed=False))
+            == TESTABLE
+        )
+        assert (
+            analysis.classify(TransistorStuckFault("alwaysoff", closed=True))
+            == TESTABLE
+        )
+
+    def test_node_stuck_never_unexcitable(self):
+        # Even a node whose only achievable state is X must not be
+        # pruned when stuck: forcing pins it at rail strength.
+        b = NetworkBuilder()
+        b.input("a")
+        b.node("dead")
+        b.node("out")
+        b.ntrans("gnd", "out", "dead", strength=1, name="never")
+        b.ntrans("a", "out", "gnd", strength=1, name="pull")
+        net = b.build()
+        analysis = analyze(net, ["out"])
+        assert analysis.classify(NodeStuckFault("dead", 1)) == TESTABLE
+
+    def test_fault_on_island_unobservable(self):
+        b = NetworkBuilder()
+        b.input("a")
+        b.node("out")
+        b.node("island")
+        b.ntrans("a", "out", "gnd", strength=1, name="t0")
+        b.ntrans("a", "island", "vdd", strength=1, name="t1")
+        net = b.build()
+        analysis = analyze(net, ["out"])
+        assert analysis.classify(NodeStuckFault("island", 0)) == UNOBSERVABLE
+        assert (
+            analysis.classify(TransistorStuckFault("t1", closed=False))
+            == UNOBSERVABLE
+        )
+        assert (
+            analysis.classify(ShortFault("island", "island2"))
+            == TESTABLE  # unknown node: let injection raise
+        )
+        assert (
+            analysis.classify(OpenFault("island", ("t1",))) == UNOBSERVABLE
+        )
+
+    def test_unknown_elements_pass_through(self):
+        net = inverter()
+        analysis = analyze(net, ["out"])
+        assert analysis.classify(NodeStuckFault("ghost", 0)) == TESTABLE
+        assert (
+            analysis.classify(TransistorStuckFault("ghost", closed=True))
+            == TESTABLE
+        )
+        assert analysis.classify(OpenFault("out", ("ghost",))) == TESTABLE
+
+
+class TestClassifyFaults:
+    def test_partition_and_stats(self):
+        net = inverter()
+        faults = [
+            NodeStuckFault("out", 0),                    # testable
+            TransistorStuckFault("load", closed=True),   # unexcitable
+            TransistorStuckFault("pull", closed=True),   # testable
+        ]
+        result = classify_faults(net, faults, ["out"])
+        assert result.kept == (1, 3)
+        assert result.unexcitable == (2,)
+        assert result.unobservable == ()
+        assert result.pruned == 1
+        assert result.pruned_ids() == (2,)
+        assert result.stats() == {
+            "faults": 3,
+            "kept": 2,
+            "pruned": 1,
+            "unexcitable": 1,
+            "unobservable": 0,
+        }
+
+    def test_unknown_observed_set_is_inert(self):
+        # The simulator's own unknown-node error must surface, so no
+        # fault may be pruned when nothing observed resolves.
+        net = inverter()
+        faults = [TransistorStuckFault("load", closed=True)]
+        result = classify_faults(net, faults, ["ghost"])
+        assert result.kept == (1,)
+        assert result.pruned == 0
+
+    def test_ram_prunes_depletion_loads(self):
+        from repro.circuits.ram import build_ram
+        from repro.core.faults import (
+            ram_fault_universe,
+            transistor_stuck_universe,
+        )
+
+        ram = build_ram(4, 4)
+        universe = ram_fault_universe(ram) + transistor_stuck_universe(
+            ram.net
+        )
+        result = classify_faults(ram.net, universe, [ram.dout])
+        assert result.pruned > 0
+        assert len(result.unexcitable) > 0
+        # Every d-type stuck-closed fault is in the unexcitable set.
+        for gid in result.unexcitable:
+            fault = universe[gid - 1]
+            assert isinstance(fault, TransistorStuckFault)

@@ -1,0 +1,162 @@
+"""Soundness of static pruning: a pruned fault is never detected.
+
+The static analysis is only allowed to prune faults the dynamic
+simulator could never detect, so the property is checked end to end:
+classify a random universe against a random network and stimulus, then
+run the serial reference simulator (no collapsing, no trimming, no
+static pruning) and assert every pruned fault goes undetected -- under
+both detection policies.  A second property asserts the backends
+produce bit-identical detections with pruning on and off, on random
+cases and on the paper's Figure 1 RAM.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "core")
+)
+from test_equivalence_props import fault_sim_case  # noqa: E402
+
+from repro.analysis.static import classify_faults
+from repro.circuits.ram import build_ram
+from repro.core.backends import SimPolicy, run_backend
+from repro.core.faults import (
+    TransistorStuckFault,
+    ram_fault_universe,
+    sample_faults,
+    transistor_stuck_universe,
+)
+from repro.patterns.sequences import sequence1
+
+PROP_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def first_detections(report, n_faults):
+    result = {}
+    for circuit_id in range(1, n_faults + 1):
+        detection = report.log.first_detection(circuit_id)
+        result[circuit_id] = (
+            (detection.pattern_index, detection.phase_index)
+            if detection
+            else None
+        )
+    return result
+
+
+class TestPruneSoundnessProperty:
+    @PROP_SETTINGS
+    @given(fault_sim_case())
+    def test_pruned_faults_never_detected(self, case):
+        net, faults, observed, patterns = case
+        classification = classify_faults(net, faults, observed)
+        pruned = set(classification.pruned_ids())
+        if not pruned:
+            return
+        for detection_policy in ("hard", "any"):
+            policy = SimPolicy(
+                max_rounds=60, detection_policy=detection_policy
+            )
+            report = run_backend(
+                "serial", net, faults, observed, patterns, policy,
+                collapse=False, trim=False, static_prune=False,
+            )
+            detections = first_detections(report, len(faults))
+            for gid in pruned:
+                assert detections[gid] is None, (
+                    f"statically pruned fault {gid} "
+                    f"({faults[gid - 1].describe()}) was detected at "
+                    f"{detections[gid]} under policy {detection_policy!r}"
+                )
+
+    @PROP_SETTINGS
+    @given(fault_sim_case())
+    def test_pruning_is_invisible_in_detections(self, case):
+        net, faults, observed, patterns = case
+        policy = SimPolicy(max_rounds=60)
+        baseline = first_detections(
+            run_backend(
+                "serial", net, faults, observed, patterns, policy,
+                collapse=False, trim=False, static_prune=False,
+            ),
+            len(faults),
+        )
+        report = run_backend(
+            "concurrent", net, faults, observed, patterns, policy,
+            collapse=False, trim=False, static_prune=True,
+        )
+        assert first_detections(report, len(faults)) == baseline
+        # Pruned faults still count in the reported universe.
+        assert report.n_faults == len(faults)
+
+
+class TestPruneParityOnRam:
+    """Figure 1's RAM16: identical detections with pruning on and off,
+    on every backend and locality, with a guaranteed nonempty prune."""
+
+    @pytest.fixture(scope="class")
+    def ram_case(self):
+        ram = build_ram(4, 4)
+        universe = ram_fault_universe(ram) + transistor_stuck_universe(
+            ram.net
+        )
+        faults = sample_faults(universe, 120, seed=7)
+        # Guarantee pruned faults in the sample: every d-type load
+        # stuck-closed is provably unexcitable.
+        d_loads = [
+            f
+            for f in transistor_stuck_universe(ram.net)
+            if isinstance(f, TransistorStuckFault) and f.closed
+        ][:8]
+        faults.extend(d_loads)
+        return ram.net, faults, [ram.dout], list(sequence1(ram).patterns)
+
+    def test_static_prune_engages(self, ram_case):
+        net, faults, observed, patterns = ram_case
+        classification = classify_faults(net, faults, observed)
+        assert classification.pruned > 0
+
+    @pytest.mark.parametrize("backend", ["serial", "concurrent", "batch"])
+    @pytest.mark.parametrize("locality", ["dynamic", "compiled"])
+    def test_parity_every_backend_and_locality(
+        self, ram_case, backend, locality
+    ):
+        net, faults, observed, patterns = ram_case
+        with_prune = run_backend(
+            backend, net, faults, observed, patterns,
+            locality=locality, static_prune=True,
+        )
+        without = run_backend(
+            backend, net, faults, observed, patterns,
+            locality=locality, static_prune=False,
+        )
+        assert first_detections(with_prune, len(faults)) == (
+            first_detections(without, len(faults))
+        )
+        assert with_prune.static_pruned is not None
+        assert with_prune.static_pruned["pruned"] > 0
+        assert without.static_pruned is None
+
+    def test_parity_sharded(self, ram_case):
+        net, faults, observed, patterns = ram_case
+        with_prune = run_backend(
+            "sharded", net, faults, observed, patterns,
+            jobs=2, static_prune=True,
+        )
+        without = run_backend(
+            "sharded", net, faults, observed, patterns,
+            jobs=2, static_prune=False,
+        )
+        assert first_detections(with_prune, len(faults)) == (
+            first_detections(without, len(faults))
+        )
+        assert with_prune.static_pruned is not None

@@ -23,7 +23,10 @@ def evaluate(cell, arity, out_name="out", unwrap_single=False):
 
 class TestCmosGates:
     def test_inverter(self):
-        assert evaluate(cmos.inverter, 1, unwrap_single=True) == {("0",): "1", ("1",): "0"}
+        assert evaluate(cmos.inverter, 1, unwrap_single=True) == {
+            ("0",): "1",
+            ("1",): "0",
+        }
 
     def test_inverter_x_gives_x(self):
         b = NetworkBuilder()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circuits.ram import build_ram, ram16, ram64, ram256
+from repro.circuits.ram import build_ram, ram16, ram256, ram64
 from repro.errors import NetworkError
 from repro.patterns.clocking import READ, WRITE, RamOp, expand_op
 from repro.switchlevel.simulator import Simulator

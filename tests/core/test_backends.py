@@ -10,11 +10,11 @@ RAM with its real marching sequence.
 
 from __future__ import annotations
 
+import os
+import sys
+
 import pytest
 from hypothesis import HealthCheck, given, settings
-
-import sys
-import os
 
 sys.path.insert(0, os.path.dirname(__file__))
 from test_equivalence_props import fault_sim_case  # noqa: E402

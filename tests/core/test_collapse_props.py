@@ -12,11 +12,11 @@ by the same oracle.
 
 from __future__ import annotations
 
+import os
+import sys
+
 import pytest
 from hypothesis import HealthCheck, given, settings
-
-import sys
-import os
 
 sys.path.insert(0, os.path.dirname(__file__))
 from test_equivalence_props import fault_sim_case  # noqa: E402
@@ -75,12 +75,18 @@ class TestCollapseParityProperty:
                     backend, locality,
                 )
                 # Stats appear only when collapsing actually merged
-                # something; random cases may be all-singletons.
+                # something; random cases may be all-singletons.  The
+                # collapse runs over whatever the static prune kept.
+                pruned = (
+                    report.static_pruned["pruned"]
+                    if report.static_pruned is not None
+                    else 0
+                )
                 if report.collapse is not None:
                     assert (
                         report.collapse["representatives"]
                         < report.collapse["faults"]
-                        == len(faults)
+                        == len(faults) - pruned
                     )
 
 

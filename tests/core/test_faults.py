@@ -38,8 +38,10 @@ class TestFaultDescriptions:
             NodeStuckFault("out", 2)
 
     def test_transistor_stuck_describe(self):
-        assert "stuck-open" in TransistorStuckFault("pd", closed=False).describe()
-        assert "stuck-closed" in TransistorStuckFault("pd", closed=True).describe()
+        fault_open = TransistorStuckFault("pd", closed=False)
+        assert "stuck-open" in fault_open.describe()
+        fault_closed = TransistorStuckFault("pd", closed=True)
+        assert "stuck-closed" in fault_closed.describe()
 
     def test_short_validates_distinct_nodes(self):
         with pytest.raises(FaultError):

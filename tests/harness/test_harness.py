@@ -66,7 +66,10 @@ class TestFigures:
 
     def test_xy_chart_series_markers(self):
         text = xy_chart(
-            {"concurrent": [(1, 1.0), (2, 2.0)], "serial": [(1, 5.0), (2, 9.0)]},
+            {
+                "concurrent": [(1, 1.0), (2, 2.0)],
+                "serial": [(1, 5.0), (2, 9.0)],
+            },
             title="f3",
         )
         assert "[c] concurrent" in text
@@ -145,7 +148,7 @@ class TestResults:
         assert lines[0] == (
             "backend,backend_options,pattern,seconds,"
             "cumulative_detected,live_after,oscillation_events,"
-            "collapsed,trim"
+            "collapsed,trim,static_pruned"
         )
         assert len(lines) == tiny_fig1.n_patterns + 1
         assert all(line.startswith("concurrent,") for line in lines[1:])

@@ -47,7 +47,9 @@ class TestCoverage:
             if isinstance(fault, NodeStuckFault) and fault.node.endswith(
                 ".s"
             ):
-                assert cid in detected, f"cell fault missed: {fault.describe()}"
+                assert cid in detected, (
+                    f"cell fault missed: {fault.describe()}"
+                )
 
     def test_control_faults_detected_early(self, campaign):
         # Stuck-at-0 word lines are severe (a whole row unreadable): the

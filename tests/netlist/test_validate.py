@@ -4,7 +4,14 @@ import pytest
 
 from repro.errors import NetworkError
 from repro.netlist.builder import NetworkBuilder
-from repro.netlist.validate import ERROR, WARNING, check, validate
+from repro.netlist.validate import (
+    ERROR,
+    WARNING,
+    Lint,
+    Subject,
+    check,
+    validate,
+)
 
 
 def lint_codes(net):
@@ -80,3 +87,263 @@ class TestStructureLints:
     def test_severities_are_valid(self, ram4x4):
         for lint in validate(ram4x4.net):
             assert lint.severity in (ERROR, WARNING)
+
+
+class TestDriveFight:
+    def test_equal_always_on_paths_to_both_rails(self):
+        b = NetworkBuilder()
+        b.input("a")
+        b.node("x")
+        b.dtrans("x", "vdd", "x", strength=2, name="up")
+        b.ntrans("vdd", "x", "gnd", strength=2, name="down")
+        net = b.build()
+        findings = [
+            item for item in validate(net) if item.code == "drive-fight"
+        ]
+        assert len(findings) == 1
+        assert findings[0].severity == ERROR
+        assert findings[0].subject == Subject("node", "x")
+        with pytest.raises(NetworkError):
+            check(net)
+
+    def test_unequal_strengths_do_not_fight(self):
+        b = NetworkBuilder()
+        b.input("a")
+        b.node("x")
+        b.dtrans("x", "vdd", "x", strength=1, name="up")
+        b.ntrans("vdd", "x", "gnd", strength=2, name="down")
+        assert "drive-fight" not in lint_codes(b.build())
+
+    def test_gated_pulldown_is_fine(self):
+        # The classic inverter: the pulldown is switched, no fight.
+        b = NetworkBuilder()
+        b.input("a")
+        b.node("x")
+        b.dtrans("x", "vdd", "x", strength=2, name="up")
+        b.ntrans("a", "x", "gnd", strength=2, name="down")
+        assert "drive-fight" not in lint_codes(b.build())
+
+    def test_always_on_rail_to_rail_device(self):
+        b = NetworkBuilder()
+        b.node("out")
+        b.dtrans("out", "vdd", "gnd", strength=2, name="shortcircuit")
+        b.dtrans("out", "vdd", "out", strength=1, name="load")
+        b.ntrans("vdd", "out", "gnd", strength=2, name="pull")
+        net = b.build()
+        fights = [item for item in validate(net) if item.code == "drive-fight"]
+        assert any(
+            item.subject == Subject("transistor", "shortcircuit")
+            for item in fights
+        )
+
+
+class TestGateTiedRail:
+    def test_ntype_gated_by_vdd_warns(self):
+        b = NetworkBuilder()
+        b.input("a")
+        b.node("x")
+        b.ntrans("vdd", "a", "x", strength=1, name="on")
+        findings = [
+            item
+            for item in validate(b.build())
+            if item.code == "gate-tied-rail"
+        ]
+        assert len(findings) == 1
+        assert findings[0].severity == WARNING
+        assert findings[0].subject == Subject("transistor", "on")
+
+    def test_ptype_gated_by_gnd_warns(self):
+        b = NetworkBuilder()
+        b.input("a")
+        b.node("x")
+        b.ptrans("gnd", "a", "x", strength=1, name="on")
+        assert "gate-tied-rail" in lint_codes(b.build())
+
+    def test_dtype_load_exempt(self):
+        b = NetworkBuilder()
+        b.input("a")
+        b.node("x")
+        b.dtrans("vdd", "vdd", "x", strength=1, name="load")
+        b.ntrans("a", "x", "gnd", strength=2)
+        assert "gate-tied-rail" not in lint_codes(b.build())
+
+
+class TestChannelLoop:
+    def test_storage_triangle_warns(self):
+        b = NetworkBuilder()
+        b.input("g")
+        b.nodes("s0", "s1", "s2")
+        b.ntrans("g", "s0", "s1", name="t0")
+        b.ntrans("g", "s1", "s2", name="t1")
+        b.ntrans("g", "s2", "s0", name="t2")
+        b.ntrans("g", "s0", "gnd", name="drv")
+        findings = [
+            item for item in validate(b.build()) if item.code == "channel-loop"
+        ]
+        assert len(findings) == 1
+        assert findings[0].severity == WARNING
+
+    def test_parallel_devices_are_not_a_loop(self):
+        b = NetworkBuilder()
+        b.input("g")
+        b.nodes("s0", "s1")
+        b.ntrans("g", "s0", "s1", name="t0")
+        b.ntrans("g", "s0", "s1", name="t1")
+        b.ntrans("g", "s0", "gnd", name="drv")
+        assert "channel-loop" not in lint_codes(b.build())
+
+    def test_loop_through_input_is_fine(self):
+        # Paths that close only through an input (rail) node are the
+        # normal pullup/pulldown structure, not a storage loop.
+        b = NetworkBuilder()
+        b.input("g")
+        b.nodes("s0", "s1")
+        b.ntrans("g", "s0", "s1", name="t0")
+        b.ntrans("g", "s0", "gnd", name="t1")
+        b.ntrans("g", "s1", "gnd", name="t2")
+        assert "channel-loop" not in lint_codes(b.build())
+
+
+class TestUnreachableNode:
+    def test_node_behind_dead_switch_warns(self):
+        b = NetworkBuilder()
+        b.input("a")
+        b.node("dead")
+        b.ntrans("gnd", "a", "dead", strength=1, name="never")
+        findings = [
+            item
+            for item in validate(b.build())
+            if item.code == "unreachable-node"
+        ]
+        assert len(findings) == 1
+        assert findings[0].severity == WARNING
+        assert findings[0].subject == Subject("node", "dead")
+
+    def test_reachable_node_is_clean(self):
+        b = NetworkBuilder()
+        b.input("a")
+        b.input("g")
+        b.node("x")
+        b.ntrans("g", "a", "x", strength=1)
+        assert "unreachable-node" not in lint_codes(b.build())
+
+
+class TestOversizedCcc:
+    def chain(self, length):
+        b = NetworkBuilder()
+        b.input("g")
+        prev = b.node("n0")
+        for k in range(1, length):
+            node = b.node(f"n{k}")
+            b.ntrans("g", prev, node, strength=1)
+            prev = node
+        b.ntrans("g", "n0", "gnd", strength=1)
+        return b.build()
+
+    def test_over_limit_warns(self):
+        net = self.chain(8)
+        findings = [
+            item
+            for item in validate(net, ccc_limit=4)
+            if item.code == "oversized-ccc"
+        ]
+        assert len(findings) == 1
+        assert findings[0].severity == WARNING
+        assert findings[0].subject.kind == "component"
+
+    def test_under_limit_is_clean(self):
+        net = self.chain(8)
+        assert "oversized-ccc" not in {
+            item.code for item in validate(net, ccc_limit=64)
+        }
+
+
+class TestLintStructure:
+    def messy_net(self):
+        b = NetworkBuilder()
+        b.node("float")
+        b.node("x")
+        b.node("orphan")
+        b.ntrans("float", "vdd", "x", name="t0")
+        b.ntrans("vdd", "x", "gnd", name="t1")
+        return b.build()
+
+    def test_ordering_is_deterministic_and_errors_first(self):
+        net = self.messy_net()
+        first = validate(net)
+        second = validate(net)
+        assert first == second
+        severities = [item.severity for item in first]
+        assert severities == sorted(
+            severities, key=lambda s: 0 if s == ERROR else 1
+        )
+
+    def test_str_rendering(self):
+        lint = Lint(ERROR, "drive-fight", "boom", Subject("node", "x"))
+        assert str(lint) == "error[drive-fight] node 'x': boom"
+        bare = Lint(WARNING, "no-rail", "missing")
+        assert str(bare) == "warning[no-rail] missing"
+
+    def test_to_json_round_trips_subject(self):
+        lint = Lint(WARNING, "channel-loop", "cycle", Subject("node", "s0"))
+        assert lint.to_json() == {
+            "severity": "warning",
+            "code": "channel-loop",
+            "message": "cycle",
+            "subject": {"kind": "node", "name": "s0"},
+        }
+        assert "subject" not in Lint(WARNING, "no-rail", "m").to_json()
+
+    def test_json_output_is_deterministic(self):
+        net = self.messy_net()
+        first = [item.to_json() for item in validate(net)]
+        second = [item.to_json() for item in validate(net)]
+        assert first == second
+
+
+class TestBuiltinCircuitsLintClean:
+    """Every shipped generator and cell must be error-free."""
+
+    def assert_no_errors(self, net):
+        errors = [item for item in validate(net) if item.severity == ERROR]
+        assert errors == []
+
+    @pytest.mark.parametrize("rows,cols", [(2, 2), (4, 4)])
+    def test_ram(self, rows, cols):
+        from repro.circuits.ram import build_ram
+
+        self.assert_no_errors(build_ram(rows, cols).net)
+
+    def test_sram(self):
+        from repro.circuits.sram import build_sram
+
+        self.assert_no_errors(build_sram(2, 2).net)
+
+    @pytest.mark.parametrize("stages", [2, 4])
+    def test_shift_register(self, stages):
+        from repro.circuits.registers import build_shift_register
+
+        self.assert_no_errors(build_shift_register(stages).net)
+
+    def test_register_file(self):
+        from repro.circuits.registers import build_register_file
+
+        self.assert_no_errors(build_register_file(2, 2).net)
+
+    def test_alu(self):
+        from repro.circuits.alu import build_alu
+
+        self.assert_no_errors(build_alu(2).net)
+
+    def test_nmos_cells(self):
+        from repro.cells import nmos
+
+        b = NetworkBuilder()
+        a, c = b.input("a"), b.input("c")
+        sel_a, sel_b = b.input("sel_a"), b.input("sel_b")
+        nmos.inverter(b, a, "inv_out")
+        nmos.nand(b, [a, c], "nand_out")
+        nmos.nor(b, [a, c], "nor_out")
+        nmos.xor_gate(b, a, c, "xor_out")
+        nmos.mux2_pass(b, sel_a, sel_b, a, c, b.node("mux_out"))
+        self.assert_no_errors(b.build())

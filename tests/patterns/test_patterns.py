@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circuits.ram import build_ram, ram64, ram256
+from repro.circuits.ram import build_ram, ram256, ram64
 from repro.errors import PatternError
 from repro.patterns.clocking import (
     READ,

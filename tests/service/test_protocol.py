@@ -27,8 +27,8 @@ from repro.service import protocol
 from repro.service.protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
-    CancelRequest,
     CancelledFrame,
+    CancelRequest,
     DoneFrame,
     ErrorFrame,
     FrameReader,

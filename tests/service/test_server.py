@@ -190,6 +190,78 @@ class TestStreaming:
             harness.client().run(bad)
 
 
+class TestLintOnSubmit:
+    """Bad netlists are rejected at submit time with structured
+    diagnostics, before any worker touches them."""
+
+    BAD_NETLIST = "node float\nnode n\nn float vdd n 1\n"
+
+    def _bad_job(self):
+        job = make_job()
+        return job.__class__(
+            netlist=self.BAD_NETLIST,
+            observed=("n",),
+            faults=job.faults,
+            patterns=job.patterns,
+            policy=job.policy,
+        )
+
+    def test_submit_rejected_with_lint_errors(self, harness):
+        with pytest.raises(NetworkError, match="floating-gate"):
+            harness.client().run(self._bad_job())
+
+    def test_rejection_carries_structured_diagnostics(self, harness):
+        from repro.service.protocol import send_frame
+
+        host, port = harness.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            send_frame(
+                sock,
+                {
+                    "type": "submit",
+                    "job": self._bad_job().to_wire(),
+                    "stream": False,
+                },
+            )
+            reply = recv_frame(sock)
+        assert reply["type"] == "error"
+        assert reply["kind"] == "network"
+        codes = {d["code"] for d in reply["diagnostics"]}
+        assert "floating-gate" in codes
+        for diagnostic in reply["diagnostics"]:
+            assert {"severity", "code", "message"} <= diagnostic.keys()
+
+    def test_unparseable_netlist_rejected(self, harness):
+        job = make_job()
+        garbage = job.__class__(
+            netlist="not a netlist at all\n",
+            observed=job.observed,
+            faults=job.faults,
+            patterns=job.patterns,
+            policy=job.policy,
+        )
+        from repro.errors import NetlistFormatError
+
+        with pytest.raises(NetlistFormatError):
+            harness.client().run(garbage)
+
+    def test_warning_only_netlist_still_runs(self, harness):
+        # A lint warning (isolated node) must not block the job.
+        ram, faults, patterns = make_workload()
+        from repro.netlist.sim_format import dumps
+
+        text = dumps(ram.net) + "node orphan\n"
+        job = make_job().__class__(
+            netlist=text,
+            observed=(ram.dout,),
+            faults=tuple(faults),
+            patterns=tuple(patterns),
+            policy=POLICY,
+        )
+        result = harness.client().run(job)
+        assert result.report.n_faults == len(faults)
+
+
 class TestConcurrentClients:
     def test_three_clients_two_workers(self, harness):
         """More clients than workers: the third job queues, every job

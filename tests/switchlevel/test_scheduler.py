@@ -2,9 +2,9 @@
 
 import pytest
 
+from repro.cells import nmos
 from repro.errors import OscillationError, SimulationError
 from repro.netlist.builder import NetworkBuilder
-from repro.cells import nmos
 from repro.switchlevel.scheduler import Engine
 from repro.switchlevel.simulator import Simulator
 

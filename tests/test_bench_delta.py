@@ -41,6 +41,24 @@ def test_compares_timing_leaves(tmp_path, capsys):
     assert "detected" not in out
 
 
+def test_compares_pruned_fault_counts(tmp_path, capsys):
+    baseline = tmp_path / "base"
+    current = tmp_path / "cur"
+    baseline.mkdir()
+    current.mkdir()
+    _write(
+        baseline / "BENCH_static.json",
+        {"backends": {"serial": {"pruned": 4, "detected": 45}}},
+    )
+    _write(
+        current / "BENCH_static.json",
+        {"backends": {"serial": {"pruned": 2, "detected": 45}}},
+    )
+    out = _run(capsys, baseline, current)
+    assert "backends.serial.pruned" in out
+    assert "-50.0%" in out
+
+
 def test_speedup_skipped_when_cpus_differ(tmp_path, capsys):
     baseline = tmp_path / "base"
     current = tmp_path / "cur"

@@ -153,7 +153,9 @@ class TestFaultsim:
             assert code == 0
             assert "2/2" in out, locality
 
-    def test_compiled_locality_reports_cache(self, netlist_path, tmp_path, capsys):
+    def test_compiled_locality_reports_cache(
+        self, netlist_path, tmp_path, capsys
+    ):
         patterns = tmp_path / "pats.txt"
         patterns.write_text("a=0\n\na=1\n")
         code = main(
@@ -233,16 +235,121 @@ class TestFaultsim:
         assert "accepts: locality" in captured.err
 
 
-class TestValidate:
+class TestLint:
+    @pytest.fixture()
+    def bad_path(self, tmp_path):
+        path = tmp_path / "bad.sim"
+        path.write_text("node float\nnode n\nn float vdd n 1\n")
+        return str(path)
+
     def test_clean_netlist(self, netlist_path, capsys):
+        assert main(["lint", netlist_path]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_validate_alias(self, netlist_path, capsys):
         assert main(["validate", netlist_path]) == 0
         assert "clean" in capsys.readouterr().out
 
-    def test_error_netlist_nonzero_exit(self, tmp_path, capsys):
-        path = tmp_path / "bad.sim"
-        path.write_text("node float\nnode n\nn float vdd n 1\n")
-        assert main(["validate", str(path)]) == 1
+    def test_error_netlist_nonzero_exit(self, bad_path, capsys):
+        assert main(["lint", bad_path]) == 1
         assert "floating-gate" in capsys.readouterr().out
+
+    def test_json_output(self, bad_path, capsys):
+        import json
+
+        assert main(["lint", bad_path, "--json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["errors"] >= 1
+        codes = {finding["code"] for finding in data["findings"]}
+        assert "floating-gate" in codes
+        subjects = [
+            finding["subject"]
+            for finding in data["findings"]
+            if finding["code"] == "floating-gate"
+        ]
+        assert subjects[0]["kind"] == "transistor"
+
+    def test_json_clean_exit_zero(self, netlist_path, capsys):
+        import json
+
+        assert main(["lint", netlist_path, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data == {
+            "netlist": netlist_path,
+            "errors": 0,
+            "warnings": 0,
+            "findings": [],
+        }
+
+    def test_faultsim_rejects_bad_netlist(self, bad_path, capsys):
+        code = main(["faultsim", bad_path, "--observe", "n"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "failed lint" in captured.err
+        assert "--no-lint" in captured.err
+
+    def test_faultsim_no_lint_runs_anyway(self, bad_path, capsys):
+        code = main(
+            ["faultsim", bad_path, "--observe", "n", "--no-lint",
+             "--limit", "2"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "faults detected" in captured.out
+
+    def test_simulate_rejects_bad_netlist(self, bad_path, capsys):
+        code = main(["simulate", bad_path, "--set", "n=1"])
+        assert code == 1
+        assert "failed lint" in capsys.readouterr().err
+
+    def test_warnings_go_to_stderr_not_fatal(self, tmp_path, capsys):
+        path = tmp_path / "warn.sim"
+        # An isolated node warns but must not block the run.
+        path.write_text(
+            "input a\nnode out\nnode orphan\n"
+            "d out vdd out 1\nn a out gnd 2\n"
+        )
+        code = main(["faultsim", str(path), "--observe", "out",
+                     "--limit", "2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "isolated-node" in captured.err
+        assert "isolated-node" not in captured.out
+
+
+class TestStaticPruneFlag:
+    @pytest.fixture()
+    def pruneable_path(self, tmp_path):
+        # The d-type load's stuck-closed fault is provably unexcitable.
+        path = tmp_path / "inv.sim"
+        path.write_text(INVERTER)
+        return str(path)
+
+    def test_report_line_when_pruned(self, pruneable_path, tmp_path, capsys):
+        patterns = tmp_path / "pats.txt"
+        patterns.write_text("a=0\n\na=1\n")
+        code = main(
+            ["faultsim", pruneable_path, "--observe", "out",
+             "--patterns", str(patterns),
+             "--faults", "transistor", "--no-collapse"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "statically pruned 1/4" in out
+        assert "1 unexcitable" in out
+
+    def test_no_static_prune_flag(self, pruneable_path, tmp_path, capsys):
+        patterns = tmp_path / "pats.txt"
+        patterns.write_text("a=0\n\na=1\n")
+        code = main(
+            ["faultsim", pruneable_path, "--observe", "out",
+             "--patterns", str(patterns),
+             "--faults", "transistor", "--no-collapse",
+             "--no-static-prune"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "statically pruned" not in out
 
 
 class TestExperiment:
