@@ -9,9 +9,11 @@ Usage::
 them aside before the test run overwrites them); ``CURRENT_DIR``
 defaults to the working tree root.  Prints a GitHub-flavored Markdown
 table of every numeric leaf whose key mentions seconds (wall times,
-per-shard times), speedup, or pruned-fault counts (``BENCH_static``'s
-static-analysis yield) with the relative delta, suitable for piping
-into ``$GITHUB_STEP_SUMMARY``.
+per-shard times), speedup, overhead, pruned-fault counts
+(``BENCH_static``'s static-analysis yield), or the shard scheduler's
+balance (``imbalance_ratio``, per-block ``block_faults``) with the
+relative delta, suitable for piping into ``$GITHUB_STEP_SUMMARY``.
+Numeric lists are flattened to indexed leaves (``path[i]``).
 
 Speedup metrics are only comparable between machines with the same
 parallelism: a shard speedup recorded on a 1-CPU box says nothing
@@ -32,8 +34,21 @@ import os
 import sys
 
 
-def _numeric_leaves(data, prefix=""):
-    """Flatten nested dicts to {dotted.path: number} for timing keys.
+#: Substrings a leaf's key must contain to be worth comparing.
+_METRIC_KEYS = (
+    "seconds",
+    "speedup",
+    "pruned",
+    "overhead",
+    "imbalance",
+    "block_faults",
+)
+
+
+def _numeric_leaves(data, prefix="", key=""):
+    """Flatten nested dicts/lists to {dotted.path: number} for metric
+    keys.  List items inherit their container's key and get indexed
+    paths (``runs.4.shard_wall_seconds[2]``).
 
     Keys prefixed ``min_``/``max_`` are configured pass thresholds the
     benchmarks archive for context (e.g. ``min_speedup`` in
@@ -42,21 +57,17 @@ def _numeric_leaves(data, prefix=""):
     """
     leaves = {}
     if isinstance(data, dict):
-        for key, value in sorted(data.items()):
-            path = f"{prefix}.{key}" if prefix else str(key)
-            if isinstance(value, dict):
-                leaves.update(_numeric_leaves(value, path))
-            elif isinstance(value, (int, float)) and not isinstance(
-                value, bool
-            ):
-                if key.startswith(("min_", "max_")):
-                    continue
-                if (
-                    "seconds" in key
-                    or "speedup" in key
-                    or "pruned" in key
-                ):
-                    leaves[path] = float(value)
+        for child_key, value in sorted(data.items()):
+            path = f"{prefix}.{child_key}" if prefix else str(child_key)
+            leaves.update(_numeric_leaves(value, path, child_key))
+    elif isinstance(data, list):
+        for index, value in enumerate(data):
+            leaves.update(_numeric_leaves(value, f"{prefix}[{index}]", key))
+    elif isinstance(data, (int, float)) and not isinstance(data, bool):
+        if not key.startswith(("min_", "max_")) and any(
+            metric in key for metric in _METRIC_KEYS
+        ):
+            leaves[prefix] = float(data)
     return leaves
 
 
@@ -93,7 +104,12 @@ def main(argv: list[str]) -> int:
         ):
             cpu_note = f"(skipped: cpus {baseline_cpus} vs {current_cpus})"
         for metric, value in current.items():
-            note = cpu_note if "speedup" in metric else None
+            # Parallelism-shape metrics only compare on equal machines.
+            note = (
+                cpu_note
+                if ("speedup" in metric or "imbalance" in metric)
+                else None
+            )
             rows.append((name, metric, baseline.get(metric), value, note))
 
     print("### Benchmark delta vs committed baselines (warn-only)")

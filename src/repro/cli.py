@@ -9,7 +9,7 @@ Subcommands::
                              [--backend serial|concurrent|batch|sharded]
                              [--no-drop] [--detect-policy hard|any]
                              [--clock process|perf] [--lane-width W]
-                             [--jobs N] [--inner-backend NAME]
+                             [--jobs N|auto] [--inner-backend NAME]
                              [--locality dynamic|static|compiled]
                              [--no-solve-cache] [--no-collapse]
                              [--no-trim] [--no-static-prune]
@@ -29,7 +29,8 @@ Subcommands::
     fmossim experiment {fig1,fig2,fig3,scaling} [--rows R --cols C ...]
         Reproduce one of the paper's experiments and print the figure.
 
-    fmossim serve [--host H] [--port P] [--workers N] [--cache-size N]
+    fmossim serve [--host H] [--port P] [--workers N|auto]
+                  [--cache-size N]
         Run the fault-simulation service: an asyncio TCP job server
         over persistent warm-state workers (see repro.service).
         Stops gracefully on SIGTERM/SIGINT.
@@ -173,8 +174,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="TCP port (default: 7455; 0 binds an ephemeral port)",
     )
     serve.add_argument(
-        "--workers", type=int, default=None, metavar="N",
-        help="persistent worker processes (default: cpu count)",
+        "--workers", type=_jobs_argument, default=None, metavar="N|auto",
+        help="persistent worker processes; 'auto' asks the OS for the "
+        "CPUs actually available (default: cpu count)",
     )
     serve.add_argument(
         "--cache-size", type=int, default=None, metavar="N",
@@ -304,10 +306,11 @@ def add_backend_option_arguments(subparser) -> None:
     )
     subparser.add_argument(
         "--jobs",
-        type=int,
+        type=_jobs_argument,
         default=None,
-        metavar="N",
-        help="sharded backend: worker processes (fault shards)",
+        metavar="N|auto",
+        help="sharded backend: worker processes; 'auto' asks the OS "
+        "for the CPUs actually available to this process",
     )
     subparser.add_argument(
         "--inner-backend",
@@ -348,6 +351,20 @@ def add_backend_option_arguments(subparser) -> None:
         help="simulate faults the static testability analysis proved "
         "unexcitable or unobservable instead of pruning them up front",
     )
+
+
+def _jobs_argument(text: str):
+    """``--jobs``/``--workers`` value: an integer or the word 'auto'
+    (resolved against the CPUs available via
+    :func:`repro.core.shard.resolve_jobs`)."""
+    if text == "auto":
+        return text
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {text!r}"
+        ) from None
 
 
 def _add_lint_option(subparser) -> None:
@@ -508,6 +525,17 @@ def _print_report(report, faults, clock: str) -> None:
         )
         if counters:
             print(f"  trimmed: {counters}")
+    if report.shard_stats is not None:
+        stats = report.shard_stats
+        trace = (
+            "good trace shipped" if stats["trace_shipped"]
+            else "per-shard good circuit"
+        )
+        print(
+            f"  shards: {stats['jobs']} job(s), {stats['blocks']} "
+            f"block(s), imbalance {stats['imbalance_ratio']:.2f}, "
+            f"{trace}"
+        )
     if report.solve_cache is not None:
         cache = report.solve_cache
         print(
@@ -555,7 +583,9 @@ def cmd_serve(args) -> int:
     if args.host is not None:
         kwargs["host"] = args.host
     if args.workers is not None:
-        kwargs["workers"] = args.workers
+        from .core.shard import resolve_jobs
+
+        kwargs["workers"] = resolve_jobs(args.workers)
     if args.cache_size is not None:
         kwargs["cache_size"] = args.cache_size
     if args.port is not None:

@@ -25,10 +25,11 @@ from .faults import (
     sample_faults,
     transistor_stuck_universe,
 )
-from .inject import Instrumented, PreparedFault, prepare
+from .goodtrace import GoodTrace, record_good_trace
+from .inject import Instrumented, PreparedFault, needs_rewrite, prepare
 from .report import FaultRecord, PatternRecord, RunReport, SerialRunReport
 from .serial import SerialFaultSimulator, estimate_serial_seconds
-from .shard import ShardedBackend, shard_slices
+from .shard import ShardedBackend, cost_blocks, resolve_jobs
 from .statelist import StateList
 
 __all__ = [
@@ -41,7 +42,10 @@ __all__ = [
     "register_backend",
     "run_backend",
     "ShardedBackend",
-    "shard_slices",
+    "cost_blocks",
+    "resolve_jobs",
+    "GoodTrace",
+    "record_good_trace",
     "BatchFaultSimulator",
     "ConcurrentFaultSimulator",
     "SerialFaultSimulator",
@@ -56,6 +60,7 @@ __all__ = [
     "ram_fault_universe",
     "sample_faults",
     "prepare",
+    "needs_rewrite",
     "Instrumented",
     "PreparedFault",
     "StateList",

@@ -62,6 +62,7 @@ from .batch import DEFAULT_LANE_WIDTH, BatchFaultSimulator
 from .concurrent import ConcurrentFaultSimulator
 from .detection import POLICIES, POLICY_HARD, Detection, DetectionLog
 from .faults import Fault, collapse_faults
+from .goodtrace import GoodTrace
 from .report import PatternRecord, RunReport
 from .serial import SerialFaultSimulator, serial_run_report
 
@@ -431,12 +432,14 @@ class SerialBackend(FaultSimBackend):
         collapse: bool = True,
         trim: bool = True,
         static_prune: bool = True,
+        good_trace: GoodTrace | None = None,
     ):
         self.locality = _validate_locality(locality)
         self.solve_cache = solve_cache
         self.collapse = collapse
         self.trim = trim
         self.static_prune = static_prune
+        self.good_trace = good_trace
 
     def run(
         self,
@@ -461,6 +464,7 @@ class SerialBackend(FaultSimBackend):
             locality=self.locality,
             solve_cache=self.solve_cache,
             trim=self.trim,
+            good_trace=self.good_trace,
         )
         before = cache_stats(simulator.network)
         serial_report = simulator.run(pattern_list, clock=policy.clock)
@@ -470,6 +474,7 @@ class SerialBackend(FaultSimBackend):
             drop_on_detect=policy.drop_on_detect,
         )
         report.oscillation_events = simulator.oscillation_events
+        report.good_settles = simulator.good_settles
         if self.locality == "compiled":
             report.solve_cache = _cache_delta(simulator.network, before)
         return plan.finish(report, policy.drop_on_detect)
@@ -488,12 +493,14 @@ class ConcurrentBackend(FaultSimBackend):
         collapse: bool = True,
         trim: bool = True,
         static_prune: bool = True,
+        good_trace: GoodTrace | None = None,
     ):
         self.locality = _validate_locality(locality)
         self.solve_cache = solve_cache
         self.collapse = collapse
         self.trim = trim
         self.static_prune = static_prune
+        self.good_trace = good_trace
 
     def run(
         self,
@@ -519,6 +526,7 @@ class ConcurrentBackend(FaultSimBackend):
             locality=self.locality,
             solve_cache=self.solve_cache,
             trim=self.trim,
+            good_trace=self.good_trace,
         )
         before = cache_stats(simulator.network)
         report = simulator.run(
@@ -544,12 +552,14 @@ class BatchBackend(FaultSimBackend):
         solve_cache: bool = True,
         collapse: bool = True,
         static_prune: bool = True,
+        good_trace: GoodTrace | None = None,
     ):
         self.lane_width = lane_width
         self.locality = _validate_locality(locality)
         self.solve_cache = solve_cache
         self.collapse = collapse
         self.static_prune = static_prune
+        self.good_trace = good_trace
 
     def run(
         self,
@@ -575,6 +585,7 @@ class BatchBackend(FaultSimBackend):
             lane_width=self.lane_width,
             locality=self.locality,
             solve_cache=self.solve_cache,
+            good_trace=self.good_trace,
         )
         before = cache_stats(simulator.network)
         lane_hits_before, lane_misses_before = simulator.lane_cache_counters()

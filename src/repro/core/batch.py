@@ -38,10 +38,12 @@ from ..patterns.clocking import TestPattern
 from ..switchlevel.bitplane import LaneSimulator
 from ..switchlevel.compiled import compile_network
 from ..switchlevel.kernel import DEFAULT_MAX_ROUNDS, LOCALITIES, SettleStats
+from ..switchlevel.logic import STATES
 from ..switchlevel.network import GND_NAME, VDD_NAME, Network
 from ..switchlevel.scheduler import Engine
 from .detection import POLICIES, POLICY_HARD, Detection, DetectionLog
 from .faults import Fault
+from .goodtrace import GoodTrace
 from .inject import CLOSED_STATE, Instrumented, PreparedFault, prepare
 from .report import PatternRecord, RunReport
 
@@ -152,6 +154,7 @@ class BatchFaultSimulator:
         lane_width: int = DEFAULT_LANE_WIDTH,
         locality: str = "dynamic",
         solve_cache: bool = True,
+        good_trace: GoodTrace | None = None,
     ):
         if detection_policy not in POLICIES:
             raise SimulationError(
@@ -183,20 +186,33 @@ class BatchFaultSimulator:
             raise SimulationError("at least one observed node is required")
         self.observed = [self.network.node(name) for name in observed]
 
-        self.good = Engine(
-            self.network,
-            forced_transistors=self.good_forced_transistors,
-            max_rounds=max_rounds,
-            locality=locality,
-            solve_cache=solve_cache,
-        )
-        net_ = self.network
-        for name, state in ((VDD_NAME, 1), (GND_NAME, 0)):
-            if name in net_.node_index:
-                node = net_.node_index[name]
-                if net_.node_is_input[node]:
-                    self.good.drive(node, state)
-        self.good.settle()
+        #: A precomputed good run (see :mod:`repro.core.goodtrace`):
+        #: detection compares lanes against its recorded observed
+        #: responses and the scalar good engine is never built, so the
+        #: good circuit is settled zero times here.
+        self.good_trace = good_trace
+        #: How many good-circuit settles this simulator performs over
+        #: its lifetime (0 when consuming a trace, 1 otherwise).
+        self.good_settles = 0 if good_trace is not None else 1
+        self.good: Engine | None = None
+        if good_trace is not None:
+            good_trace.validate(self.network, observed, max_rounds)
+            self.oscillation_events += good_trace.oscillation_events
+        else:
+            self.good = Engine(
+                self.network,
+                forced_transistors=self.good_forced_transistors,
+                max_rounds=max_rounds,
+                locality=locality,
+                solve_cache=solve_cache,
+            )
+            net_ = self.network
+            for name, state in ((VDD_NAME, 1), (GND_NAME, 0)):
+                if name in net_.node_index:
+                    node = net_.node_index[name]
+                    if net_.node_is_input[node]:
+                        self.good.drive(node, state)
+            self.good.settle()
 
         prepared = list(instrumented.prepared)
         self.live: set[int] = {pf.circuit_id for pf in prepared}
@@ -210,6 +226,9 @@ class BatchFaultSimulator:
         self.log = DetectionLog()
         self._pattern_index = 0
         self._phase_index = 0
+        #: Which observe phase of the current pattern comes next
+        #: (indexes the trace's recorded responses).
+        self._observation_index = 0
 
     # ------------------------------------------------------------------
     # public API
@@ -250,13 +269,26 @@ class BatchFaultSimulator:
                 progress(record, tuple(self.log.detections[events_before:]))
         report.total_seconds = timer() - start_total
         report.log = self.log
-        report.oscillation_events = (
-            self.oscillation_events + self.good.oscillation_events
+        report.oscillation_events = self.oscillation_events + (
+            self.good.oscillation_events if self.good is not None else 0
         )
+        report.good_settles = self.good_settles
         return report
 
     def apply_pattern(self, pattern: TestPattern) -> None:
         """Simulate one pattern (all its phases, with observations)."""
+        trace = self.good_trace
+        if trace is not None:
+            if self._pattern_index >= len(trace.observed):
+                raise SimulationError(
+                    "good trace exhausted: more patterns than recorded"
+                )
+            if trace.pattern_labels[self._pattern_index] != pattern.label:
+                raise SimulationError(
+                    "good trace was recorded for a different pattern "
+                    "sequence"
+                )
+        self._observation_index = 0
         for phase_index, phase in enumerate(pattern.phases):
             self._phase_index = phase_index
             self.apply_phase(phase.settings)
@@ -271,13 +303,23 @@ class BatchFaultSimulator:
         net = self.network
         for name, state in settings.items():
             node = net.node(name)
-            # The good engine validates (input-ness, state range) for
-            # every circuit; lanes share the same inputs.
-            self.good.drive(node, state)
+            if self.good is not None:
+                # The good engine validates (input-ness, state range)
+                # for every circuit; lanes share the same inputs.
+                self.good.drive(node, state)
+            else:
+                # Trace mode: the same validation, without an engine.
+                if state not in STATES:
+                    raise SimulationError(
+                        f"invalid state {state!r} for {name!r}"
+                    )
+                if not net.node_is_input[node]:
+                    raise SimulationError(f"node {name!r} is not an input")
             for chunk in self.chunks:
                 if chunk.lanes.active:
                     chunk.lanes.drive(node, state)
-        self.good.settle()
+        if self.good is not None:
+            self.good.settle()
         for chunk in self.chunks:
             # A fully detected chunk has nothing left to simulate; its
             # lanes stay frozen at their drop-time states.
@@ -351,10 +393,20 @@ class BatchFaultSimulator:
     # ------------------------------------------------------------------
     def _observe(self) -> None:
         policy = self.detection_policy
-        good_states = self.good.states
+        trace = self.good_trace
+        if trace is None:
+            good_states = self.good.states
+            recorded = None
+        else:
+            recorded = trace.observed[self._pattern_index][
+                self._observation_index
+            ]
+        self._observation_index += 1
         names = self.network.node_names
-        for node in self.observed:
-            good_state = good_states[node]
+        for index, node in enumerate(self.observed):
+            good_state = (
+                good_states[node] if recorded is None else recorded[index]
+            )
             for chunk in self.chunks:
                 lanes = chunk.lanes
                 p0, p1 = lanes.p0[node], lanes.p1[node]

@@ -88,6 +88,7 @@ from .detection import (
     differs,
 )
 from .faults import Fault
+from .goodtrace import GoodTrace
 from .inject import Instrumented, PreparedFault, prepare
 from .report import PatternRecord, RunReport
 from .statelist import StateList
@@ -492,6 +493,7 @@ class ConcurrentFaultSimulator:
         locality: str = "dynamic",
         solve_cache: bool = True,
         trim: bool = True,
+        good_trace: GoodTrace | None = None,
     ):
         if detection_policy not in POLICIES:
             raise SimulationError(
@@ -661,6 +663,27 @@ class ConcurrentFaultSimulator:
         self._pattern_index = 0
         self._phase_index = 0
 
+        #: A precomputed good run to replay instead of solving good
+        #: rounds (see :mod:`repro.core.goodtrace`): each settle
+        #: re-applies the recorded vicinity solutions through
+        #: :meth:`_apply_good_round`, so trigger scans and record
+        #: maintenance happen exactly as in a native run while the
+        #: good-circuit solving cost is paid zero times here.
+        self._replay = good_trace
+        if good_trace is not None:
+            good_trace.validate(self.network, observed, max_rounds)
+            if not good_trace.replayable:
+                raise SimulationError(
+                    "good trace is not replayable (the good circuit "
+                    "entered the oscillation fallback while recording)"
+                )
+        #: The recorded rounds of the settle currently in progress
+        #: (``None`` outside replay mode / between phases).
+        self._replay_rounds: list | None = None
+        #: How many good-circuit settles this simulator performs over
+        #: its lifetime (0 when replaying a trace, 1 otherwise).
+        self.good_settles = 0 if good_trace is not None else 1
+
         self._drive_rails()
         self._activate_faults()
 
@@ -711,6 +734,7 @@ class ConcurrentFaultSimulator:
         report.total_seconds = timer() - start_total
         report.log = self.log
         report.oscillation_events = self.oscillation_events
+        report.good_settles = self.good_settles
         if self.trim:
             report.trim = {
                 "round_skips": self._round_skips,
@@ -720,8 +744,28 @@ class ConcurrentFaultSimulator:
 
     def apply_pattern(self, pattern: TestPattern) -> None:
         """Simulate one pattern (all its phases, with observations)."""
+        trace = self._replay
+        groups = None
+        if trace is not None:
+            if self._pattern_index >= len(trace.phase_rounds):
+                raise SimulationError(
+                    "good trace exhausted: more patterns than recorded"
+                )
+            if trace.pattern_labels[self._pattern_index] != pattern.label:
+                raise SimulationError(
+                    "good trace was recorded for a different pattern "
+                    "sequence"
+                )
+            groups = trace.phase_rounds[self._pattern_index]
+            if len(groups) != len(pattern.phases):
+                raise SimulationError(
+                    "good trace phase count does not match pattern "
+                    f"{pattern.label!r}"
+                )
         for phase_index, phase in enumerate(pattern.phases):
             self._phase_index = phase_index
+            if groups is not None:
+                self._replay_rounds = groups[phase_index]
             self.apply_phase(phase.settings)
             if phase.observe:
                 self._observe()
@@ -729,6 +773,11 @@ class ConcurrentFaultSimulator:
 
     def apply_phase(self, settings: Mapping[str, int]) -> None:
         """Apply one input setting and settle every circuit."""
+        if self._replay is not None and self._replay_rounds is None:
+            raise SimulationError(
+                "a trace-fed simulator must be driven through "
+                "apply_pattern/run (apply_phase has no recorded rounds)"
+            )
         net = self.network
         for name, state in settings.items():
             node = net.node(name)
@@ -800,16 +849,33 @@ class ConcurrentFaultSimulator:
     # initialization
     # ------------------------------------------------------------------
     def _drive_rails(self) -> None:
+        """Power up: both rails in one phase, then one settle.
+
+        Driving vdd and gnd together (rather than settling between
+        them) matches the single-circuit engine's initialization
+        (``serial._make_engine``, the good-trace recorder), so the good
+        circuit's power-up round sequence is identical across backends
+        and a recorded trace replays it exactly.
+        """
         net = self.network
-        for name, state in ((VDD_NAME, 1), (GND_NAME, 0)):
-            if name in net.node_index:
-                node = net.node_index[name]
-                if net.node_is_input[node]:
-                    self.apply_phase({name: state})
+        settings = {
+            name: state
+            for name, state in ((VDD_NAME, 1), (GND_NAME, 0))
+            if name in net.node_index
+            and net.node_is_input[net.node_index[name]]
+        }
+        if self._replay is not None:
+            self._replay_rounds = self._replay.init_rounds
+        self.apply_phase(settings)
 
     def _activate_faults(self) -> None:
         """Create initial divergences and schedule fault-site events."""
         net = self.network
+        if self._replay is not None:
+            # The good circuit contributes nothing to this settle (only
+            # faulty circuits are seeded), so its recorded group is
+            # empty by construction.
+            self._replay_rounds = []
         for cid, pf in self.prepared.items():
             seeds: set[int] = set(pf.seeds)
             for node, value in pf.forced_nodes.items():
@@ -928,7 +994,13 @@ class ConcurrentFaultSimulator:
         good_rounds = 0
         total_rounds = 0
         hard_cap = 3 * self.max_rounds + 50
-        while self._good_pending or self._fault_pending:
+        replay = self._replay_rounds
+        replay_pos = 0
+        while (
+            self._good_pending
+            or self._fault_pending
+            or (replay is not None and replay_pos < len(replay))
+        ):
             total_rounds += 1
             if total_rounds > hard_cap:
                 # Pathological mutual churn: states already conservative,
@@ -938,8 +1010,20 @@ class ConcurrentFaultSimulator:
                 self._fault_pending.clear()
                 self._sync_prev_states()
                 self._stale_records.clear()
+                self._replay_rounds = None
                 return
-            if self._good_pending:
+            if replay is not None:
+                # Replay mode: the recorded solutions are this settle's
+                # entire good-circuit evolution.  Applying them runs the
+                # trigger scans and record maintenance natively; the
+                # seeds the applied changes (and this phase's drives)
+                # generate are discarded -- solving them is exactly the
+                # work the recording already did.
+                if replay_pos < len(replay):
+                    self._apply_good_round(replay[replay_pos])
+                    replay_pos += 1
+                self._good_pending.clear()
+            elif self._good_pending:
                 good_rounds += 1
                 if good_rounds > self.max_rounds:
                     self.oscillation_events += 1
@@ -998,6 +1082,9 @@ class ConcurrentFaultSimulator:
             # circuit's round r-1 states where they needed them.
             self._flush_stale_records()
             self._sync_prev_states()
+        # A consumed group may not be reused: apply_pattern installs the
+        # next phase's rounds before the next settle.
+        self._replay_rounds = None
 
     def _seeds_matter(self, cid: int, seeds: set[int]) -> bool:
         """Whether any raw seed could survive the adapter's take_seeds

@@ -27,7 +27,9 @@ input-versus-input fights.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
+from weakref import WeakKeyDictionary
 
 from ..errors import FaultError
 from ..switchlevel.logic import ONE, ZERO
@@ -75,16 +77,49 @@ class Instrumented:
     good_forced_transistors: dict[int, int]
 
 
+def needs_rewrite(faults: list[Fault]) -> bool:
+    """True when injecting ``faults`` must structurally copy the network.
+
+    Short and open faults insert fault transistors (and split nodes), so
+    :func:`prepare` works on an unfrozen copy for them; every other
+    fault kind overlays the original network unchanged.  The sharded
+    backend uses this to decide whether a parent-recorded
+    :class:`~repro.core.goodtrace.GoodTrace` (and compiled artifact) is
+    valid in every shard.
+    """
+    return any(isinstance(f, (ShortFault, OpenFault)) for f in faults)
+
+
+#: Memo of instrumented networks, keyed weakly by source network and
+#: then by the exact fault tuple (faults are frozen, hashable
+#: dataclasses).  Re-preparing the same universe -- the service's warm
+#: path re-submitting a job, or repeated backend runs in one process --
+#: returns the *same* :class:`Instrumented`, so the instrumented
+#: network's compiled form and solve caches carry across jobs even when
+#: injection had to copy the network (the Short/Open warm-cache gap).
+_PREPARED: "WeakKeyDictionary[Network, OrderedDict]" = WeakKeyDictionary()
+
+#: Distinct fault universes memoized per source network; beyond this the
+#: least recently used entry is dropped (instrumented copies of large
+#: networks are not free to keep alive).
+_PREPARED_UNIVERSES = 4
+
+
 def prepare(net: Network, faults: list[Fault]) -> Instrumented:
     """Resolve ``faults`` against ``net``; returns the instrumented network.
 
     Circuit ids are assigned 1..len(faults) in order (0 is the good
-    circuit, as in the paper).
+    circuit, as in the paper).  Results are memoized per ``(net,
+    faults)`` -- see :data:`_PREPARED`.
     """
-    needs_rewrite = any(
-        isinstance(f, (ShortFault, OpenFault)) for f in faults
-    )
-    if needs_rewrite:
+    key = tuple(faults)
+    universes = _PREPARED.get(net)
+    if universes is not None:
+        cached = universes.get(key)
+        if cached is not None:
+            universes.move_to_end(key)
+            return cached
+    if needs_rewrite(key):
         working = net.unfrozen_copy()
     else:
         working = net
@@ -109,11 +144,18 @@ def prepare(net: Network, faults: list[Fault]) -> Instrumented:
         else:
             raise FaultError(f"unsupported fault type: {fault!r}")
     working.finalize()
-    return Instrumented(
+    instrumented = Instrumented(
         net=working,
         prepared=tuple(prepared),
         good_forced_transistors=good_forced,
     )
+    if universes is None:
+        universes = OrderedDict()
+        _PREPARED[net] = universes
+    universes[key] = instrumented
+    while len(universes) > _PREPARED_UNIVERSES:
+        universes.popitem(last=False)
+    return instrumented
 
 
 def _prepare_node_stuck(

@@ -67,6 +67,20 @@ class RunReport:
     #: nothing.  Pruned faults stay in ``n_faults`` and simply never
     #: appear in the detection log.
     static_pruned: dict | None = None
+    #: How many times this run settled the good circuit over the whole
+    #: pattern sequence.  Single-process backends report 1 (or 0 when
+    #: they consumed a precomputed :class:`~repro.core.goodtrace.
+    #: GoodTrace`); the sharded backend sums its shards and adds 1 for
+    #: the parent's recording pass, so "good circuit simulated exactly
+    #: once" is assertable as ``good_settles == 1``.
+    good_settles: int = 0
+    #: Shard-scheduling measurements filled by the sharded backend:
+    #: ``jobs`` (resolved worker count), ``blocks`` (work-stealing
+    #: blocks dispatched), ``block_faults`` (faults per block),
+    #: ``imbalance_ratio`` (max/min per-worker busy seconds) and
+    #: ``trace_shipped`` (whether shards consumed the parent's
+    #: GoodTrace); ``None`` for single-process runs.
+    shard_stats: dict | None = None
 
     @property
     def n_patterns(self) -> int:

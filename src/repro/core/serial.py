@@ -31,11 +31,12 @@ from typing import Callable, Iterable, Sequence
 
 from ..errors import SimulationError
 from ..patterns.clocking import TestPattern
-from ..switchlevel.kernel import LOCALITIES, SettleStats
+from ..switchlevel.kernel import LOCALITIES
 from ..switchlevel.network import TRANS_TABLE, Network
 from ..switchlevel.scheduler import Engine
 from .detection import POLICIES, POLICY_HARD, Detection, differs
 from .faults import Fault
+from .goodtrace import GoodTrace, record_good_trace
 from .inject import Instrumented, PreparedFault, prepare
 from .report import FaultRecord, PatternRecord, RunReport, SerialRunReport
 
@@ -43,35 +44,6 @@ from .report import FaultRecord, PatternRecord, RunReport, SerialRunReport
 #: than this is treated as fully divergent (no pattern skipping); it
 #: bounds the per-pattern containment bookkeeping to a small constant.
 _MAX_DIVERGENCE = 32
-
-
-class _GoodTrace:
-    """The good circuit's run, recorded once and reused by every fault.
-
-    Beyond the observed states the detector compares against, the trace
-    carries what the ERASER-style trimming needs: per-pattern state
-    checkpoints, the region each pattern *touched* (every vicinity
-    member/boundary examined plus the driven inputs; ``None`` when the
-    pattern oscillated, which disables skipping), and the transistors
-    whose gate node changed (an over-approximation of the transistors
-    that may have toggled).
-    """
-
-    __slots__ = ("observed", "init_checkpoint", "checkpoints", "touched",
-                 "toggled")
-
-    def __init__(self) -> None:
-        #: [pattern][observation][observed node] good states.
-        self.observed: list[list[list[int]]] = []
-        #: Settled power-up state, before any pattern.
-        self.init_checkpoint: tuple[list[int], list[int]] = ([], [])
-        #: Settled (states, tstates) after each pattern.
-        self.checkpoints: list[tuple[list[int], list[int]]] = []
-        self.touched: list[set[int] | None] = []
-        self.toggled: list[set[int]] = []
-
-    def checkpoint_before(self, k: int) -> tuple[list[int], list[int]]:
-        return self.checkpoints[k - 1] if k else self.init_checkpoint
 
 
 class SerialFaultSimulator:
@@ -95,6 +67,7 @@ class SerialFaultSimulator:
         locality: str = "dynamic",
         solve_cache: bool = True,
         trim: bool = True,
+        good_trace: GoodTrace | None = None,
     ):
         if detection_policy not in POLICIES:
             raise SimulationError(
@@ -112,6 +85,7 @@ class SerialFaultSimulator:
         self.network = self._instrumented.net
         if not observed:
             raise SimulationError("at least one observed node is required")
+        self._observed_names = tuple(observed)
         self.observed = [self.network.node(name) for name in observed]
         self.detection_policy = detection_policy
         self.drop_on_detect = drop_on_detect
@@ -119,6 +93,16 @@ class SerialFaultSimulator:
         #: ERASER-style checkpoint trimming (pattern skipping + warm
         #: starts); off, every faulty circuit replays every pattern.
         self.trim = trim
+        #: A precomputed good run (see :mod:`repro.core.goodtrace`);
+        #: when given, :meth:`run` consumes it instead of simulating
+        #: the reference, so the good circuit is settled zero times
+        #: here.  Validated against this simulator's network, observed
+        #: nodes, round budget and patterns at run time.
+        self.good_trace = good_trace
+        #: How many good-circuit settles :meth:`run` performed (0 with
+        #: a consumed trace, 1 otherwise); the sharded backend sums
+        #: these to assert the good circuit ran exactly once.
+        self.good_settles = 0
         self.oscillation_events = 0
 
     # ------------------------------------------------------------------
@@ -131,9 +115,19 @@ class SerialFaultSimulator:
         """Simulate every fault serially; returns the serial report."""
         timer = time.process_time if clock == "process" else time.perf_counter
         pattern_list = list(patterns)
-        start_reference = timer()
-        reference = self._reference_trace(pattern_list)
-        reference_seconds = timer() - start_reference
+        if self.good_trace is not None:
+            self.good_trace.validate(
+                self.network, self._observed_names, self.max_rounds,
+                pattern_list,
+            )
+            reference = self.good_trace
+            self.oscillation_events += reference.oscillation_events
+            reference_seconds = 0.0
+        else:
+            start_reference = timer()
+            reference = self._reference_trace(pattern_list)
+            reference_seconds = timer() - start_reference
+            self.good_settles += 1
 
         report = SerialRunReport(
             n_patterns=len(pattern_list),
@@ -210,41 +204,20 @@ class SerialFaultSimulator:
             engine.drive(net.node(name), state)
         engine.settle()
 
-    def _reference_trace(self, patterns: list[TestPattern]) -> _GoodTrace:
+    def _reference_trace(self, patterns: list[TestPattern]) -> GoodTrace:
         """Run the good circuit once, recording observed states plus the
-        per-pattern checkpoints and touched regions trimming needs."""
-        net = self.network
-        engine = self._make_engine(None)
-        trace = _GoodTrace()
-        trace.init_checkpoint = engine.snapshot()
-        for pattern in patterns:
-            pattern_trace: list[list[int]] = []
-            pattern_touched: set[int] = set()
-            pattern_changed: set[int] = set()
-            oscillated = False
-            for phase in pattern.phases:
-                for name, state in phase.settings.items():
-                    node = net.node(name)
-                    engine.drive(node, state)
-                    pattern_touched.add(node)
-                    pattern_changed.add(node)
-                stats = engine.settle(SettleStats(touched_nodes=set()))
-                if stats.oscillated:
-                    oscillated = True
-                pattern_touched |= stats.touched_nodes
-                pattern_changed |= stats.changed_nodes
-                if phase.observe:
-                    pattern_trace.append(
-                        [engine.states[node] for node in self.observed]
-                    )
-            trace.observed.append(pattern_trace)
-            trace.checkpoints.append(engine.snapshot())
-            trace.touched.append(None if oscillated else pattern_touched)
-            toggled: set[int] = set()
-            for node in pattern_changed:
-                toggled.update(net.node_gates[node])
-            trace.toggled.append(toggled)
-        self.oscillation_events += engine.oscillation_events
+        per-pattern checkpoints and touched regions trimming needs
+        (the shared recorder in :mod:`repro.core.goodtrace`)."""
+        trace = record_good_trace(
+            self.network,
+            self._observed_names,
+            patterns,
+            forced_transistors=self._instrumented.good_forced_transistors,
+            max_rounds=self.max_rounds,
+            locality=self.locality,
+            solve_cache=self.solve_cache,
+        )
+        self.oscillation_events += trace.oscillation_events
         return trace
 
     def _divergence(
@@ -299,7 +272,7 @@ class SerialFaultSimulator:
         forced_node_list: list[int],
         forced_t_list: list[tuple[int, int, tuple[int, ...]]],
         k: int,
-        trace: _GoodTrace,
+        trace: GoodTrace,
     ) -> bool:
         """True when the faulty circuit provably tracks the good circuit
         through pattern ``k`` -- same observations, same end-state delta
@@ -339,7 +312,7 @@ class SerialFaultSimulator:
         engine: Engine,
         div: dict[int, int],
         k: int,
-        trace: _GoodTrace,
+        trace: GoodTrace,
     ) -> None:
         """Resume a faulty circuit at pattern ``k`` from the good
         checkpoint instead of replaying the skipped patterns: restore
@@ -366,7 +339,7 @@ class SerialFaultSimulator:
         self,
         pf: PreparedFault,
         patterns: list[TestPattern],
-        reference: _GoodTrace,
+        reference: GoodTrace,
         report: SerialRunReport,
         timer: Callable[[], float],
     ) -> tuple[int, int] | None:

@@ -446,7 +446,9 @@ def report_to_wire(report: RunReport) -> dict[str, Any]:
         "backend": report.backend,
         "total_seconds": report.total_seconds,
         "oscillation_events": report.oscillation_events,
+        "good_settles": report.good_settles,
         "shard_seconds": list(report.shard_seconds),
+        "shard_stats": report.shard_stats,
         "solve_cache": report.solve_cache,
         "collapse": report.collapse,
         "trim": report.trim,
@@ -474,6 +476,8 @@ def report_from_wire(wire: dict[str, Any]) -> RunReport:
             collapse=wire.get("collapse"),
             trim=wire.get("trim"),
             static_pruned=wire.get("static_pruned"),
+            good_settles=int(wire.get("good_settles", 0)),
+            shard_stats=wire.get("shard_stats"),
         )
     except KeyError as exc:
         raise ProtocolError(

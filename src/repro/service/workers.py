@@ -42,9 +42,10 @@ hook checks it at every pattern boundary.
 
 Sharded jobs get the process-wide persistent shard executor
 (:func:`repro.core.shard.shared_executor`) injected, so even the
-multiprocess backend stops paying per-run fork churn -- though its
-shards pickle the network per run and therefore do not share warm
-compiled state.
+multiprocess backend stops paying per-run fork churn.  Because
+``CompiledNetwork`` pickles, the warm compiled artifact held in the
+worker's cache travels to the shards with the network -- warm sharded
+jobs recompile nothing anywhere.
 """
 
 from __future__ import annotations
@@ -190,11 +191,11 @@ def _execute_job(
     if not warm:
         compile_start = time.perf_counter()
         network = load_netlist(spec.netlist)
-        if locality == "compiled" and spec.backend != "sharded":
+        if locality == "compiled":
             # Compile eagerly so compile cost lands in compile_seconds,
-            # not inside the first pattern's simulate time.  Sharded
-            # pickles the network into its shards, so compiling the
-            # parent copy would be wasted work.
+            # not inside the first pattern's simulate time.  The sharded
+            # backend ships this compiled artifact to its shards, so the
+            # parent compile pays off there too.
             compile_network(network)
         compile_seconds = time.perf_counter() - compile_start
         cache.put(fingerprint, network)

@@ -70,6 +70,7 @@ from __future__ import annotations
 
 import os
 import weakref
+from array import array
 from itertools import count
 from typing import Mapping, Sequence
 
@@ -104,11 +105,23 @@ __all__ = [
     "CompiledComponent",
     "CompiledNetwork",
     "Region",
+    "adopt_compiled",
     "cache_stats",
     "compile_network",
     "numpy_enabled",
     "state_keys",
 ]
+
+
+def _pack(values) -> bytes:
+    """Int sequence -> raw int64 buffer (the pickled CSR form)."""
+    return array("q", values).tobytes()
+
+
+def _unpack(data: bytes) -> tuple[int, ...]:
+    values = array("q")
+    values.frombytes(data)
+    return tuple(values)
 
 #: Component id recorded for input nodes (they belong to no component).
 NO_COMPONENT = -1
@@ -248,37 +261,49 @@ class CompiledComponent:
         self.edge_dst = tuple(edge_dst)
         self.edge_dst_input = tuple(edge_dst_input)
 
-        self.edge_ts = tuple(sorted(set(edge_t)))
-        self.edge_ts_set = frozenset(self.edge_ts)
-        ts_index = {t: i for i, t in enumerate(self.edge_ts)}
-        self.ts_index = ts_index
-        #: CSR edge -> index into ``edge_ts`` (its conduction-mask bit).
-        self.edge_ti = tuple(ts_index[t] for t in edge_t)
-
         # The channel transistor states are a function of their gate
         # node states (plus per-circuit forced transistors), so
         # conduction is derived from the -- typically fewer, and
         # plain-list -- gate nodes instead of going through (possibly
         # overlay) transistor-state views.
+        edge_ts = tuple(sorted(set(edge_t)))
         t_gate = net.t_gate
         t_kind = net.t_kind
-        self.edge_gates = tuple(sorted({t_gate[t] for t in self.edge_ts}))
+        self.edge_gates = tuple(sorted({t_gate[t] for t in edge_ts}))
+        gate_pos = {g: i for i, g in enumerate(self.edge_gates)}
+        #: Aligned with ``edge_ts``: Table 1 row and gate position.
+        self.ts_kind = tuple(t_kind[t] for t in edge_ts)
+        self.ts_gpos = tuple(gate_pos[t_gate[t]] for t in edge_ts)
+        self._derive()
+
+    def _derive(self) -> None:
+        """(Re)build every field implied by the core arrays.
+
+        Shared by construction and unpickling: the pickled form carries
+        only the flat CSR and per-``edge_ts`` tables, and everything
+        else -- index dicts, key-node layouts, ndarray companions and
+        fresh identity tokens -- comes back through here.
+        """
+        self.member_set = frozenset(self.members)
+        self.member_pos = {n: i for i, n in enumerate(self.members)}
+        self.boundary_pos = {n: i for i, n in enumerate(self.boundary)}
+        self.edge_ts = tuple(sorted(set(self.edge_t)))
+        self.edge_ts_set = frozenset(self.edge_ts)
+        ts_index = {t: i for i, t in enumerate(self.edge_ts)}
+        self.ts_index = ts_index
+        #: CSR edge -> index into ``edge_ts`` (its conduction-mask bit).
+        self.edge_ti = tuple(ts_index[t] for t in self.edge_t)
         self.edge_gate_pos = {g: i for i, g in enumerate(self.edge_gates)}
         self.edge_gate_set = frozenset(self.edge_gates)
-        #: Aligned with ``edge_ts``: Table 1 row and gate position.
-        self.ts_kind = tuple(t_kind[t] for t in self.edge_ts)
-        self.ts_gpos = tuple(
-            self.edge_gate_pos[t_gate[t]] for t in self.edge_ts
-        )
 
         # Everything a solve of this component can depend on, as one
         # node tuple: member charge, boundary drive and the gate states
         # the conduction derives from.  One packed read of these bytes
         # keys the whole-call memo in ``solve_seeded``.
-        in_key = self.member_set | frozenset(boundary)
+        in_key = self.member_set | frozenset(self.boundary)
         self.comp_key_nodes = (
-            members
-            + boundary
+            self.members
+            + self.boundary
             + tuple(g for g in self.edge_gates if g not in in_key)
         )
         self.comp_key_pos = {
@@ -302,6 +327,46 @@ class CompiledComponent:
             self.ts_gpos_np = None
             self.edge_gates_idx = None
             self.comp_key_idx = None
+
+    def __getstate__(self) -> dict:
+        """Core arrays only, int tuples packed as raw int64 buffers.
+
+        The identity tokens are deliberately *not* carried over: they
+        are process-local cache-key namespaces, and reusing pickled
+        values in another process could collide with tokens already
+        issued there.  ``_derive`` issues fresh ones on restore.
+        """
+        return {
+            "cid": self.cid,
+            "members": _pack(self.members),
+            "member_sizes": _pack(self.member_sizes),
+            "boundary": _pack(self.boundary),
+            "edge_start": _pack(self.edge_start),
+            "edge_t": _pack(self.edge_t),
+            "edge_strength": _pack(self.edge_strength),
+            "edge_dst": _pack(self.edge_dst),
+            "edge_dst_input": bytes(self.edge_dst_input),
+            "edge_gates": _pack(self.edge_gates),
+            "ts_kind": _pack(self.ts_kind),
+            "ts_gpos": _pack(self.ts_gpos),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.cid = state["cid"]
+        self.members = _unpack(state["members"])
+        self.member_sizes = _unpack(state["member_sizes"])
+        self.boundary = _unpack(state["boundary"])
+        self.edge_start = _unpack(state["edge_start"])
+        self.edge_t = _unpack(state["edge_t"])
+        self.edge_strength = _unpack(state["edge_strength"])
+        self.edge_dst = _unpack(state["edge_dst"])
+        self.edge_dst_input = tuple(
+            bool(b) for b in state["edge_dst_input"]
+        )
+        self.edge_gates = _unpack(state["edge_gates"])
+        self.ts_kind = _unpack(state["ts_kind"])
+        self.ts_gpos = _unpack(state["ts_gpos"])
+        self._derive()
 
     @property
     def size(self) -> int:
@@ -414,6 +479,9 @@ class CompiledNetwork:
         net.require_finalized()
         self.net = net
         self._partition(net)
+        self._init_caches()
+
+    def _init_caches(self) -> None:
         #: Per component: (packed gate states, forced-transistor sig)
         #: -> (conduction mask, interned mask id).  The small id stands
         #: in for the (arbitrarily wide) mask in region keys.
@@ -451,6 +519,31 @@ class CompiledNetwork:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    def __getstate__(self) -> dict:
+        """The partition and indexes; never the solve caches.
+
+        The caches are both heavy (every memoized region and solve) and
+        meaningless across processes (their keys embed process-local
+        tokens), so a shipped compiled network arrives cold but fully
+        lowered -- the receiver skips the partition/lowering pass and
+        rebuilds cache state through normal use.
+        """
+        return {
+            "net": self.net,
+            "components": self.components,
+            "node_component": _pack(self.node_component),
+            "t_component": _pack(self.t_component),
+            "gate_fanout": tuple(self.gate_fanout),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.net = state["net"]
+        self.components = state["components"]
+        self.node_component = list(_unpack(state["node_component"]))
+        self.t_component = list(_unpack(state["t_component"]))
+        self.gate_fanout = list(state["gate_fanout"])
+        self._init_caches()
 
     # ------------------------------------------------------------------
     # the compile pass proper
@@ -991,6 +1084,23 @@ def compile_network(net: Network) -> CompiledNetwork:
     if compiled is None:
         compiled = CompiledNetwork(net)
         _COMPILED[net] = compiled
+    return compiled
+
+
+def adopt_compiled(compiled: CompiledNetwork) -> CompiledNetwork:
+    """Install a (typically unpickled) compiled network into the memo.
+
+    A shard or service worker that received a :class:`CompiledNetwork`
+    over the wire calls this once; every later
+    :func:`compile_network` on the same :class:`~repro.switchlevel.
+    network.Network` instance then returns the shipped artifact instead
+    of re-running the partition.  A compiled form already memoized for
+    that network wins (its caches may be warm) and is returned instead.
+    """
+    existing = _COMPILED.get(compiled.net)
+    if existing is not None:
+        return existing
+    _COMPILED[compiled.net] = compiled
     return compiled
 
 

@@ -9,12 +9,22 @@ the RAM16 Figure-1 setup at jobs in {1, 2, 4}.
 
 from __future__ import annotations
 
+import os
+import sys
+
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, os.path.dirname(__file__))
+from test_equivalence_props import fault_sim_case  # noqa: E402
 
 from repro.circuits.ram import build_ram
 from repro.core.backends import SimPolicy, get_backend, run_backend
 from repro.core.faults import ram_fault_universe, sample_faults
-from repro.core.shard import ShardedBackend, shard_slices
+from repro.core.goodtrace import record_good_trace
+from repro.core.inject import needs_rewrite
+from repro.core.shard import ShardedBackend, cost_blocks, resolve_jobs
 from repro.errors import SimulationError
 from repro.patterns.sequences import sequence1
 
@@ -31,25 +41,63 @@ def first_detections(report, n_faults):
     return result
 
 
-class TestShardSlices:
-    def test_balanced_contiguous_cover(self):
+class TestCostBlocks:
+    def test_contiguous_cover_uniform_costs(self):
         for n in (0, 1, 2, 7, 16, 33):
             for jobs in (1, 2, 3, 4, 8):
-                slices = shard_slices(n, jobs)
-                # Contiguous, covering, balanced within one item.
-                assert slices[0][0] == 0
-                assert slices[-1][1] == n
-                for (_, a_end), (b_start, _) in zip(slices, slices[1:]):
+                blocks = cost_blocks([1.0] * n, jobs)
+                # Contiguous and covering.
+                assert blocks[0][0] == 0
+                assert blocks[-1][1] == n
+                for (_, a_end), (b_start, _) in zip(blocks, blocks[1:]):
                     assert a_end == b_start
-                sizes = [end - start for start, end in slices]
+                sizes = [end - start for start, end in blocks]
                 if n:
                     assert all(size >= 1 for size in sizes)
-                    assert max(sizes) - min(sizes) <= 1
-                    assert len(slices) == min(jobs, n)
+                    if jobs == 1:
+                        # The inline, overhead-free path.
+                        assert blocks == [(0, n)]
+                    else:
+                        # Over-decomposed for work stealing, never
+                        # beyond the item count.
+                        assert len(blocks) == min(n, jobs * 4)
+
+    def test_balances_by_cost_not_count(self):
+        # One huge item followed by many tiny ones: the cut isolates
+        # the heavy item instead of splitting the list down the middle.
+        blocks = cost_blocks([100, 1, 1, 1, 1, 1], 2, blocks_per_job=1)
+        assert blocks == [(0, 1), (1, 6)]
+
+    def test_heavier_tail_shifts_cuts(self):
+        blocks = cost_blocks([1, 1, 1, 1, 96], 2, blocks_per_job=1)
+        assert blocks == [(0, 4), (4, 5)]
 
     def test_rejects_nonpositive_jobs(self):
         with pytest.raises(SimulationError):
-            shard_slices(10, 0)
+            cost_blocks([1] * 10, 0)
+
+
+class TestResolveJobs:
+    def test_ints_pass_through(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+
+    def test_auto_is_positive_and_machine_bounded(self):
+        import os
+
+        resolved = resolve_jobs("auto")
+        assert isinstance(resolved, int)
+        assert 1 <= resolved <= (os.cpu_count() or 1)
+
+    def test_rejects_bad_values(self):
+        for jobs in (0, -3, True, 1.5, "many"):
+            with pytest.raises(SimulationError, match="jobs"):
+                resolve_jobs(jobs)
+
+    def test_backend_accepts_auto(self):
+        backend = ShardedBackend(jobs="auto")
+        assert isinstance(backend.jobs, int)
+        assert backend.jobs >= 1
 
 
 class TestShardedConfig:
@@ -128,6 +176,57 @@ class TestShardedParity:
         )
 
 
+class TestGoodCircuitOnce:
+    """The tentpole economy: under sharding the good circuit settles
+    exactly once (in the parent), not once per worker."""
+
+    def test_trace_ships_and_good_settles_once(self, ram16_case):
+        net, faults, observed, patterns = ram16_case
+        for inner in ("serial", "concurrent", "batch"):
+            report = run_backend(
+                "sharded", net, faults, observed, patterns,
+                jobs=2, inner_backend=inner,
+            )
+            assert report.shard_stats["trace_shipped"] is True
+            assert report.good_settles == 1
+
+    def test_jobs1_settles_good_once_natively(self, ram16_case):
+        net, faults, observed, patterns = ram16_case
+        report = run_backend(
+            "sharded", net, faults, observed, patterns,
+            jobs=1, inner_backend="concurrent",
+        )
+        # Inline single block: no recording overhead, the inner
+        # backend's own (single) good simulation is the reference.
+        assert report.shard_stats["trace_shipped"] is False
+        assert report.good_settles == 1
+
+    def test_rewrite_universe_falls_back_to_per_block_good(self):
+        from repro.core.faults import ShortFault
+
+        ram = build_ram(2, 2)
+        patterns = list(sequence1(ram).patterns)
+        faults = sample_faults(ram_fault_universe(ram), 6, seed=7)
+        faults.append(
+            ShortFault(ram.read_bitlines[0], ram.read_bitlines[1])
+        )
+        inner = run_backend(
+            "concurrent", ram.net, faults, [ram.dout], patterns
+        )
+        report = run_backend(
+            "sharded", ram.net, faults, [ram.dout], patterns,
+            jobs=2, inner_backend="concurrent",
+        )
+        # Short faults rewrite the network, so no parent trace is
+        # valid in the blocks; each block re-derives its good circuit
+        # and the answer stays exact.
+        assert report.shard_stats["trace_shipped"] is False
+        assert report.good_settles >= 1
+        assert first_detections(report, len(faults)) == first_detections(
+            inner, len(faults)
+        )
+
+
 class TestShardedMerge:
     def test_report_shape_and_tag(self, ram16_case):
         net, faults, observed, patterns = ram16_case
@@ -136,7 +235,19 @@ class TestShardedMerge:
             SimPolicy(clock="perf"), jobs=4, inner_backend="concurrent",
         )
         assert report.backend == "sharded(concurrentx4)"
-        assert len(report.shard_seconds) == 4
+        # One wall-clock entry per cost block, over-decomposed beyond
+        # the job count (up to 4 blocks per job) for work stealing.
+        assert report.shard_stats is not None
+        assert len(report.shard_seconds) == report.shard_stats["blocks"]
+        assert 4 <= report.shard_stats["blocks"] <= 16
+        assert report.shard_stats["jobs"] == 4
+        block_faults = report.shard_stats["block_faults"]
+        assert len(block_faults) == report.shard_stats["blocks"]
+        assert all(count >= 1 for count in block_faults)
+        # Blocks cover the post-collapse representatives, never more
+        # than the universe.
+        assert sum(block_faults) <= report.n_faults
+        assert report.shard_stats["imbalance_ratio"] >= 1.0
         assert all(seconds > 0 for seconds in report.shard_seconds)
         assert report.n_patterns == len(patterns)
         live = [p.live_after for p in report.patterns]
@@ -232,6 +343,63 @@ class TestShardedMerge:
             assert detection.description == (
                 faults[detection.circuit_id - 1].describe()
             )
+
+
+class _InlinePool:
+    """An in-process 'executor': keeps the Hypothesis sweep off real
+    process pools while exercising the full task/merge machinery."""
+
+    def map(self, fn, tasks):
+        return [fn(task) for task in tasks]
+
+
+def _detection_log(report):
+    return [
+        (d.pattern_index, d.phase_index, d.circuit_id, d.description)
+        for d in report.log.detections
+    ]
+
+
+class TestShardedEquivalenceProps:
+    """Random networks x faults x stimuli: sharding and good-trace
+    precomputation must both be invisible in the answer."""
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.too_slow, HealthCheck.data_too_large,
+        ],
+    )
+    @given(
+        case=fault_sim_case(),
+        jobs=st.integers(1, 4),
+        inner=st.sampled_from(["serial", "concurrent", "batch"]),
+    )
+    def test_sharded_and_trace_fed_runs_are_bit_identical(
+        self, case, jobs, inner
+    ):
+        net, faults, observed, patterns = case
+        reference = run_backend(inner, net, faults, observed, patterns)
+        backend = ShardedBackend(
+            jobs=jobs, inner_backend=inner, pool=_InlinePool()
+        )
+        sharded = backend.run(net, faults, observed, patterns)
+        assert _detection_log(sharded) == _detection_log(reference)
+        assert sharded.detected == reference.detected
+        assert sharded.n_faults == reference.n_faults
+        assert [p.detections for p in sharded.patterns] == [
+            p.detections for p in reference.patterns
+        ]
+        if not needs_rewrite(list(faults)):
+            trace = record_good_trace(net, observed, patterns)
+            if inner != "concurrent" or trace.replayable:
+                fed = run_backend(
+                    inner, net, faults, observed, patterns,
+                    good_trace=trace,
+                )
+                assert _detection_log(fed) == _detection_log(reference)
+                assert fed.good_settles == 0
 
 
 class TestExecutorManagement:

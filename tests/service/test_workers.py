@@ -8,7 +8,12 @@ import pytest
 
 from repro.circuits.ram import build_ram
 from repro.core.backends import SimPolicy
-from repro.core.faults import node_stuck_universe, sample_faults
+from repro.core.faults import (
+    ShortFault,
+    node_stuck_universe,
+    ram_fault_universe,
+    sample_faults,
+)
 from repro.errors import SimulationError
 from repro.netlist.sim_format import dumps
 from repro.patterns.sequences import sequence1
@@ -30,6 +35,26 @@ def make_job(rows=2, cols=2, n_faults=8, patterns_repeat=1) -> JobSpec:
         observed=(ram.dout,),
         faults=tuple(faults),
         patterns=patterns,
+        policy=POLICY,
+    )
+
+
+def make_short_job() -> JobSpec:
+    """A shorted-bitlines job.  Short (and open) faults rewrite the
+    network into a fresh universe, so warm state only carries if
+    ``prepare`` memoizes the rewrite against the cached instance."""
+    ram = build_ram(2, 2)
+    shorts = tuple(
+        fault
+        for fault in ram_fault_universe(ram)
+        if isinstance(fault, ShortFault)
+    )
+    assert shorts, "RAM universe lost its bitline shorts"
+    return JobSpec(
+        netlist=dumps(ram.net),
+        observed=(ram.dout,),
+        faults=shorts,
+        patterns=tuple(sequence1(ram).patterns),
         policy=POLICY,
     )
 
@@ -108,6 +133,42 @@ class TestWarmCache:
         # Same circuit, same faults, same patterns: identical results.
         assert report.detected == cold_report.detected
         assert report.log.detections == cold_report.log.detections
+
+    def test_warm_short_fault_job_reuses_rewritten_universe(self, pool):
+        """Short faults rewrite the network; the ``prepare`` memo makes
+        a warm job reuse the rewritten instance -- and with it the
+        compiled form and its solve cache -- instead of silently
+        rebuilding both behind ``compile_seconds == 0``."""
+        job = make_short_job()
+        pool.submit("short-cold", job)
+        cold = drain_job(pool, "short-cold")
+        pool.submit("short-warm", job)
+        warm = drain_job(pool, "short-warm")
+
+        cold_kind, cold_payload = cold["terminal"]
+        warm_kind, warm_payload = warm["terminal"]
+        assert cold_kind == "done"
+        assert warm_kind == "done"
+        assert warm["started"]["warm"] is True
+        assert warm_payload["timings"]["compile_seconds"] == 0.0
+
+        cold_report = report_from_wire(cold_payload["report"])
+        warm_report = report_from_wire(warm_payload["report"])
+        # Non-vacuous: the job really ran the short faults, both times,
+        # with identical detections.
+        assert cold_report.n_faults == len(job.faults)
+        assert warm_report.detected == cold_report.detected
+        assert warm_report.log.detections == cold_report.log.detections
+
+        # Warmth evidence on the *rewritten* universe: the cold run
+        # populated its solve cache from nothing; the warm run starts
+        # with it full.
+        assert cold_report.solve_cache["misses"] > 0
+        assert warm_report.solve_cache["hits"] > 0
+        assert (
+            warm_report.solve_cache["misses"]
+            < cold_report.solve_cache["misses"]
+        )
 
     def test_pattern_events_stream_and_match_report(self, pool):
         job = make_job()

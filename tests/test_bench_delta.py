@@ -59,6 +59,50 @@ def test_compares_pruned_fault_counts(tmp_path, capsys):
     assert "-50.0%" in out
 
 
+def test_shard_scheduler_leaves_compared(tmp_path, capsys):
+    baseline = tmp_path / "base"
+    current = tmp_path / "cur"
+    baseline.mkdir()
+    current.mkdir()
+    _write(
+        baseline / "BENCH_shard.json",
+        {
+            "jobs1_overhead": 1.0,
+            "runs": {
+                "4": {
+                    "imbalance_ratio": 2.0,
+                    "block_faults": [8, 8],
+                    "shard_wall_seconds": [0.5, 0.5],
+                    "trace_shipped": True,
+                }
+            },
+        },
+    )
+    _write(
+        current / "BENCH_shard.json",
+        {
+            "jobs1_overhead": 1.1,
+            "runs": {
+                "4": {
+                    "imbalance_ratio": 1.0,
+                    "block_faults": [10, 6],
+                    "shard_wall_seconds": [0.4, 0.5],
+                    "trace_shipped": True,
+                }
+            },
+        },
+    )
+    out = _run(capsys, baseline, current)
+    assert "jobs1_overhead" in out
+    assert "runs.4.imbalance_ratio" in out
+    assert "-50.0%" in out  # the imbalance delta
+    # Numeric lists flatten to indexed leaves.
+    assert "runs.4.block_faults[0]" in out
+    assert "runs.4.shard_wall_seconds[1]" in out
+    # Booleans are not metrics.
+    assert "trace_shipped" not in out
+
+
 def test_speedup_skipped_when_cpus_differ(tmp_path, capsys):
     baseline = tmp_path / "base"
     current = tmp_path / "cur"

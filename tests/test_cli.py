@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import main
+from repro.core.shard import resolve_jobs
 
 INVERTER = """\
 input a
@@ -213,6 +214,31 @@ class TestFaultsim:
         assert code == 0
         assert "2/2" in out
         assert "sharded(serialx2) backend" in out
+
+    def test_sharded_jobs_auto_resolves_and_echoes(
+        self, netlist_path, tmp_path, capsys
+    ):
+        patterns = tmp_path / "pats.txt"
+        patterns.write_text("a=0\n\na=1\n")
+        code = main(
+            ["faultsim", netlist_path, "--observe", "out",
+             "--patterns", str(patterns),
+             "--backend", "sharded", "--jobs", "auto",
+             "--inner-backend", "serial"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2/2" in out
+        # The resolved job count is echoed in the shard-stats line.
+        assert f"shards: {resolve_jobs('auto')} job(s)" in out
+
+    def test_jobs_rejects_non_integer_non_auto(self, netlist_path, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                ["faultsim", netlist_path, "--observe", "out",
+                 "--backend", "sharded", "--jobs", "many"]
+            )
+        assert "expected an integer or 'auto'" in capsys.readouterr().err
 
     def test_invalid_backend_option_is_one_line_error(
         self, netlist_path, tmp_path, capsys
